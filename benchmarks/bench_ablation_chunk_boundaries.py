@@ -1,0 +1,21 @@
+"""Ablation (§4.3.2 design choice) — chunk-boundary strategies.
+
+The paper tried equal-sized and exponentially growing/shrinking chunks before
+settling on score-ratio boundaries; this ablation compares the three strategies
+under the default workload.
+"""
+
+from repro.bench.experiments import ablation_chunk_boundaries
+
+
+def test_ablation_chunk_boundaries(benchmark, bench_scale, report):
+    rows = benchmark.pedantic(
+        lambda: ablation_chunk_boundaries(bench_scale), rounds=1, iterations=1
+    )
+    report(
+        "ablation_chunk_boundaries",
+        "Ablation: chunk boundary strategies",
+        rows,
+        columns=["strategy", "avg_update_ms", "avg_query_ms", "query_pages"],
+    )
+    assert {row["strategy"] for row in rows} == {"ratio", "equal_count", "exponential"}

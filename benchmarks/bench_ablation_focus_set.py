@@ -1,0 +1,27 @@
+"""Ablation (§5.1) — flash-crowd (focus set) update behaviour on the Chunk method.
+
+Focus-set updates are strictly increasing by default, the scenario that forces
+documents across chunk boundaries and into the short lists; this ablation
+varies the focus-set size and direction and reports the resulting update/query
+cost and short-list growth.
+"""
+
+from repro.bench.experiments import ablation_focus_set
+
+
+def test_ablation_focus_set(benchmark, bench_scale, report):
+    rows = benchmark.pedantic(
+        lambda: ablation_focus_set(bench_scale), rounds=1, iterations=1
+    )
+    report(
+        "ablation_focus_set",
+        "Ablation: focus-set (flash crowd) updates",
+        rows,
+        columns=[
+            "focus_fraction", "direction", "avg_update_ms", "avg_query_ms",
+            "short_list_bytes",
+        ],
+    )
+    baseline = [row for row in rows if row["focus_fraction"] == 0.0]
+    focused = [row for row in rows if row["focus_fraction"] > 0.0]
+    assert baseline and focused

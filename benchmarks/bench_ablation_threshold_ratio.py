@@ -1,0 +1,23 @@
+"""Ablation (§5.3.1, "figures not shown") — Score-Threshold threshold ratio sweep.
+
+Expected shape, mirroring Table 2 for the Chunk method: small ratios update the
+short lists often (expensive updates, cheap queries); large ratios barely touch
+them (cheap updates, long query scans).
+"""
+
+from repro.bench.experiments import ablation_threshold_ratio
+
+
+def test_ablation_threshold_ratio(benchmark, bench_scale, report):
+    rows = benchmark.pedantic(
+        lambda: ablation_threshold_ratio(bench_scale), rounds=1, iterations=1
+    )
+    report(
+        "ablation_threshold_ratio",
+        "Ablation: Score-Threshold threshold ratio",
+        rows,
+        columns=["threshold_ratio", "avg_update_ms", "avg_query_ms", "query_pages"],
+    )
+    by_ratio = sorted(rows, key=lambda row: row["threshold_ratio"])
+    # The smallest ratio must not have cheaper updates than the largest one.
+    assert by_ratio[0]["avg_update_ms"] >= by_ratio[-1]["avg_update_ms"]

@@ -1,0 +1,25 @@
+"""Figure 10 — disjunctive queries.
+
+Paper result: disjunctive queries cost about the same as conjunctive ones for
+the Score-Threshold / Chunk / Chunk-TermScore family (disk pages dominate), but
+are *worse* for the ID family because many more candidates flow through the
+result heap.
+"""
+
+from repro.bench.experiments import fig10_disjunctive
+
+
+def test_fig10_disjunctive(benchmark, bench_scale, report):
+    rows = benchmark.pedantic(
+        lambda: fig10_disjunctive(bench_scale), rounds=1, iterations=1
+    )
+    report(
+        "fig10_disjunctive",
+        "Figure 10: conjunctive vs disjunctive query time",
+        rows,
+        columns=["method", "conj_query_ms", "disj_query_ms", "conj_pages", "disj_pages"],
+    )
+    by_method = {row["method"]: row for row in rows}
+    # The chunked methods touch a similar number of pages in both modes.
+    chunk = by_method["chunk"]
+    assert chunk["disj_pages"] <= 1.5 * max(chunk["conj_pages"], 1.0)

@@ -1,0 +1,30 @@
+"""Figure 7 — update and query time as the number of score updates grows.
+
+Paper result: the Score method's update cost is orders of magnitude above
+everything else (≈17 s vs ≈0.01 ms); the ID method has the cheapest updates but
+flat, expensive queries; Score-Threshold and Chunk combine near-ID update cost
+with near-Score query cost, Chunk slightly ahead on queries.
+"""
+
+from repro.bench.experiments import fig7_varying_updates
+
+
+def test_fig7_varying_updates(benchmark, bench_scale, report):
+    rows = benchmark.pedantic(
+        lambda: fig7_varying_updates(bench_scale), rounds=1, iterations=1
+    )
+    report(
+        "fig7_varying_updates",
+        "Figure 7: varying the number of score updates",
+        rows,
+        columns=[
+            "method", "updates", "updates_measured", "avg_update_ms",
+            "avg_query_ms", "query_pages", "query_io_ms",
+        ],
+    )
+    final = {row["method"]: row for row in rows if row["updates"] == max(r["updates"] for r in rows)}
+    # Score updates are orders of magnitude more expensive than Chunk updates.
+    assert final["score"]["avg_update_ms"] > 20 * final["chunk"]["avg_update_ms"]
+    # The ID method scans everything: it must read at least as many pages per
+    # query as the Chunk method, which stops early.
+    assert final["id"]["query_pages"] >= final["chunk"]["query_pages"]

@@ -1,0 +1,32 @@
+"""Figure 8 — query time as the number of desired results k varies.
+
+Paper result: the ID method is flat in k (it always scans everything);
+Score-Threshold and Chunk are cheaper at small k and converge towards ID as k
+grows, with Chunk dominating Score-Threshold (smaller lists, no stored scores).
+"""
+
+from repro.bench.experiments import fig8_varying_k
+
+
+def test_fig8_varying_k(benchmark, bench_scale, report):
+    rows = benchmark.pedantic(
+        lambda: fig8_varying_k(bench_scale), rounds=1, iterations=1
+    )
+    report(
+        "fig8_varying_k",
+        "Figure 8: varying the number of desired results (k)",
+        rows,
+        columns=["method", "k", "avg_query_ms", "query_pages", "query_io_ms"],
+    )
+    by_method: dict[str, list] = {}
+    for row in rows:
+        by_method.setdefault(row["method"], []).append(row)
+    ks = sorted({row["k"] for row in rows})
+    # ID is insensitive to k (page counts identical across k).
+    id_pages = [row["query_pages"] for row in sorted(by_method["id"], key=lambda r: r["k"])]
+    assert max(id_pages) - min(id_pages) <= max(1.0, 0.05 * max(id_pages))
+    # Chunk reads no more pages than ID at the smallest k.
+    smallest = ks[0]
+    chunk_small = next(r for r in by_method["chunk"] if r["k"] == smallest)
+    id_small = next(r for r in by_method["id"] if r["k"] == smallest)
+    assert chunk_small["query_pages"] <= id_small["query_pages"]

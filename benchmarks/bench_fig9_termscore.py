@@ -1,0 +1,28 @@
+"""Figure 9 — combined SVR + term scoring: Chunk-TermScore vs ID-TermScore.
+
+Paper result: Chunk-TermScore's query time is significantly better than
+ID-TermScore (early stopping via fancy lists and chunks) with comparable
+update cost; its queries are even faster than the plain ID method's.
+"""
+
+from repro.bench.experiments import fig9_termscore
+
+
+def test_fig9_termscore(benchmark, bench_scale, report):
+    rows = benchmark.pedantic(
+        lambda: fig9_termscore(bench_scale), rounds=1, iterations=1
+    )
+    report(
+        "fig9_termscore",
+        "Figure 9: combining term scores (ID-TermScore vs Chunk-TermScore)",
+        rows,
+        columns=[
+            "method", "avg_update_ms", "avg_query_ms", "query_pages",
+            "query_io_ms", "long_list_mb",
+        ],
+    )
+    by_method = {row["method"]: row for row in rows}
+    chunk_ts = by_method["chunk_termscore"]
+    id_ts = by_method["id_termscore"]
+    # Chunk-TermScore reads no more pages per query than the full-scan baseline.
+    assert chunk_ts["query_pages"] <= id_ts["query_pages"]

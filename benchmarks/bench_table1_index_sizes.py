@@ -1,0 +1,24 @@
+"""Table 1 — size of the long inverted lists for every index method.
+
+Paper result (805 MB corpus): ID 145 MB, Score 2,768 MB, Score-Threshold
+847 MB, Chunk 146 MB, ID-TermScore 428 MB, Chunk-TermScore 430 MB.  The shape
+to reproduce: Score ≫ Score-Threshold > TermScore variants ≫ Chunk ≈ ID.
+"""
+
+from repro.bench.experiments import table1_index_sizes
+
+
+def test_table1_index_sizes(benchmark, bench_scale, report):
+    rows = benchmark.pedantic(
+        lambda: table1_index_sizes(bench_scale), rounds=1, iterations=1
+    )
+    report(
+        "table1_index_sizes",
+        "Table 1: size of long inverted lists",
+        rows,
+        columns=["method", "long_list_bytes", "long_list_mb", "build_seconds"],
+    )
+    sizes = {row["method"]: row["long_list_bytes"] for row in rows}
+    assert sizes["score"] > sizes["score_threshold"] > sizes["chunk"]
+    assert sizes["id_termscore"] > sizes["id"]
+    assert sizes["chunk"] <= 1.5 * sizes["id"]

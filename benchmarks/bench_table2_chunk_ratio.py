@@ -1,0 +1,32 @@
+"""Table 2 — effect of the chunk ratio on update and query time.
+
+Paper result: as the chunk ratio shrinks, per-update time rises (sharply once
+chunks become small) while query time falls; the optimal ratio grows with the
+mean update step size (≈6.12 for step 100, ≈21.48 for step 1,000).
+"""
+
+from repro.bench.experiments import table2_chunk_ratio
+
+
+def test_table2_chunk_ratio(benchmark, bench_scale, report):
+    rows = benchmark.pedantic(
+        lambda: table2_chunk_ratio(bench_scale), rounds=1, iterations=1
+    )
+    report(
+        "table2_chunk_ratio",
+        "Table 2: effect of chunk ratio (per mean update step)",
+        rows,
+        columns=[
+            "mean_step", "chunk_ratio", "avg_update_ms", "avg_query_ms",
+            "update_pages", "query_pages", "query_io_ms",
+        ],
+    )
+    # Shape check: for the smallest step, the smallest ratio must not have
+    # cheaper updates than the largest ratio (smaller chunks => more short-list
+    # maintenance), and the largest ratio must not have cheaper queries than
+    # the smallest ratio (larger chunks => longer scans).
+    smallest_step = min(row["mean_step"] for row in rows)
+    step_rows = [row for row in rows if row["mean_step"] == smallest_step]
+    by_ratio = sorted(step_rows, key=lambda row: row["chunk_ratio"])
+    assert by_ratio[0]["avg_update_ms"] >= by_ratio[-1]["avg_update_ms"]
+    assert by_ratio[-1]["query_pages"] >= by_ratio[0]["query_pages"]

@@ -1,0 +1,30 @@
+"""Table 3 (Appendix A.3) — document insertions against the Chunk method.
+
+Paper result: query time stays essentially flat as documents are inserted;
+score-update cost rises moderately (longer short lists); per-insertion cost
+jumps once the accumulated short lists outgrow the hot cache but remains
+acceptable (the paper reports ≈0.5 s per 2,000-term document).
+"""
+
+from repro.bench.experiments import table3_insertions
+
+
+def test_table3_insertions(benchmark, bench_scale, report):
+    rows = benchmark.pedantic(
+        lambda: table3_insertions(bench_scale), rounds=1, iterations=1
+    )
+    report(
+        "table3_insertions",
+        "Table 3: varying the number of document insertions (Chunk method)",
+        rows,
+        columns=[
+            "inserted_docs", "avg_query_ms", "avg_score_update_ms",
+            "avg_insertion_ms", "short_list_bytes",
+        ],
+    )
+    # Query cost must stay roughly flat while insertions accumulate.
+    query_times = [row["avg_query_ms"] for row in rows]
+    assert max(query_times) <= 3.0 * max(min(query_times), 0.001)
+    # Short lists grow monotonically with the number of inserted documents.
+    sizes = [row["short_list_bytes"] for row in rows]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,53 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper through
+:mod:`repro.bench.experiments`, prints the resulting text table and stores it
+under ``benchmarks/results/``.  The workload size is controlled by the
+``REPRO_BENCH_SCALE`` environment variable (``smoke``, ``small`` — the default —
+or ``medium``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.runner import BenchScale  # noqa: E402
+from repro.bench.reporting import format_rows, save_report  # noqa: E402
+
+_RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def _selected_scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if name == "smoke":
+        return BenchScale.smoke()
+    if name == "medium":
+        return BenchScale.medium()
+    return BenchScale.small()
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> BenchScale:
+    """The workload scale used by every benchmark in this run."""
+    return _selected_scale()
+
+
+@pytest.fixture
+def report():
+    """Callable that renders rows, prints them and saves them under results/."""
+
+    def _report(name: str, title: str, rows, columns=None) -> str:
+        text = format_rows(rows, columns=columns, title=title)
+        print("\n" + text)
+        save_report(name, text, directory=_RESULTS_DIR)
+        return text
+
+    return _report

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes the package importable straight from the source tree so the test and
+benchmark suites run even when an editable install is not possible (offline
+environments without the ``wheel`` package).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare all six index methods on the same update-intensive workload.
+
+Builds every method described in the paper over one synthetic corpus, applies
+the same score-update stream to each, and prints per-method update cost, query
+cost, index size and query-result agreement.  This is a miniature of Figure 7 /
+Table 1 that runs in a few seconds; the full reproduction lives in
+``benchmarks/``.
+
+Run with:  python examples/method_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import available_methods
+from repro.bench.runner import BenchScale, ExperimentRunner, MethodSetup
+
+
+def options_for(method: str, scale: BenchScale) -> dict:
+    """Constructor options appropriate for each method at this corpus scale."""
+    if method in ("chunk", "chunk_termscore"):
+        return {"chunk_ratio": scale.default_chunk_ratio}
+    if method == "score_threshold":
+        return {"threshold_ratio": scale.default_threshold_ratio}
+    return {}
+
+
+def main() -> None:
+    scale = BenchScale.smoke()
+    runner = ExperimentRunner(scale)
+    updates = runner.make_updates(num_updates=300)
+    queries = runner.make_queries(num_queries=5)
+
+    print(f"Corpus: {scale.corpus.num_docs} documents, "
+          f"{scale.corpus.terms_per_doc} terms/doc; "
+          f"{len(updates)} score updates, {len(queries)} queries\n")
+    header = f"{'method':<18}{'build s':>9}{'upd ms':>9}{'qry ms':>9}{'qry pages':>11}{'long list KB':>14}"
+    print(header)
+    print("-" * len(header))
+
+    reference_results: list | None = None
+    for method in available_methods():
+        setup = MethodSetup(method, options_for(method, scale))
+        start = time.perf_counter()
+        run = runner.measure_method(setup, updates, queries)
+        elapsed = time.perf_counter() - start
+        print(
+            f"{method:<18}{run.build_seconds:>9.2f}"
+            f"{run.update_metrics.avg_wall_ms:>9.3f}"
+            f"{run.query_metrics.avg_wall_ms:>9.2f}"
+            f"{run.query_metrics.avg_pages_read:>11.1f}"
+            f"{run.long_list_bytes / 1024:>14.1f}"
+            f"   ({elapsed:.1f}s total)"
+        )
+
+        # Check that the SVR-only methods agree on the actual result sets.
+        if method in ("id", "score", "score_threshold", "chunk"):
+            index, _ = runner.build_index(setup)
+            runner.apply_updates(index, updates)
+            results = [
+                index.search(query.keywords, k=query.k).doc_ids() for query in queries
+            ]
+            if reference_results is None:
+                reference_results = results
+            else:
+                assert results == reference_results, f"{method} diverged from the ID method"
+
+    print("\nAll SVR-only methods returned identical top-k results.")
+
+
+if __name__ == "__main__":
+    main()

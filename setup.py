@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists so
+that the package can be installed in editable mode on machines without network
+access or the ``wheel`` package (``pip install -e . --no-build-isolation
+--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — reproduction of Structured Value Ranking (SVR), ICDE 2005.
+
+This library reimplements, in pure Python, the system described in
+"Efficient Inverted Lists and Query Algorithms for Structured Value Ranking in
+Update-Intensive Relational Databases" (Guo, Shanmugasundaram, Beyer, Shekita):
+
+* a paged storage engine standing in for BerkeleyDB (:mod:`repro.storage`),
+* a minimal relational engine with incrementally maintained materialised views
+  (:mod:`repro.relational`),
+* a text-management substrate (:mod:`repro.text`),
+* the SVR score-specification framework and the inverted-list index family —
+  ID, Score, Score-Threshold, Chunk, ID-TermScore, Chunk-TermScore — with their
+  query and update algorithms (:mod:`repro.core`),
+* synthetic and Internet-Archive-style workload generators (:mod:`repro.workloads`),
+* and the experiment harness reproducing every table and figure of the paper's
+  evaluation (:mod:`repro.bench`, driven by the ``benchmarks/`` suite).
+
+Quickstart::
+
+    from repro import SVRTextIndex
+
+    index = SVRTextIndex(method="chunk", chunk_ratio=4.0, min_chunk_size=10)
+    index.add_document(1, "golden gate bridge documentary", score=120.0)
+    index.add_document(2, "amateur film about the golden gate", score=3.0)
+    index.finalize()
+    index.update_score(2, 500.0)                 # flash crowd!
+    top = index.search("golden gate", k=1)
+    assert top.results[0].doc_id == 2
+"""
+
+from repro.core.indexes.base import QueryResponse, QueryResult, QueryStats
+from repro.core.indexes.registry import available_methods, create_index
+from repro.core.score_view import ScoreMaintainer
+from repro.core.scorespec import ScoreSpec
+from repro.core.svr import SVRManager, SVRQueryResult
+from repro.core.text_index import SVRTextIndex
+from repro.errors import ReproError
+from repro.relational.database import Database
+from repro.storage.environment import StorageEnvironment
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "StorageEnvironment",
+    "Database",
+    "ScoreSpec",
+    "ScoreMaintainer",
+    "SVRTextIndex",
+    "SVRManager",
+    "SVRQueryResult",
+    "QueryResult",
+    "QueryResponse",
+    "QueryStats",
+    "create_index",
+    "available_methods",
+]

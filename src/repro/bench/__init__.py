@@ -1,0 +1,47 @@
+"""Experiment harness reproducing the paper's evaluation (§5 and Appendix A.3).
+
+The ``benchmarks/`` directory at the repository root is a thin pytest-benchmark
+wrapper around this package:
+
+* :mod:`repro.bench.metrics` — per-operation timing and I/O metric collection,
+* :mod:`repro.bench.runner` — building indexes, applying update workloads and
+  running query workloads under the paper's cold-cache methodology,
+* :mod:`repro.bench.experiments` — one function per paper table/figure (plus
+  the ablations DESIGN.md calls out), each returning structured rows,
+* :mod:`repro.bench.reporting` — plain-text tables mirroring the paper's layout.
+"""
+
+from repro.bench.experiments import (
+    ablation_chunk_boundaries,
+    ablation_focus_set,
+    ablation_threshold_ratio,
+    fig7_varying_updates,
+    fig8_varying_k,
+    fig9_termscore,
+    fig10_disjunctive,
+    table1_index_sizes,
+    table2_chunk_ratio,
+    table3_insertions,
+)
+from repro.bench.metrics import OperationMetrics
+from repro.bench.reporting import format_rows, save_report
+from repro.bench.runner import BenchScale, ExperimentRunner, MethodSetup
+
+__all__ = [
+    "OperationMetrics",
+    "BenchScale",
+    "MethodSetup",
+    "ExperimentRunner",
+    "table1_index_sizes",
+    "table2_chunk_ratio",
+    "table3_insertions",
+    "fig7_varying_updates",
+    "fig8_varying_k",
+    "fig9_termscore",
+    "fig10_disjunctive",
+    "ablation_threshold_ratio",
+    "ablation_chunk_boundaries",
+    "ablation_focus_set",
+    "format_rows",
+    "save_report",
+]

@@ -1,0 +1,107 @@
+"""Timing and I/O metric collection for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.storage.environment import IOSnapshot, StorageEnvironment
+
+
+@dataclass
+class OperationMetrics:
+    """Aggregated measurements for a class of operations (updates, queries, ...).
+
+    The paper reports the *average time per operation*; this class accumulates
+    wall-clock time and simulated I/O across operations and exposes the same
+    per-operation averages, so experiment tables can print either.
+    """
+
+    label: str = ""
+    operations: int = 0
+    wall_ms: float = 0.0
+    pages_read: int = 0
+    pages_written: int = 0
+    pool_hits: int = 0
+    estimated_io_ms: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    # -- per-operation averages ------------------------------------------------
+
+    @property
+    def avg_wall_ms(self) -> float:
+        """Average wall-clock milliseconds per operation."""
+        return self.wall_ms / self.operations if self.operations else 0.0
+
+    @property
+    def avg_pages_read(self) -> float:
+        """Average simulated page reads per operation."""
+        return self.pages_read / self.operations if self.operations else 0.0
+
+    @property
+    def avg_estimated_io_ms(self) -> float:
+        """Average estimated I/O milliseconds per operation (the cost-model view)."""
+        return self.estimated_io_ms / self.operations if self.operations else 0.0
+
+    # -- accumulation -------------------------------------------------------------
+
+    def record(self, wall_ms: float, pages_read: int = 0, pages_written: int = 0,
+               pool_hits: int = 0, estimated_io_ms: float = 0.0) -> None:
+        """Add one operation's measurements."""
+        self.operations += 1
+        self.wall_ms += wall_ms
+        self.pages_read += pages_read
+        self.pages_written += pages_written
+        self.pool_hits += pool_hits
+        self.estimated_io_ms += estimated_io_ms
+
+    def merge(self, other: "OperationMetrics") -> None:
+        """Fold another metrics object into this one."""
+        self.operations += other.operations
+        self.wall_ms += other.wall_ms
+        self.pages_read += other.pages_read
+        self.pages_written += other.pages_written
+        self.pool_hits += other.pool_hits
+        self.estimated_io_ms += other.estimated_io_ms
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """Flattened representation used by the reporting module."""
+        return {
+            "label": self.label,
+            "operations": self.operations,
+            "avg_wall_ms": round(self.avg_wall_ms, 4),
+            "avg_pages_read": round(self.avg_pages_read, 2),
+            "avg_io_ms": round(self.avg_estimated_io_ms, 4),
+        }
+
+
+class MeteredEnvironment:
+    """Helper pairing a storage environment with wall-clock timing.
+
+    Usage::
+
+        meter = MeteredEnvironment(env)
+        with meter.measure(metrics):
+            index.update_score(doc, new_score)
+    """
+
+    def __init__(self, env: StorageEnvironment) -> None:
+        self.env = env
+
+    @contextmanager
+    def measure(self, metrics: OperationMetrics) -> Iterator[None]:
+        """Record one operation's wall time and I/O delta into ``metrics``."""
+        before: IOSnapshot = self.env.snapshot()
+        start = time.perf_counter()
+        yield
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        delta = self.env.delta_since(before)
+        metrics.record(
+            wall_ms=elapsed_ms,
+            pages_read=delta.page_reads,
+            pages_written=delta.page_writes,
+            pool_hits=delta.pool_hits,
+            estimated_io_ms=delta.cost_ms(),
+        )

@@ -1,0 +1,64 @@
+"""Plain-text reporting of experiment results.
+
+Every experiment in :mod:`repro.bench.experiments` returns a list of row
+dictionaries; this module renders them as aligned text tables in the same
+layout as the paper's tables and figure series, and can persist them under
+``benchmarks/results/`` so a benchmark run leaves a reviewable artefact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+Row = Mapping[str, Any]
+
+
+def format_rows(rows: Sequence[Row], columns: Sequence[str] | None = None,
+                title: str | None = None) -> str:
+    """Render rows as an aligned text table.
+
+    ``columns`` fixes the column order; by default the keys of the first row
+    are used.  Missing values render as empty cells.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_format_value(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def save_report(name: str, text: str, directory: str | Path = "benchmarks/results") -> Path:
+    """Write a report to ``directory/name.txt`` and return the path."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    target = path / f"{name}.txt"
+    target.write_text(text + "\n", encoding="utf-8")
+    return target
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

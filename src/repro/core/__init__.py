@@ -1,0 +1,32 @@
+"""Core SVR contribution: score specification, maintenance, and the index family.
+
+This package contains the paper's actual contribution:
+
+* :mod:`repro.core.scorespec` — the SQL-based SVR score specification (§3.1),
+* :mod:`repro.core.score_view` — incrementally maintained Score view plumbing (§3.2),
+* :mod:`repro.core.indexes` — the inverted-list family and query algorithms (§4),
+* :mod:`repro.core.text_index` — the text-management component combining an
+  analyzer, forward index and one of the index methods,
+* :mod:`repro.core.svr` — the SVR manager tying the relational database and the
+  text index together, the equivalent of Figure 2's architecture.
+"""
+
+from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats
+from repro.core.indexes.registry import available_methods, create_index
+from repro.core.result_heap import ResultHeap
+from repro.core.scorespec import ScoreSpec
+from repro.core.svr import SVRManager, SVRQueryResult
+from repro.core.text_index import SVRTextIndex
+
+__all__ = [
+    "ScoreSpec",
+    "InvertedIndex",
+    "QueryResult",
+    "QueryStats",
+    "ResultHeap",
+    "SVRTextIndex",
+    "SVRManager",
+    "SVRQueryResult",
+    "create_index",
+    "available_methods",
+]

@@ -1,0 +1,42 @@
+"""The inverted-list index family (§4 of the paper).
+
+Six index methods are provided, all sharing the :class:`~repro.core.indexes.base.InvertedIndex`
+interface:
+
+* :class:`~repro.core.indexes.id_method.IDIndex` — §4.2.1, the traditional
+  ID-ordered inverted list (fast updates, full-scan queries).
+* :class:`~repro.core.indexes.score_method.ScoreIndex` — §4.2.2, score-ordered
+  lists maintained in place (fast queries, very slow score updates).
+* :class:`~repro.core.indexes.score_threshold.ScoreThresholdIndex` — §4.3.1,
+  stale score-ordered long lists plus threshold-gated short lists.
+* :class:`~repro.core.indexes.chunk.ChunkIndex` — §4.3.2, chunked ID-ordered
+  lists plus chunk-gated short lists (the paper's recommended method).
+* :class:`~repro.core.indexes.id_termscore.IDTermScoreIndex` — §5.2, the ID
+  method extended with per-posting term scores (combined-scoring baseline).
+* :class:`~repro.core.indexes.chunk_termscore.ChunkTermScoreIndex` — §4.3.3,
+  the Chunk method extended with term scores and fancy lists (Algorithm 3).
+"""
+
+from repro.core.indexes.base import InvertedIndex, QueryResponse, QueryResult, QueryStats
+from repro.core.indexes.chunk import ChunkIndex
+from repro.core.indexes.chunk_termscore import ChunkTermScoreIndex
+from repro.core.indexes.id_method import IDIndex
+from repro.core.indexes.id_termscore import IDTermScoreIndex
+from repro.core.indexes.registry import available_methods, create_index
+from repro.core.indexes.score_method import ScoreIndex
+from repro.core.indexes.score_threshold import ScoreThresholdIndex
+
+__all__ = [
+    "InvertedIndex",
+    "QueryResult",
+    "QueryResponse",
+    "QueryStats",
+    "IDIndex",
+    "ScoreIndex",
+    "ScoreThresholdIndex",
+    "ChunkIndex",
+    "IDTermScoreIndex",
+    "ChunkTermScoreIndex",
+    "create_index",
+    "available_methods",
+]

@@ -1,0 +1,355 @@
+"""Common interface and plumbing for the inverted-list index family.
+
+Every index method shares the same operational contract (§4.1):
+
+* **bulk build** — documents are staged with their initial SVR scores and
+  :meth:`InvertedIndex.finalize` constructs the immutable long inverted lists;
+* **score updates** — :meth:`InvertedIndex.update_score` must keep queries
+  correct with respect to the *latest* scores;
+* **top-k queries** — :meth:`InvertedIndex.query` evaluates conjunctive or
+  disjunctive keyword queries and returns the top-k documents by current score;
+* **incremental content changes** — document insertion, deletion and content
+  update (Appendix A).
+
+The base class owns the structures every method shares: the Score table
+(document id -> current score, kept in a B+-tree exactly like the paper's
+Score table), the deleted-document flags, and the forward-index access needed
+by the update algorithms (``Content(id)`` in Algorithm 1).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import DocumentNotFoundError, InvertedIndexError, QueryError
+from repro.storage.environment import StorageEnvironment
+from repro.text.documents import Document, DocumentStore
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One ranked query result: a document id and its (latest) score."""
+
+    doc_id: int
+    score: float
+
+
+@dataclass
+class QueryStats:
+    """Work counters collected while evaluating a single query.
+
+    ``pages_read`` / ``pool_hits`` are filled in from the storage environment
+    by :meth:`InvertedIndex.query`; the remaining counters are maintained by
+    the per-method query algorithms.
+    """
+
+    postings_scanned: int = 0
+    candidates: int = 0
+    score_lookups: int = 0
+    heap_offers: int = 0
+    chunks_scanned: int = 0
+    stopped_early: bool = False
+    pages_read: int = 0
+    page_writes: int = 0
+    pool_hits: int = 0
+    estimated_io_ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Results plus the statistics of the query evaluation that produced them."""
+
+    results: tuple[QueryResult, ...]
+    stats: QueryStats
+
+    def doc_ids(self) -> list[int]:
+        """Result document ids, best first."""
+        return [result.doc_id for result in self.results]
+
+
+@dataclass
+class UpdateStats:
+    """Work counters accumulated across score updates and document changes."""
+
+    score_updates: int = 0
+    short_list_postings_written: int = 0
+    short_list_updates: int = 0
+    long_list_postings_written: int = 0
+    documents_inserted: int = 0
+    documents_deleted: int = 0
+    content_updates: int = 0
+
+
+@dataclass
+class _StagedDocument:
+    """A document waiting for :meth:`InvertedIndex.finalize`."""
+
+    doc_id: int
+    score: float
+    term_frequencies: Mapping[str, int] = field(default_factory=dict)
+
+
+class InvertedIndex(abc.ABC):
+    """Abstract base class of all index methods.
+
+    Parameters
+    ----------
+    env:
+        Storage environment holding the Score table, short lists and long lists.
+    documents:
+        Forward index.  Documents must be added to it before (or while) they
+        are staged into the index; the update algorithms read ``Content(id)``
+        from it.
+    name:
+        Index name, used to derive store names inside the environment.
+    """
+
+    #: Registry name of the method; subclasses override.
+    method_name = "abstract"
+    #: Whether long-list postings carry a per-term score.
+    stores_term_scores = False
+
+    def __init__(self, env: StorageEnvironment, documents: DocumentStore,
+                 name: str = "svr") -> None:
+        self.env = env
+        self.documents = documents
+        self.name = name
+        self.score_table = env.create_kvstore(f"{name}.score")
+        self.deleted_table = env.create_kvstore(f"{name}.deleted")
+        self.update_stats = UpdateStats()
+        self._staged: list[_StagedDocument] = []
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+
+    def add_document(self, doc_id: int, score: float,
+                     terms: Iterable[str] | None = None) -> None:
+        """Stage a document for the bulk build.
+
+        ``terms`` may be supplied to register the document's content with the
+        forward index; if omitted the document must already be present there.
+        Scores must be non-negative (§4.1).
+        """
+        self._check_not_finalized("add_document")
+        score = self._validate_score(score)
+        if terms is not None:
+            if self.documents.contains(doc_id):
+                raise InvertedIndexError(
+                    f"document {doc_id} already exists in the forward index"
+                )
+            self.documents.add_terms(doc_id, terms)
+        elif not self.documents.contains(doc_id):
+            raise DocumentNotFoundError(
+                f"document {doc_id} has no content in the forward index; "
+                "pass terms= or add it to the DocumentStore first"
+            )
+        document = self.documents.get(doc_id)
+        self._staged.append(
+            _StagedDocument(doc_id=doc_id, score=score,
+                            term_frequencies=dict(document.term_frequencies))
+        )
+        self.score_table.put(doc_id, score)
+
+    def finalize(self) -> None:
+        """Build the immutable long inverted lists from the staged documents."""
+        self._check_not_finalized("finalize")
+        self._build_long_lists(self._staged)
+        self._staged = []
+        self._finalized = True
+
+    @property
+    def finalized(self) -> bool:
+        """Whether :meth:`finalize` has been called."""
+        return self._finalized
+
+    # ------------------------------------------------------------------
+    # Score access
+    # ------------------------------------------------------------------
+
+    def current_score(self, doc_id: int) -> float | None:
+        """Latest score of a document, or ``None`` if unknown or deleted."""
+        if self.deleted_table.contains(doc_id):
+            return None
+        return self.score_table.get(doc_id, default=None)
+
+    def document_count(self) -> int:
+        """Number of live (non-deleted) documents known to the index."""
+        return len(self.score_table) - len(self.deleted_table)
+
+    # ------------------------------------------------------------------
+    # Updates (method-specific behaviour provided by subclasses)
+    # ------------------------------------------------------------------
+
+    def update_score(self, doc_id: int, new_score: float) -> None:
+        """Record a new SVR score for a document (Algorithm 1).
+
+        The base implementation performs the part every method shares —
+        validating the score and updating the Score table — and then hands the
+        old/new scores to :meth:`_after_score_update` for the method-specific
+        short/long list maintenance.
+        """
+        self._check_finalized("update_score")
+        new_score = self._validate_score(new_score)
+        old_score = self.score_table.get(doc_id, default=None)
+        if old_score is None:
+            raise DocumentNotFoundError(f"document {doc_id} is not indexed")
+        self.score_table.put(doc_id, new_score)
+        self.update_stats.score_updates += 1
+        self._after_score_update(doc_id, old_score, new_score)
+
+    def insert_document(self, doc_id: int, terms: Iterable[str], score: float) -> None:
+        """Insert a new document after the index has been built (Appendix A.2)."""
+        self._check_finalized("insert_document")
+        score = self._validate_score(score)
+        if self.score_table.contains(doc_id) and not self.deleted_table.contains(doc_id):
+            raise InvertedIndexError(f"document {doc_id} already exists")
+        if self.documents.contains(doc_id):
+            self.documents.remove(doc_id)
+        self.documents.add_terms(doc_id, terms)
+        self.deleted_table.delete_if_present(doc_id)
+        self.score_table.put(doc_id, score)
+        self.update_stats.documents_inserted += 1
+        self._after_insert(doc_id, score)
+
+    def delete_document(self, doc_id: int) -> None:
+        """Delete a document (Appendix A.2): mark it deleted in the Score table."""
+        self._check_finalized("delete_document")
+        if not self.score_table.contains(doc_id) or self.deleted_table.contains(doc_id):
+            raise DocumentNotFoundError(f"document {doc_id} is not indexed")
+        self.deleted_table.put(doc_id, True)
+        self.update_stats.documents_deleted += 1
+        self._after_delete(doc_id)
+
+    def update_content(self, doc_id: int, new_terms: Iterable[str]) -> None:
+        """Replace a document's content (Appendix A.1)."""
+        self._check_finalized("update_content")
+        if not self.score_table.contains(doc_id) or self.deleted_table.contains(doc_id):
+            raise DocumentNotFoundError(f"document {doc_id} is not indexed")
+        old_document = self.documents.get(doc_id)
+        new_document = Document.from_terms(doc_id, new_terms)
+        self.documents.replace(new_document)
+        self.update_stats.content_updates += 1
+        self._after_content_update(doc_id, old_document, new_document)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, keywords: Iterable[str], k: int,
+              conjunctive: bool = True) -> QueryResponse:
+        """Evaluate a top-k keyword query against the latest scores.
+
+        Parameters
+        ----------
+        keywords:
+            Query terms (already analysed / normalised).
+        k:
+            Number of results to return.
+        conjunctive:
+            ``True`` for AND semantics (documents containing every keyword),
+            ``False`` for OR semantics (documents containing at least one).
+        """
+        self._check_finalized("query")
+        terms = list(dict.fromkeys(keywords))
+        if not terms:
+            raise QueryError("a query needs at least one keyword")
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        stats = QueryStats()
+        before = self.env.snapshot()
+        results = self._execute_query(terms, k, conjunctive, stats)
+        delta = self.env.delta_since(before)
+        stats.pages_read = delta.page_reads
+        stats.page_writes = delta.page_writes
+        stats.pool_hits = delta.pool_hits
+        stats.estimated_io_ms = delta.cost_ms()
+        return QueryResponse(results=tuple(results), stats=stats)
+
+    # ------------------------------------------------------------------
+    # Size / cache control (Table 1 and the cold-cache methodology)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def long_list_size_bytes(self) -> int:
+        """Total serialized size of the long inverted lists (Table 1)."""
+
+    @abc.abstractmethod
+    def drop_long_list_cache(self) -> None:
+        """Evict long-list pages from the buffer pool (cold-cache queries, §5.2)."""
+
+    def short_list_size_bytes(self) -> int:
+        """Total serialized size of the short lists (0 for methods without them)."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # Hooks implemented by subclasses
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _build_long_lists(self, staged: list[_StagedDocument]) -> None:
+        """Construct the long inverted lists from the staged documents."""
+
+    @abc.abstractmethod
+    def _execute_query(self, terms: list[str], k: int, conjunctive: bool,
+                       stats: QueryStats) -> list[QueryResult]:
+        """Method-specific query evaluation."""
+
+    def _after_score_update(self, doc_id: int, old_score: float, new_score: float) -> None:
+        """Method-specific reaction to a score update (default: Score table only)."""
+
+    def _after_insert(self, doc_id: int, score: float) -> None:
+        """Method-specific reaction to a document insertion."""
+        raise InvertedIndexError(
+            f"{self.method_name} does not support incremental document insertion"
+        )
+
+    def _after_delete(self, doc_id: int) -> None:
+        """Method-specific reaction to a document deletion (default: flag only).
+
+        The deleted flag in the Score table is already set by the caller; the
+        default behaviour (ignore postings, filter at query time) is exactly
+        the paper's Appendix A.2 scheme.
+        """
+
+    def _after_content_update(self, doc_id: int, old_document: Document,
+                              new_document: Document) -> None:
+        """Method-specific reaction to a content update."""
+        raise InvertedIndexError(
+            f"{self.method_name} does not support incremental content updates"
+        )
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _validate_score(self, score: float) -> float:
+        if not isinstance(score, (int, float)) or isinstance(score, bool):
+            raise InvertedIndexError(f"scores must be numbers, got {score!r}")
+        score = float(score)
+        if score < 0:
+            raise InvertedIndexError(f"scores must be non-negative, got {score}")
+        return score
+
+    def _check_finalized(self, operation: str) -> None:
+        if not self._finalized:
+            raise InvertedIndexError(
+                f"{operation} requires a finalized index; call finalize() first"
+            )
+
+    def _check_not_finalized(self, operation: str) -> None:
+        if self._finalized:
+            raise InvertedIndexError(f"{operation} is only valid before finalize()")
+
+    def _content_terms(self, doc_id: int) -> set[str]:
+        """``Content(id)`` from Algorithm 1: the distinct terms of a document."""
+        return self.documents.get(doc_id).distinct_terms
+
+    def _live_score(self, doc_id: int) -> float | None:
+        """Score-table lookup used during query processing (skips deleted docs)."""
+        if self.deleted_table.contains(doc_id):
+            return None
+        return self.score_table.get(doc_id, default=None)

@@ -1,0 +1,51 @@
+"""Index-method registry: build any of the paper's methods by name."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import UnknownMethodError
+from repro.core.indexes.base import InvertedIndex
+from repro.core.indexes.chunk import ChunkIndex
+from repro.core.indexes.chunk_termscore import ChunkTermScoreIndex
+from repro.core.indexes.id_method import IDIndex
+from repro.core.indexes.id_termscore import IDTermScoreIndex
+from repro.core.indexes.score_method import ScoreIndex
+from repro.core.indexes.score_threshold import ScoreThresholdIndex
+from repro.storage.environment import StorageEnvironment
+from repro.text.documents import DocumentStore
+
+_METHODS: dict[str, type[InvertedIndex]] = {
+    IDIndex.method_name: IDIndex,
+    ScoreIndex.method_name: ScoreIndex,
+    ScoreThresholdIndex.method_name: ScoreThresholdIndex,
+    ChunkIndex.method_name: ChunkIndex,
+    IDTermScoreIndex.method_name: IDTermScoreIndex,
+    ChunkTermScoreIndex.method_name: ChunkTermScoreIndex,
+}
+
+
+def available_methods() -> list[str]:
+    """Names of all registered index methods."""
+    return sorted(_METHODS)
+
+
+def index_class(method: str) -> type[InvertedIndex]:
+    """The index class registered under ``method``."""
+    cls = _METHODS.get(method)
+    if cls is None:
+        raise UnknownMethodError(
+            f"unknown index method {method!r}; available: {available_methods()}"
+        )
+    return cls
+
+
+def create_index(method: str, env: StorageEnvironment, documents: DocumentStore,
+                 name: str = "svr", **options: Any) -> InvertedIndex:
+    """Instantiate an index method by name.
+
+    ``options`` are passed to the method's constructor (e.g. ``chunk_ratio`` for
+    the Chunk methods, ``threshold_ratio`` for Score-Threshold, ``term_weight``
+    and ``fancy_size`` for the TermScore variants).
+    """
+    return index_class(method)(env, documents, name=name, **options)

@@ -1,0 +1,128 @@
+"""The Score method (§4.2.2): score-ordered inverted lists maintained in place.
+
+Each term's inverted list is kept in a clustered B+-tree ordered by decreasing
+document score (key ``(term, -score, doc_id)``), which is the organisation
+required by classic top-k algorithms: queries merge the lists in score order
+and stop as soon as the top-k cannot change.
+
+The price is update cost: when a document's score changes, its posting must be
+re-keyed in the list of *every* distinct term the document contains — hundreds
+to thousands of random B+-tree probes per update.  This is the behaviour the
+paper measures as orders of magnitude slower than every other method (Figure 7).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats, _StagedDocument
+from repro.core.result_heap import ResultHeap
+from repro.storage.environment import StorageEnvironment
+from repro.text.documents import Document, DocumentStore
+
+
+class ScoreIndex(InvertedIndex):
+    """The Score method: clustered score-ordered lists, updated on every score change."""
+
+    method_name = "score"
+    stores_term_scores = False
+
+    def __init__(self, env: StorageEnvironment, documents: DocumentStore,
+                 name: str = "svr") -> None:
+        super().__init__(env, documents, name=name)
+        # Key: (term, -score, doc_id) -> None.  Negating the score makes the
+        # B+-tree's ascending key order correspond to descending score order.
+        self._lists = env.create_kvstore(f"{name}.scorelists")
+
+    # -- build ---------------------------------------------------------------
+
+    def _build_long_lists(self, staged: list[_StagedDocument]) -> None:
+        for document in staged:
+            for term in document.term_frequencies:
+                self._lists.put((term, -document.score, document.doc_id), None)
+                self.update_stats.long_list_postings_written += 1
+
+    # -- size / cache ---------------------------------------------------------
+
+    def long_list_size_bytes(self) -> int:
+        return self._lists.size_bytes()
+
+    def drop_long_list_cache(self) -> None:
+        self.env.pool.drop(self._lists.page_ids())
+
+    # -- updates ----------------------------------------------------------------
+
+    def _after_score_update(self, doc_id: int, old_score: float, new_score: float) -> None:
+        if old_score == new_score:
+            return
+        for term in self._content_terms(doc_id):
+            self._lists.delete_if_present((term, -old_score, doc_id))
+            self._lists.put((term, -new_score, doc_id), None)
+            self.update_stats.short_list_postings_written += 1
+        self.update_stats.short_list_updates += 1
+
+    def _after_insert(self, doc_id: int, score: float) -> None:
+        for term in self._content_terms(doc_id):
+            self._lists.put((term, -score, doc_id), None)
+            self.update_stats.long_list_postings_written += 1
+
+    def _after_delete(self, doc_id: int) -> None:
+        # Deletions only flag the document; stale postings are filtered at
+        # query time via the deleted table, mirroring Appendix A.2.
+        return
+
+    def _after_content_update(self, doc_id: int, old_document: Document,
+                              new_document: Document) -> None:
+        score = self.score_table.get(doc_id)
+        for term in old_document.distinct_terms - new_document.distinct_terms:
+            self._lists.delete_if_present((term, -score, doc_id))
+        for term in new_document.distinct_terms - old_document.distinct_terms:
+            self._lists.put((term, -score, doc_id), None)
+            self.update_stats.long_list_postings_written += 1
+
+    # -- query --------------------------------------------------------------------
+
+    def _execute_query(self, terms: list[str], k: int, conjunctive: bool,
+                       stats: QueryStats) -> list[QueryResult]:
+        required = len(terms) if conjunctive else 1
+        heap = ResultHeap(k)
+
+        def stream(index: int, term: str) -> Iterator[tuple[float, int, int]]:
+            for (_term, neg_score, doc_id), _ in self._lists.prefix_items((term,)):
+                stats.postings_scanned += 1
+                yield neg_score, doc_id, index
+
+        merged = heapq.merge(*(stream(index, term) for index, term in enumerate(terms)))
+        current: tuple[float, int] | None = None
+        seen: set[int] = set()
+        stopped = False
+        for neg_score, doc_id, index in merged:
+            key = (neg_score, doc_id)
+            if key != current:
+                if current is not None:
+                    self._emit_candidate(current, seen, required, heap, stats)
+                current = key
+                seen = set()
+                # Early termination: every later posting has a strictly lower
+                # score than the current heap floor, so the top-k is final.
+                if heap.is_full and -neg_score < heap.min_score():
+                    stats.stopped_early = True
+                    stopped = True
+                    current = None
+                    break
+            seen.add(index)
+        if not stopped and current is not None:
+            self._emit_candidate(current, seen, required, heap, stats)
+        return [QueryResult(entry.doc_id, entry.score) for entry in heap.results()]
+
+    def _emit_candidate(self, key: tuple[float, int], seen: set[int], required: int,
+                        heap: ResultHeap, stats: QueryStats) -> None:
+        neg_score, doc_id = key
+        if len(seen) < required:
+            return
+        stats.candidates += 1
+        if self.deleted_table.contains(doc_id):
+            return
+        stats.heap_offers += 1
+        heap.add(doc_id, -neg_score)

@@ -1,0 +1,241 @@
+"""The Score-Threshold method (§4.3.1, Algorithms 1 and 2).
+
+Two ideas distinguish this method from the Score method:
+
+1. Long inverted lists are ordered by (and store) the document score but are
+   **never updated** — the stored score may be stale by up to a threshold.
+2. A per-term **short list** receives postings only for documents whose new
+   score exceeds ``thresholdValueOf(listScore) = ratio * listScore``; the
+   ``ListScore`` table remembers each updated document's list score and
+   whether it has short-list postings.
+
+Queries merge the short and long lists in decreasing (possibly stale) score
+order and keep scanning past the first k results until no remaining posting's
+*latest* score — bounded by ``thresholdValueOf`` of its list score — can still
+enter the top-k.  The update/query trade-off is tuned by the threshold ratio.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.errors import InvertedIndexError
+from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats, _StagedDocument
+from repro.core.posting import (
+    LazyBytesReader,
+    ScoredPosting,
+    encode_scored_postings,
+    iter_scored_postings_lazy,
+)
+from repro.core.result_heap import ResultHeap
+from repro.storage.environment import StorageEnvironment
+from repro.storage.heap_file import SegmentHandle
+from repro.text.documents import Document, DocumentStore
+
+_ADD = "ADD"
+_REM = "REM"
+
+
+class ScoreThresholdIndex(InvertedIndex):
+    """The Score-Threshold method.
+
+    Parameters
+    ----------
+    threshold_ratio:
+        The multiplicative threshold ``thresholdValueOf(score) = ratio * score``.
+        Must be at least 1.0; larger ratios mean fewer short-list updates but
+        longer query scans (§4.3.1).
+    """
+
+    method_name = "score_threshold"
+    stores_term_scores = False
+
+    def __init__(self, env: StorageEnvironment, documents: DocumentStore,
+                 name: str = "svr", threshold_ratio: float = 11.24) -> None:
+        super().__init__(env, documents, name=name)
+        if threshold_ratio < 1.0:
+            raise InvertedIndexError(
+                f"threshold_ratio must be >= 1.0, got {threshold_ratio}"
+            )
+        self.threshold_ratio = float(threshold_ratio)
+        self._long_lists = env.create_heapfile(f"{name}.long")
+        self._segments: dict[str, SegmentHandle] = {}
+        # Short list key: (term, -list_score, doc_id) -> (operation, unused term score).
+        self._short = env.create_kvstore(f"{name}.short")
+        # ListScore table: doc_id -> (list_score, in_short_list).
+        self._list_score = env.create_kvstore(f"{name}.listscore")
+
+    # -- threshold ---------------------------------------------------------------
+
+    def threshold_value_of(self, score: float) -> float:
+        """``thresholdValueOf(score)`` — the largest latest score a document whose
+        list score is ``score`` can have without owning short-list postings."""
+        return self.threshold_ratio * score
+
+    # -- build --------------------------------------------------------------------
+
+    def _build_long_lists(self, staged: list[_StagedDocument]) -> None:
+        term_docs: dict[str, list[tuple[float, int]]] = {}
+        for document in staged:
+            for term in document.term_frequencies:
+                term_docs.setdefault(term, []).append((document.score, document.doc_id))
+        for term, entries in term_docs.items():
+            entries.sort(key=lambda entry: (-entry[0], entry[1]))
+            postings = [
+                ScoredPosting(doc_id=doc_id, score=score) for score, doc_id in entries
+            ]
+            payload = encode_scored_postings(postings, with_term_scores=False)
+            self._segments[term] = self._long_lists.write(payload)
+            self.update_stats.long_list_postings_written += len(postings)
+
+    # -- size / cache ----------------------------------------------------------------
+
+    def long_list_size_bytes(self) -> int:
+        return self._long_lists.total_bytes()
+
+    def short_list_size_bytes(self) -> int:
+        return self._short.size_bytes()
+
+    def drop_long_list_cache(self) -> None:
+        self._long_lists.drop_from_cache()
+
+    # -- score updates (Algorithm 1) ---------------------------------------------------
+
+    def _after_score_update(self, doc_id: int, old_score: float, new_score: float) -> None:
+        entry = self._list_score.get(doc_id, default=None)
+        if entry is not None:
+            list_score, in_short_list = entry
+        else:
+            list_score, in_short_list = old_score, False
+            self._list_score.put(doc_id, (old_score, False))
+        if new_score <= self.threshold_value_of(list_score):
+            return
+        for term in self._content_terms(doc_id):
+            if in_short_list:
+                self._short.delete_if_present((term, -list_score, doc_id))
+            self._short.put((term, -new_score, doc_id), (_ADD, 0.0))
+            self.update_stats.short_list_postings_written += 1
+        self._list_score.put(doc_id, (new_score, True))
+        self.update_stats.short_list_updates += 1
+
+    # -- document changes (Appendix A applied to this layout) -----------------------------
+
+    def _after_insert(self, doc_id: int, score: float) -> None:
+        for term in self._content_terms(doc_id):
+            self._short.put((term, -score, doc_id), (_ADD, 0.0))
+            self.update_stats.short_list_postings_written += 1
+        self._list_score.put(doc_id, (score, True))
+
+    def _after_content_update(self, doc_id: int, old_document: Document,
+                              new_document: Document) -> None:
+        entry = self._list_score.get(doc_id, default=None)
+        list_score = entry[0] if entry is not None else self.score_table.get(doc_id)
+        for term in new_document.distinct_terms - old_document.distinct_terms:
+            self._short.put((term, -list_score, doc_id), (_ADD, 0.0))
+            self.update_stats.short_list_postings_written += 1
+        for term in old_document.distinct_terms - new_document.distinct_terms:
+            self._short.put((term, -list_score, doc_id), (_REM, 0.0))
+            self.update_stats.short_list_postings_written += 1
+
+    # -- query (Algorithm 2) ----------------------------------------------------------------
+
+    def _execute_query(self, terms: list[str], k: int, conjunctive: bool,
+                       stats: QueryStats) -> list[QueryResult]:
+        required = len(terms) if conjunctive else 1
+        heap = ResultHeap(k)
+        streams = [
+            self._term_stream(index, term, stats) for index, term in enumerate(terms)
+        ]
+        merged = heapq.merge(*streams)
+        seen_terms: dict[int, set[int]] = {}
+        seen_short: dict[int, bool] = {}
+        processed: set[int] = set()
+        for neg_score, doc_id, term_index, is_short in merged:
+            list_score = -neg_score
+            # Early termination: every remaining posting has list score <= the
+            # current one, so its latest score is bounded by thresholdValueOf of
+            # the current list score (Lemma 1.2/1.3).  Once that bound cannot
+            # displace the heap floor, the top-k is final.
+            if heap.is_full and self.threshold_value_of(list_score) < heap.min_score():
+                stats.stopped_early = True
+                break
+            if doc_id in processed:
+                continue
+            terms_seen = seen_terms.setdefault(doc_id, set())
+            terms_seen.add(term_index)
+            seen_short[doc_id] = seen_short.get(doc_id, False) or is_short
+            if len(terms_seen) < required:
+                continue
+            processed.add(doc_id)
+            stats.candidates += 1
+            self._process_candidate(doc_id, seen_short[doc_id], heap, stats)
+        return [QueryResult(entry.doc_id, entry.score) for entry in heap.results()]
+
+    def _process_candidate(self, doc_id: int, from_short: bool, heap: ResultHeap,
+                           stats: QueryStats) -> None:
+        if from_short:
+            current = self._live_score(doc_id)
+            stats.score_lookups += 1
+            if current is None:
+                return
+            stats.heap_offers += 1
+            heap.add(doc_id, current)
+            return
+        entry = self._list_score.get(doc_id, default=None)
+        if entry is not None and entry[1]:
+            # The document has short-list postings; its long-list postings are
+            # ignored (it has been or will be processed through the short lists).
+            return
+        current = self._live_score(doc_id)
+        stats.score_lookups += 1
+        if current is None:
+            return
+        stats.heap_offers += 1
+        heap.add(doc_id, current)
+
+    # -- per-term stream construction ------------------------------------------------------
+
+    def _term_stream(self, term_index: int, term: str,
+                     stats: QueryStats) -> Iterator[tuple[float, int, int, bool]]:
+        """Merge the short and long lists of one term in decreasing score order.
+
+        Yields ``(-list_score, doc_id, term_index, is_short)`` so that tuples
+        from different terms interleave correctly inside ``heapq.merge``.
+        """
+        short_adds, removed = self._load_short(term)
+        long_postings = self._iter_long(term, stats)
+
+        def short_iter() -> Iterator[tuple[float, int, int, bool]]:
+            for list_score, doc_id in short_adds:
+                stats.postings_scanned += 1
+                yield -list_score, doc_id, term_index, True
+
+        def long_iter() -> Iterator[tuple[float, int, int, bool]]:
+            for posting in long_postings:
+                if posting.doc_id in removed:
+                    continue
+                yield -posting.score, posting.doc_id, term_index, False
+
+        return heapq.merge(short_iter(), long_iter())
+
+    def _iter_long(self, term: str, stats: QueryStats) -> Iterator[ScoredPosting]:
+        handle = self._segments.get(term)
+        if handle is None:
+            return
+        reader = LazyBytesReader(self._long_lists.iter_pages(handle))
+        for posting in iter_scored_postings_lazy(reader):
+            stats.postings_scanned += 1
+            yield posting
+
+    def _load_short(self, term: str) -> tuple[list[tuple[float, int]], set[int]]:
+        """Load one term's short list: (list_score, doc_id) adds plus removed ids."""
+        adds: list[tuple[float, int]] = []
+        removed: set[int] = set()
+        for (_term, neg_score, doc_id), (operation, _ts) in self._short.prefix_items((term,)):
+            if operation == _ADD:
+                adds.append((-neg_score, doc_id))
+            else:
+                removed.add(doc_id)
+        adds.sort(key=lambda entry: (-entry[0], entry[1]))
+        return adds, removed

@@ -1,0 +1,396 @@
+"""Posting representations and binary codecs for long inverted lists.
+
+Long inverted lists are immutable binary objects read a page at a time (§5.2),
+so their byte layout determines both Table 1 (index sizes) and the number of
+pages a query scan touches.  This module provides:
+
+* varint and zig-zag integer encoding helpers,
+* the ID-ordered codec used by the ID / ID-TermScore methods (delta-encoded
+  document ids, optional per-posting term score),
+* the score-ordered codec used by the Score-Threshold method (document id plus
+  full document score per posting, no delta compression — reproducing the
+  paper's observation that Score-Threshold lists are several times larger), and
+* the chunked codec used by the Chunk / Chunk-TermScore methods (chunk id
+  stored once per chunk, document ids delta-encoded within the chunk).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import InvertedIndexError
+
+# ---------------------------------------------------------------------------
+# Varint helpers
+# ---------------------------------------------------------------------------
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a LEB128 varint."""
+    if value < 0:
+        raise InvertedIndexError(f"varints encode non-negative integers, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode a varint at ``offset``; return ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(data):
+            raise InvertedIndexError("truncated varint")
+        byte = data[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+
+
+# ---------------------------------------------------------------------------
+# Posting dataclasses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Posting:
+    """A single long-list posting: a document id and an optional term score."""
+
+    doc_id: int
+    term_score: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScoredPosting:
+    """A Score-Threshold long-list posting: document id plus its (stale) SVR score."""
+
+    doc_id: int
+    score: float
+    term_score: float = 0.0
+
+
+@dataclass(frozen=True)
+class ChunkRun:
+    """One chunk's worth of postings in a chunked long list.
+
+    Attributes
+    ----------
+    chunk_id:
+        The chunk id (higher ids correspond to higher original scores).
+    postings:
+        Postings within the chunk, in increasing document-id order.
+    """
+
+    chunk_id: int
+    postings: tuple[Posting, ...]
+
+
+# ---------------------------------------------------------------------------
+# ID-ordered codec (ID, ID-TermScore)
+# ---------------------------------------------------------------------------
+
+
+def encode_id_postings(postings: Sequence[Posting], with_term_scores: bool = False) -> bytes:
+    """Encode postings sorted by increasing document id.
+
+    Document ids are delta-encoded varints; term scores, when requested, are
+    stored as 4-byte floats per posting (this is what makes the TermScore
+    variants roughly 3x larger, matching Table 1's ID vs ID-TermScore ratio).
+    """
+    out = bytearray()
+    out += encode_varint(len(postings))
+    out.append(1 if with_term_scores else 0)
+    previous = 0
+    for posting in postings:
+        if posting.doc_id < previous:
+            raise InvertedIndexError("ID-ordered postings must be sorted by doc id")
+        out += encode_varint(posting.doc_id - previous)
+        previous = posting.doc_id
+        if with_term_scores:
+            out += struct.pack("<f", posting.term_score)
+    return bytes(out)
+
+
+def decode_id_postings(data: bytes) -> list[Posting]:
+    """Decode a byte string produced by :func:`encode_id_postings`."""
+    return list(iter_id_postings(data))
+
+
+def iter_id_postings(data: bytes) -> Iterator[Posting]:
+    """Stream-decode ID-ordered postings."""
+    if not data:
+        return
+    count, offset = decode_varint(data, 0)
+    if offset >= len(data):
+        raise InvertedIndexError("truncated posting list header")
+    with_term_scores = bool(data[offset])
+    offset += 1
+    doc_id = 0
+    for _ in range(count):
+        delta, offset = decode_varint(data, offset)
+        doc_id += delta
+        term_score = 0.0
+        if with_term_scores:
+            term_score = struct.unpack_from("<f", data, offset)[0]
+            offset += 4
+        yield Posting(doc_id=doc_id, term_score=term_score)
+
+
+# ---------------------------------------------------------------------------
+# Score-ordered codec (Score-Threshold)
+# ---------------------------------------------------------------------------
+
+
+def encode_scored_postings(postings: Sequence[ScoredPosting],
+                           with_term_scores: bool = False) -> bytes:
+    """Encode postings sorted by decreasing score.
+
+    Each posting stores an 8-byte score and a 4-byte document id; no delta
+    compression is possible because the ids are not sorted.  This reproduces
+    the Score-Threshold method's space overhead relative to the ID method.
+    """
+    out = bytearray()
+    out += encode_varint(len(postings))
+    out.append(1 if with_term_scores else 0)
+    previous_score = None
+    for posting in postings:
+        if previous_score is not None and posting.score > previous_score:
+            raise InvertedIndexError("scored postings must be sorted by decreasing score")
+        previous_score = posting.score
+        out += struct.pack("<dI", posting.score, posting.doc_id)
+        if with_term_scores:
+            out += struct.pack("<f", posting.term_score)
+    return bytes(out)
+
+
+def iter_scored_postings(data: bytes) -> Iterator[ScoredPosting]:
+    """Stream-decode score-ordered postings (decreasing score order)."""
+    if not data:
+        return
+    count, offset = decode_varint(data, 0)
+    if offset >= len(data):
+        raise InvertedIndexError("truncated posting list header")
+    with_term_scores = bool(data[offset])
+    offset += 1
+    for _ in range(count):
+        score, doc_id = struct.unpack_from("<dI", data, offset)
+        offset += 12
+        term_score = 0.0
+        if with_term_scores:
+            term_score = struct.unpack_from("<f", data, offset)[0]
+            offset += 4
+        yield ScoredPosting(doc_id=doc_id, score=score, term_score=term_score)
+
+
+def decode_scored_postings(data: bytes) -> list[ScoredPosting]:
+    """Decode a byte string produced by :func:`encode_scored_postings`."""
+    return list(iter_scored_postings(data))
+
+
+# ---------------------------------------------------------------------------
+# Chunked codec (Chunk, Chunk-TermScore)
+# ---------------------------------------------------------------------------
+
+
+def encode_chunk_runs(runs: Sequence[ChunkRun], with_term_scores: bool = False) -> bytes:
+    """Encode chunk runs in decreasing chunk-id order.
+
+    The chunk id is stored once per run (the Chunk method's "small additional
+    overhead for storing the chunk ID once for each chunk"), followed by the
+    run length and delta-encoded document ids.
+    """
+    out = bytearray()
+    out += encode_varint(len(runs))
+    out.append(1 if with_term_scores else 0)
+    previous_chunk = None
+    for run in runs:
+        if previous_chunk is not None and run.chunk_id >= previous_chunk:
+            raise InvertedIndexError("chunk runs must be sorted by decreasing chunk id")
+        previous_chunk = run.chunk_id
+        out += encode_varint(run.chunk_id)
+        out += encode_varint(len(run.postings))
+        previous_doc = 0
+        for posting in run.postings:
+            if posting.doc_id < previous_doc:
+                raise InvertedIndexError(
+                    "postings within a chunk must be sorted by increasing doc id"
+                )
+            out += encode_varint(posting.doc_id - previous_doc)
+            previous_doc = posting.doc_id
+            if with_term_scores:
+                out += struct.pack("<f", posting.term_score)
+    return bytes(out)
+
+
+def iter_chunk_runs(data: bytes) -> Iterator[ChunkRun]:
+    """Stream-decode chunk runs in decreasing chunk-id order."""
+    if not data:
+        return
+    run_count, offset = decode_varint(data, 0)
+    if offset >= len(data):
+        raise InvertedIndexError("truncated posting list header")
+    with_term_scores = bool(data[offset])
+    offset += 1
+    for _ in range(run_count):
+        chunk_id, offset = decode_varint(data, offset)
+        posting_count, offset = decode_varint(data, offset)
+        postings = []
+        doc_id = 0
+        for _ in range(posting_count):
+            delta, offset = decode_varint(data, offset)
+            doc_id += delta
+            term_score = 0.0
+            if with_term_scores:
+                term_score = struct.unpack_from("<f", data, offset)[0]
+                offset += 4
+            postings.append(Posting(doc_id=doc_id, term_score=term_score))
+        yield ChunkRun(chunk_id=chunk_id, postings=tuple(postings))
+
+
+def decode_chunk_runs(data: bytes) -> list[ChunkRun]:
+    """Decode a byte string produced by :func:`encode_chunk_runs`."""
+    return list(iter_chunk_runs(data))
+
+
+# ---------------------------------------------------------------------------
+# Lazy, page-at-a-time decoding
+# ---------------------------------------------------------------------------
+
+
+class LazyBytesReader:
+    """Sequential byte reader over a page iterator.
+
+    Query processing reads long inverted lists one page at a time and stops as
+    soon as the early-termination conditions are met; pages after the stopping
+    point must never be fetched or they would distort the I/O accounting.  This
+    reader pulls pages from the underlying iterator only when the decoder
+    actually needs more bytes.
+    """
+
+    def __init__(self, pages: Iterator[bytes]) -> None:
+        self._pages = pages
+        self._buffer = b""
+        self._position = 0
+
+    def _ensure(self, count: int) -> bool:
+        while len(self._buffer) - self._position < count:
+            try:
+                fragment = next(self._pages)
+            except StopIteration:
+                return False
+            self._buffer = self._buffer[self._position:] + fragment
+            self._position = 0
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether no more bytes can be read."""
+        if self._position < len(self._buffer):
+            return False
+        return not self._ensure(1)
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read exactly ``count`` bytes (raises on truncation)."""
+        if not self._ensure(count):
+            raise InvertedIndexError("truncated posting list")
+        start = self._position
+        self._position += count
+        return self._buffer[start:self._position]
+
+    def read_varint(self) -> int:
+        """Read one LEB128 varint."""
+        result = 0
+        shift = 0
+        while True:
+            byte = self.read_bytes(1)[0]
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+
+    def read_struct(self, fmt: str) -> tuple:
+        """Read and unpack one fixed-size struct."""
+        return struct.unpack(fmt, self.read_bytes(struct.calcsize(fmt)))
+
+
+def iter_id_postings_lazy(reader: LazyBytesReader) -> Iterator[Posting]:
+    """Stream ID-ordered postings from a lazy reader (pages fetched on demand)."""
+    if reader.exhausted:
+        return
+    count = reader.read_varint()
+    with_term_scores = bool(reader.read_bytes(1)[0])
+    doc_id = 0
+    for _ in range(count):
+        doc_id += reader.read_varint()
+        term_score = 0.0
+        if with_term_scores:
+            term_score = reader.read_struct("<f")[0]
+        yield Posting(doc_id=doc_id, term_score=term_score)
+
+
+def iter_scored_postings_lazy(reader: LazyBytesReader) -> Iterator[ScoredPosting]:
+    """Stream score-ordered postings from a lazy reader."""
+    if reader.exhausted:
+        return
+    count = reader.read_varint()
+    with_term_scores = bool(reader.read_bytes(1)[0])
+    for _ in range(count):
+        score, doc_id = reader.read_struct("<dI")
+        term_score = 0.0
+        if with_term_scores:
+            term_score = reader.read_struct("<f")[0]
+        yield ScoredPosting(doc_id=doc_id, score=score, term_score=term_score)
+
+
+def iter_chunk_postings_lazy(reader: LazyBytesReader) -> Iterator[tuple[int, Posting]]:
+    """Stream ``(chunk_id, posting)`` pairs from a lazily read chunked list.
+
+    Runs are yielded in decreasing chunk-id order and postings within a run in
+    increasing document-id order, exactly as stored.
+    """
+    if reader.exhausted:
+        return
+    run_count = reader.read_varint()
+    with_term_scores = bool(reader.read_bytes(1)[0])
+    for _ in range(run_count):
+        chunk_id = reader.read_varint()
+        posting_count = reader.read_varint()
+        doc_id = 0
+        for _ in range(posting_count):
+            doc_id += reader.read_varint()
+            term_score = 0.0
+            if with_term_scores:
+                term_score = reader.read_struct("<f")[0]
+            yield chunk_id, Posting(doc_id=doc_id, term_score=term_score)
+
+
+# ---------------------------------------------------------------------------
+# Helpers shared by the index builders
+# ---------------------------------------------------------------------------
+
+
+def build_chunk_runs(doc_chunks: Iterable[tuple[int, int, float]]) -> list[ChunkRun]:
+    """Group ``(doc_id, chunk_id, term_score)`` triples into sorted chunk runs.
+
+    Runs are ordered by decreasing chunk id; postings within a run by
+    increasing document id — the on-disk order the Chunk method requires.
+    """
+    by_chunk: dict[int, list[Posting]] = {}
+    for doc_id, chunk_id, term_score in doc_chunks:
+        by_chunk.setdefault(chunk_id, []).append(Posting(doc_id=doc_id, term_score=term_score))
+    runs = []
+    for chunk_id in sorted(by_chunk, reverse=True):
+        postings = tuple(sorted(by_chunk[chunk_id], key=lambda posting: posting.doc_id))
+        runs.append(ChunkRun(chunk_id=chunk_id, postings=postings))
+    return runs

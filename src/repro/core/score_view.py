@@ -1,0 +1,97 @@
+"""SVR score maintenance: the Score materialised view and its plumbing (§3.2).
+
+Given a :class:`~repro.core.scorespec.ScoreSpec` and the relational database it
+reads from, this module creates the incrementally maintained view
+
+    Score(key) = Agg(S1(key), ..., Sm(key))
+
+and forwards every change of a view value to the text index as a score update
+(the notification assumed in §4.1).  The TF-IDF term, when the specification
+includes one, is *not* part of the view: it is handled at query time by the
+TermScore index variants, exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.relational.database import Database
+from repro.relational.materialized_view import (
+    MaterializedView,
+    ViewDependency,
+    foreign_key_mapper,
+    primary_key_mapper,
+)
+from repro.core.scorespec import ScoreSpec
+
+
+class ScoreMaintainer:
+    """Owns the Score materialised view for one SVR-indexed text column.
+
+    Parameters
+    ----------
+    database:
+        Database holding the base tables the scoring components read.
+    name:
+        Name of the materialised view (must be unique in the database).
+    spec:
+        The SVR score specification.
+    dependencies:
+        ``(table, key_column)`` pairs: changes to ``table`` affect the view key
+        stored in that table's ``key_column``.  Use the scored table's primary
+        key column for self-dependencies.
+    initial_keys:
+        Keys used to populate the view when it is created (normally every
+        primary-key value of the scored table).
+    """
+
+    def __init__(self, database: Database, name: str, spec: ScoreSpec,
+                 dependencies: Iterable[tuple[str, str]],
+                 initial_keys: Iterable[Any] = ()) -> None:
+        self.database = database
+        self.spec = spec
+        view_dependencies = [
+            ViewDependency(table=table, key_mapper=self._mapper_for(table, column))
+            for table, column in dependencies
+        ]
+        self.view: MaterializedView = database.create_materialized_view(
+            name=name,
+            compute=spec.svr_score,
+            dependencies=view_dependencies,
+            initial_keys=initial_keys,
+        )
+
+    def _mapper_for(self, table: str, column: str):
+        schema = self.database.table(table).schema
+        if schema.primary_key == column:
+            return primary_key_mapper()
+        return foreign_key_mapper(column)
+
+    # -- reads --------------------------------------------------------------------
+
+    def score(self, key: Any, default: float = 0.0) -> float:
+        """Current SVR score of ``key`` according to the view."""
+        value = self.view.get(key, default=None)
+        return float(value) if value is not None else default
+
+    def scores(self) -> dict[Any, float]:
+        """All view entries as a dictionary (used by tests and examples)."""
+        return {key: float(value) for key, value in self.view.items()}
+
+    # -- notification ----------------------------------------------------------------
+
+    def attach_index(self, text_index: Any) -> None:
+        """Forward every subsequent view change to ``text_index.update_score``.
+
+        Documents the index does not know (e.g. rows deleted from the scored
+        table whose foreign-key rows still change) are ignored.
+        """
+
+        def forward(key: Any, _old: Any, new: Any) -> None:
+            if new is None:
+                return
+            if text_index.current_score(key) is None:
+                return
+            text_index.update_score(key, float(new))
+
+        self.view.subscribe(forward)

@@ -1,0 +1,184 @@
+"""The SVR manager: Figure 2's architecture tied together.
+
+:class:`SVRManager` connects a relational :class:`~repro.relational.database.Database`
+with one or more :class:`~repro.core.text_index.SVRTextIndex` instances:
+
+* ``create_text_index`` walks the scored table, computes every row's SVR score
+  from the :class:`~repro.core.scorespec.ScoreSpec`, bulk-builds the chosen
+  inverted-list method, creates the incrementally maintained Score view, and
+  wires the change notifications — structured updates anywhere in the database
+  flow to the view and from the view into the index as score updates, while
+  inserts/deletes/text updates on the scored table itself flow straight into
+  the index.
+* ``search`` runs a top-k keyword query and joins the results back to the
+  scored table's rows, which is what the SQL/MM query of Figure 1 needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ScoreSpecError, UnknownColumnError
+from repro.core.score_view import ScoreMaintainer
+from repro.core.scorespec import ScoreSpec
+from repro.core.text_index import SVRTextIndex
+from repro.relational.database import Database
+from repro.relational.triggers import ChangeKind, RowChange
+
+
+@dataclass(frozen=True)
+class SVRQueryResult:
+    """One result of an SVR keyword query, joined back to its table row."""
+
+    doc_id: Any
+    score: float
+    row: Mapping[str, Any] | None
+
+
+@dataclass
+class _IndexBinding:
+    """Internal record tying a text index to its table, column, spec and view."""
+
+    name: str
+    table: str
+    text_column: str
+    spec: ScoreSpec
+    text_index: SVRTextIndex
+    maintainer: ScoreMaintainer
+
+
+class SVRManager:
+    """Creates and queries SVR text indexes over a relational database."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._bindings: dict[str, _IndexBinding] = {}
+
+    # -- index creation --------------------------------------------------------------
+
+    def create_text_index(
+        self,
+        name: str,
+        table: str,
+        text_column: str,
+        spec: ScoreSpec,
+        method: str = "chunk",
+        score_dependencies: Iterable[tuple[str, str]] = (),
+        **method_options: Any,
+    ) -> SVRTextIndex:
+        """Create an SVR text index over ``table.text_column``.
+
+        Parameters
+        ----------
+        name:
+            Index name (also used for the Score view: ``<name>_score``).
+        table / text_column:
+            The relation and text column being indexed (``R`` and ``C_t`` in §3.1).
+        spec:
+            SVR score specification (components + aggregate).
+        method:
+            Inverted-list method name.
+        score_dependencies:
+            ``(table, key_column)`` pairs describing which base-table changes
+            affect which scored keys — e.g. ``("reviews", "movie_id")``.  The
+            scored table itself is always included via its primary key.
+        method_options:
+            Extra options forwarded to the index method.
+        """
+        if name in self._bindings:
+            raise ScoreSpecError(f"text index {name!r} already exists")
+        scored_table = self.database.table(table)
+        if not scored_table.schema.has_column(text_column):
+            raise UnknownColumnError(f"{table!r} has no column {text_column!r}")
+        if spec.include_term_score and not method.endswith("termscore"):
+            raise ScoreSpecError(
+                "the score specification includes a term score; use one of the "
+                "TermScore index methods (id_termscore, chunk_termscore)"
+            )
+
+        text_index = SVRTextIndex(
+            method=method, env=self.database.env, name=name, **method_options
+        )
+        primary_key = scored_table.schema.primary_key
+        keys = []
+        for row in scored_table.scan():
+            key = row[primary_key]
+            keys.append(key)
+            text_index.add_document(key, row.get(text_column) or "", spec.svr_score(key))
+        text_index.finalize()
+
+        dependencies = [(table, primary_key), *score_dependencies]
+        maintainer = ScoreMaintainer(
+            self.database,
+            name=f"{name}_score",
+            spec=spec,
+            dependencies=dependencies,
+            initial_keys=keys,
+        )
+        maintainer.attach_index(text_index)
+
+        binding = _IndexBinding(
+            name=name, table=table, text_column=text_column, spec=spec,
+            text_index=text_index, maintainer=maintainer,
+        )
+        self._bindings[name] = binding
+        self.database.triggers.register(table, self._make_table_listener(binding))
+        return text_index
+
+    def _make_table_listener(self, binding: _IndexBinding):
+        """Keep the text index in sync with inserts/deletes/text updates on the table."""
+
+        def listener(change: RowChange) -> None:
+            key = change.key
+            if change.kind is ChangeKind.INSERT:
+                text = (change.new_row or {}).get(binding.text_column) or ""
+                binding.text_index.insert_document(key, text, binding.spec.svr_score(key))
+            elif change.kind is ChangeKind.DELETE:
+                if binding.text_index.current_score(key) is not None:
+                    binding.text_index.delete_document(key)
+            elif change.kind is ChangeKind.UPDATE:
+                if binding.text_column in change.changed_columns():
+                    new_text = (change.new_row or {}).get(binding.text_column) or ""
+                    binding.text_index.update_content(key, new_text)
+
+        return listener
+
+    # -- lookups -----------------------------------------------------------------------
+
+    def text_index(self, name: str) -> SVRTextIndex:
+        """The text index registered under ``name``."""
+        return self._binding(name).text_index
+
+    def score_view(self, name: str) -> ScoreMaintainer:
+        """The Score-view maintainer of the index registered under ``name``."""
+        return self._binding(name).maintainer
+
+    def index_names(self) -> list[str]:
+        """Names of all registered text indexes."""
+        return sorted(self._bindings)
+
+    def _binding(self, name: str) -> _IndexBinding:
+        binding = self._bindings.get(name)
+        if binding is None:
+            raise ScoreSpecError(f"unknown text index {name!r}")
+        return binding
+
+    # -- queries ------------------------------------------------------------------------
+
+    def search(self, name: str, query: str | Iterable[str], k: int = 10,
+               conjunctive: bool = True, fetch_rows: bool = True) -> list[SVRQueryResult]:
+        """Top-k keyword search joined back to the scored table's rows.
+
+        This is the evaluation of Figure 1's query: the text component returns
+        the top-ranked documents with their scores and the relational engine
+        merges them with the base rows.
+        """
+        binding = self._binding(name)
+        response = binding.text_index.search(query, k=k, conjunctive=conjunctive)
+        table = self.database.table(binding.table)
+        results = []
+        for result in response.results:
+            row = table.get(result.doc_id) if fetch_rows else None
+            results.append(SVRQueryResult(doc_id=result.doc_id, score=result.score, row=row))
+        return results

@@ -1,0 +1,166 @@
+"""The SVR-aware text management component.
+
+:class:`SVRTextIndex` is the "extender/cartridge/data blade" box of Figure 2
+extended for SVR: it owns the analysis pipeline, the forward index, the term
+dictionary and one of the inverted-list methods, and exposes document-level
+operations (add, insert, delete, content update, score update) plus top-k
+keyword search.  It works directly with raw text; everything below it works
+with analysed terms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import QueryError
+from repro.core.indexes.base import InvertedIndex, QueryResponse
+from repro.core.indexes.registry import create_index
+from repro.storage.environment import StorageEnvironment
+from repro.text.analyzer import Analyzer
+from repro.text.dictionary import TermDictionary
+from repro.text.documents import DocumentStore
+from repro.text.termscore import TermScorer
+
+
+class SVRTextIndex:
+    """A text index over one text column, ranked by SVR (and optionally term) scores.
+
+    Parameters
+    ----------
+    method:
+        Name of the inverted-list method (see
+        :func:`repro.core.indexes.registry.available_methods`).
+    env:
+        Storage environment; a private one is created when omitted.
+    analyzer:
+        Analysis pipeline; a lowercasing, stopword-free analyzer by default.
+    cache_pages:
+        Buffer-pool capacity used when a private environment is created.
+    page_size:
+        Page size (bytes) used when a private environment is created.  The
+        benchmark harness shrinks it together with the corpus so that long
+        inverted lists still span many pages, as they do at the paper's scale.
+    method_options:
+        Extra keyword arguments forwarded to the index method's constructor
+        (``chunk_ratio``, ``threshold_ratio``, ``term_weight``, ``fancy_size`` ...).
+    """
+
+    def __init__(self, method: str = "chunk", env: StorageEnvironment | None = None,
+                 analyzer: Analyzer | None = None, name: str = "svr",
+                 cache_pages: int = 4096, page_size: int = 4096,
+                 **method_options: Any) -> None:
+        self.env = (
+            env
+            if env is not None
+            else StorageEnvironment(cache_pages=cache_pages, page_size=page_size)
+        )
+        self.analyzer = analyzer if analyzer is not None else Analyzer()
+        self.documents = DocumentStore()
+        self.dictionary = TermDictionary()
+        self.term_scorer = TermScorer(self.documents, self.dictionary)
+        self.index: InvertedIndex = create_index(
+            method, self.env, self.documents, name=name, **method_options
+        )
+
+    # -- convenience properties ---------------------------------------------------
+
+    @property
+    def method(self) -> str:
+        """Name of the underlying index method."""
+        return self.index.method_name
+
+    @property
+    def finalized(self) -> bool:
+        """Whether the bulk build has been finalized."""
+        return self.index.finalized
+
+    def document_count(self) -> int:
+        """Number of live documents."""
+        return self.index.document_count()
+
+    def current_score(self, doc_id: int) -> float | None:
+        """Latest SVR score of a document (``None`` when unknown or deleted)."""
+        return self.index.current_score(doc_id)
+
+    # -- build ----------------------------------------------------------------------
+
+    def add_document(self, doc_id: int, text: str, score: float) -> None:
+        """Stage a document (raw text) with its initial SVR score."""
+        self.add_document_terms(doc_id, self.analyzer.analyze(text), score)
+
+    def add_document_terms(self, doc_id: int, terms: Iterable[str], score: float) -> None:
+        """Stage a pre-analysed document (term sequence) with its initial SVR score.
+
+        The synthetic workloads generate term sequences directly; this entry
+        point skips the tokenisation pass they do not need.
+        """
+        self.documents.add_terms(doc_id, terms)
+        self.dictionary.add_document_terms(self.documents.get(doc_id).distinct_terms)
+        self.index.add_document(doc_id, score)
+
+    def finalize(self) -> None:
+        """Build the long inverted lists; required before updates and queries."""
+        self.index.finalize()
+
+    # -- updates ----------------------------------------------------------------------
+
+    def update_score(self, doc_id: int, new_score: float) -> None:
+        """Record a new SVR score for a document."""
+        self.index.update_score(doc_id, new_score)
+
+    def insert_document(self, doc_id: int, text: str, score: float) -> None:
+        """Insert a new document after the index has been built."""
+        self.insert_document_terms(doc_id, self.analyzer.analyze(text), score)
+
+    def insert_document_terms(self, doc_id: int, terms: Iterable[str], score: float) -> None:
+        """Insert a pre-analysed document after the index has been built."""
+        self.index.insert_document(doc_id, terms, score)
+        self.dictionary.add_document_terms(self.documents.get(doc_id).distinct_terms)
+
+    def delete_document(self, doc_id: int) -> None:
+        """Delete a document (it stops appearing in query results immediately)."""
+        old_terms = self.documents.get(doc_id).distinct_terms
+        self.index.delete_document(doc_id)
+        self.dictionary.remove_document_terms(old_terms)
+
+    def update_content(self, doc_id: int, new_text: str) -> None:
+        """Replace a document's text content."""
+        old_terms = self.documents.get(doc_id).distinct_terms
+        new_terms = self.analyzer.analyze(new_text)
+        self.index.update_content(doc_id, new_terms)
+        self.dictionary.update_document_terms(old_terms, self.documents.get(doc_id).distinct_terms)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def search(self, query: str | Iterable[str], k: int = 10,
+               conjunctive: bool = True) -> QueryResponse:
+        """Top-k keyword search ranked by the latest scores.
+
+        ``query`` may be a raw string (analysed with the same pipeline as the
+        documents) or an iterable of keywords.
+        """
+        if isinstance(query, str):
+            keywords = self.analyzer.normalize_query_terms([query])
+        else:
+            keywords = self.analyzer.normalize_query_terms(query)
+        if not keywords:
+            raise QueryError("the query contains no indexable keywords")
+        return self.index.query(keywords, k=k, conjunctive=conjunctive)
+
+    def tfidf_score(self, query: str | Iterable[str], doc_id: int) -> float:
+        """Traditional TF-IDF score of a document for a query (the paper's baseline)."""
+        if isinstance(query, str):
+            keywords = self.analyzer.normalize_query_terms([query])
+        else:
+            keywords = self.analyzer.normalize_query_terms(query)
+        return self.term_scorer.query_tfidf(keywords, doc_id)
+
+    # -- measurement hooks ------------------------------------------------------------------
+
+    def long_list_size_bytes(self) -> int:
+        """Serialized size of the long inverted lists (Table 1)."""
+        return self.index.long_list_size_bytes()
+
+    def drop_long_list_cache(self) -> None:
+        """Evict long-list pages to start the next query from a cold cache (§5.2)."""
+        self.index.drop_long_list_cache()

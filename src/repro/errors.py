@@ -1,0 +1,132 @@
+"""Exception hierarchy for the SVR reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+applications can install a single ``except ReproError`` guard around calls into
+the library.  Sub-hierarchies mirror the package layout: storage errors,
+relational errors, text errors and index/query errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class PageError(StorageError):
+    """A page could not be read, written or decoded."""
+
+
+class PageNotFoundError(PageError):
+    """A page id does not exist on the simulated disk."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool was used incorrectly (e.g. invalid capacity)."""
+
+
+class KeyNotFoundError(StorageError):
+    """A key lookup in a B+-tree or key-value store found nothing."""
+
+
+class DuplicateKeyError(StorageError):
+    """An insert would violate a unique-key constraint."""
+
+
+class StoreClosedError(StorageError):
+    """An operation was attempted on a closed store or environment."""
+
+
+# ---------------------------------------------------------------------------
+# Relational layer
+# ---------------------------------------------------------------------------
+
+
+class RelationalError(ReproError):
+    """Base class for relational-engine failures."""
+
+
+class SchemaError(RelationalError):
+    """A schema definition is invalid or a row does not match its schema."""
+
+
+class ConstraintError(RelationalError):
+    """A primary-key or not-null constraint was violated."""
+
+
+class UnknownTableError(RelationalError):
+    """A referenced table does not exist in the database."""
+
+
+class UnknownColumnError(RelationalError):
+    """A referenced column does not exist in the table schema."""
+
+
+class ViewError(RelationalError):
+    """A materialised-view definition or refresh failed."""
+
+
+class FunctionError(RelationalError):
+    """A scalar (SQL-bodied) function failed to evaluate."""
+
+
+# ---------------------------------------------------------------------------
+# Text layer
+# ---------------------------------------------------------------------------
+
+
+class TextError(ReproError):
+    """Base class for text-processing failures."""
+
+
+class DocumentNotFoundError(TextError):
+    """A document id is unknown to the document store."""
+
+
+class TokenizationError(TextError):
+    """A document could not be tokenised."""
+
+
+# ---------------------------------------------------------------------------
+# Core / index layer
+# ---------------------------------------------------------------------------
+
+
+class IndexError_(ReproError):
+    """Base class for inverted-index failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``; exported as :data:`InvertedIndexError` for readability.
+    """
+
+
+InvertedIndexError = IndexError_
+
+
+class UnknownMethodError(InvertedIndexError):
+    """An index method name is not registered."""
+
+
+class QueryError(InvertedIndexError):
+    """A keyword query is malformed (e.g. empty keyword list, k <= 0)."""
+
+
+class ScoreSpecError(ReproError):
+    """An SVR score specification is invalid."""
+
+
+class WorkloadError(ReproError):
+    """A workload/data generator was configured with invalid parameters."""
+
+
+class BenchmarkError(ReproError):
+    """An experiment definition or run failed."""

@@ -1,0 +1,38 @@
+"""Minimal relational engine substrate.
+
+The SVR paper integrates its text indexes with a relational database: scores
+are specified as SQL-bodied functions over base tables, materialised into an
+incrementally maintained Score view, and the text component is notified when a
+score changes (§3).  This package provides exactly that substrate:
+
+* typed schemas and tables with primary keys and secondary indexes
+  (:mod:`repro.relational.schema`, :mod:`repro.relational.table`),
+* scalar "SQL-bodied" functions (:mod:`repro.relational.functions`),
+* a small select/join/aggregate query evaluator (:mod:`repro.relational.query`),
+* incrementally maintained materialised views with change notification
+  (:mod:`repro.relational.materialized_view`), and
+* a :class:`~repro.relational.database.Database` object tying them together.
+"""
+
+from repro.relational.database import Database
+from repro.relational.functions import ScalarFunction, SQLBodiedFunction
+from repro.relational.materialized_view import MaterializedView
+from repro.relational.query import Query
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.triggers import RowChange, TriggerRegistry
+from repro.relational.types import ColumnType
+
+__all__ = [
+    "ColumnType",
+    "Column",
+    "Schema",
+    "Table",
+    "Database",
+    "Query",
+    "ScalarFunction",
+    "SQLBodiedFunction",
+    "MaterializedView",
+    "RowChange",
+    "TriggerRegistry",
+]

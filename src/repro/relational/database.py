@@ -1,0 +1,130 @@
+"""The database object: tables, views, functions and trigger wiring."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import RelationalError, UnknownTableError
+from repro.relational.functions import ScalarFunction
+from repro.relational.materialized_view import MaterializedView, ViewDependency
+from repro.relational.query import Query
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.triggers import TriggerRegistry
+from repro.relational.types import ColumnType
+from repro.storage.environment import StorageEnvironment
+
+
+class Database:
+    """A collection of tables, materialised views and scalar functions.
+
+    Parameters
+    ----------
+    env:
+        Storage environment shared by every table and view.  A fresh one is
+        created when omitted.
+    """
+
+    def __init__(self, env: StorageEnvironment | None = None) -> None:
+        self.env = env if env is not None else StorageEnvironment()
+        self.triggers = TriggerRegistry()
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, MaterializedView] = {}
+        self._functions: dict[str, ScalarFunction] = {}
+
+    # -- tables -----------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Iterable[tuple[str, ColumnType] | Column],
+        primary_key: str,
+    ) -> Table:
+        """Create a table from ``(name, type)`` pairs or :class:`Column` objects."""
+        if name in self._tables:
+            raise RelationalError(f"table {name!r} already exists")
+        column_objects = [
+            column if isinstance(column, Column) else Column(name=column[0], type=column[1])
+            for column in columns
+        ]
+        schema = Schema.build(column_objects, primary_key=primary_key)
+        table = Table(self.env, name=name, schema=schema, triggers=self.triggers)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        table = self._tables.get(name)
+        if table is None:
+            raise UnknownTableError(f"unknown table {name!r}")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        """Sorted names of all tables."""
+        return sorted(self._tables)
+
+    def query(self, table: str) -> Query:
+        """Start a :class:`Query` scanning ``table``."""
+        return Query.from_table(self.table(table))
+
+    # -- materialised views -------------------------------------------------------
+
+    def create_materialized_view(
+        self,
+        name: str,
+        compute: Callable[[Any], Any],
+        dependencies: list[ViewDependency],
+        initial_keys: Iterable[Any] = (),
+    ) -> MaterializedView:
+        """Create an incrementally maintained view and populate it.
+
+        ``initial_keys`` is the key population used for the initial refresh
+        (typically the primary keys of the table being scored).
+        """
+        if name in self._views:
+            raise RelationalError(f"view {name!r} already exists")
+        for dependency in dependencies:
+            if dependency.table not in self._tables:
+                raise UnknownTableError(
+                    f"view {name!r} depends on unknown table {dependency.table!r}"
+                )
+        view = MaterializedView(
+            self.env, name=name, compute=compute, dependencies=dependencies, database=self
+        )
+        view.refresh_full(initial_keys)
+        self._views[name] = view
+        return view
+
+    def view(self, name: str) -> MaterializedView:
+        """Look up a materialised view by name."""
+        view = self._views.get(name)
+        if view is None:
+            raise RelationalError(f"unknown view {name!r}")
+        return view
+
+    def view_names(self) -> list[str]:
+        """Sorted names of all materialised views."""
+        return sorted(self._views)
+
+    # -- functions --------------------------------------------------------------------
+
+    def register_function(self, function: ScalarFunction) -> None:
+        """Register a scalar function under its name."""
+        if function.name in self._functions:
+            raise RelationalError(f"function {function.name!r} already registered")
+        self._functions[function.name] = function
+
+    def function(self, name: str) -> ScalarFunction:
+        """Look up a scalar function by name."""
+        function = self._functions.get(name)
+        if function is None:
+            raise RelationalError(f"unknown function {name!r}")
+        return function
+
+    def function_names(self) -> list[str]:
+        """Sorted names of all registered functions."""
+        return sorted(self._functions)

@@ -1,0 +1,74 @@
+"""Predicates and projections for the mini query engine.
+
+These helpers keep :mod:`repro.relational.query` readable: a predicate is any
+callable from a row mapping to a boolean, and this module supplies composable
+constructors for the comparisons the examples and benchmarks need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+Row = Mapping[str, Any]
+Predicate = Callable[[Row], bool]
+
+
+def eq(column: str, value: Any) -> Predicate:
+    """``row[column] == value``"""
+    return lambda row: row.get(column) == value
+
+
+def ne(column: str, value: Any) -> Predicate:
+    """``row[column] != value``"""
+    return lambda row: row.get(column) != value
+
+
+def gt(column: str, value: Any) -> Predicate:
+    """``row[column] > value`` (null-safe: null never satisfies)."""
+    return lambda row: row.get(column) is not None and row[column] > value
+
+
+def ge(column: str, value: Any) -> Predicate:
+    """``row[column] >= value`` (null-safe)."""
+    return lambda row: row.get(column) is not None and row[column] >= value
+
+
+def lt(column: str, value: Any) -> Predicate:
+    """``row[column] < value`` (null-safe)."""
+    return lambda row: row.get(column) is not None and row[column] < value
+
+
+def le(column: str, value: Any) -> Predicate:
+    """``row[column] <= value`` (null-safe)."""
+    return lambda row: row.get(column) is not None and row[column] <= value
+
+
+def is_null(column: str) -> Predicate:
+    """``row[column] IS NULL``"""
+    return lambda row: row.get(column) is None
+
+
+def in_(column: str, values: Sequence[Any]) -> Predicate:
+    """``row[column] IN values``"""
+    allowed = set(values)
+    return lambda row: row.get(column) in allowed
+
+
+def and_(*predicates: Predicate) -> Predicate:
+    """Conjunction of predicates (vacuously true when empty)."""
+    return lambda row: all(predicate(row) for predicate in predicates)
+
+
+def or_(*predicates: Predicate) -> Predicate:
+    """Disjunction of predicates (vacuously false when empty)."""
+    return lambda row: any(predicate(row) for predicate in predicates)
+
+
+def not_(predicate: Predicate) -> Predicate:
+    """Negation of a predicate."""
+    return lambda row: not predicate(row)
+
+
+def project(row: Row, columns: Sequence[str]) -> dict[str, Any]:
+    """Return a copy of ``row`` restricted to ``columns``."""
+    return {column: row.get(column) for column in columns}

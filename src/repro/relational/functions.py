@@ -1,0 +1,131 @@
+"""Scalar ("SQL-bodied") functions.
+
+Section 3.1 of the paper specifies SVR scoring components as SQL-bodied
+functions: ``S1(id)`` returns the average review rating of the movie with
+primary key ``id``, ``S2(id)`` the number of visits and so on, and ``Agg``
+combines the component scores.  This module provides the Python equivalent:
+named scalar functions, plus helpers that build the common "SELECT agg(col)
+FROM t WHERE t.fk = id" shape against a :class:`~repro.relational.database.Database`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import FunctionError
+
+
+@dataclass(frozen=True)
+class ScalarFunction:
+    """A named scalar function of fixed arity.
+
+    Attributes
+    ----------
+    name:
+        Function name (used in error messages and the database catalogue).
+    arity:
+        Number of arguments the function expects.
+    fn:
+        The Python callable implementing the body.
+    """
+
+    name: str
+    arity: int
+    fn: Callable[..., Any]
+
+    def __call__(self, *args: Any) -> Any:
+        if len(args) != self.arity:
+            raise FunctionError(
+                f"function {self.name!r} expects {self.arity} arguments, got {len(args)}"
+            )
+        try:
+            return self.fn(*args)
+        except FunctionError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive conversion
+            raise FunctionError(f"function {self.name!r} failed: {exc}") from exc
+
+
+class SQLBodiedFunction(ScalarFunction):
+    """A scalar function whose body is a query over database tables.
+
+    Instances are typically created through the factory helpers below
+    (:func:`column_lookup`, :func:`aggregate_lookup`) which mirror the SQL
+    bodies in the paper's §3.1 example.
+    """
+
+
+_AGGREGATES: dict[str, Callable[[Sequence[float]], float]] = {
+    "avg": lambda values: sum(values) / len(values) if values else 0.0,
+    "sum": lambda values: float(sum(values)),
+    "count": lambda values: float(len(values)),
+    "min": lambda values: float(min(values)) if values else 0.0,
+    "max": lambda values: float(max(values)) if values else 0.0,
+}
+
+
+def column_lookup(database: Any, name: str, table: str, key_column: str, value_column: str,
+                  default: float = 0.0) -> SQLBodiedFunction:
+    """Build ``f(id) = SELECT value_column FROM table WHERE key_column = id``.
+
+    When several rows match, the first (in primary-key order) is used; when no
+    row matches, ``default`` is returned.  Mirrors the paper's S2/S3 functions
+    (``SELECT S.nVisit FROM Statistics S WHERE S.mID = id``).
+    """
+
+    def body(key: Any) -> float:
+        for row in database.table(table).lookup_by_index(key_column, key):
+            value = row.get(value_column)
+            return float(value) if value is not None else default
+        return default
+
+    return SQLBodiedFunction(name=name, arity=1, fn=body)
+
+
+def aggregate_lookup(database: Any, name: str, table: str, key_column: str,
+                     value_column: str, aggregate: str = "avg",
+                     default: float = 0.0) -> SQLBodiedFunction:
+    """Build ``f(id) = SELECT agg(value_column) FROM table WHERE key_column = id``.
+
+    Mirrors the paper's S1 function
+    (``SELECT avg(R.rating) FROM Reviews R WHERE R.mID = id``).
+
+    Parameters
+    ----------
+    aggregate:
+        One of ``avg``, ``sum``, ``count``, ``min``, ``max``.
+    default:
+        Returned when no row matches.
+    """
+    agg_fn = _AGGREGATES.get(aggregate)
+    if agg_fn is None:
+        raise FunctionError(
+            f"unknown aggregate {aggregate!r}; expected one of {sorted(_AGGREGATES)}"
+        )
+
+    def body(key: Any) -> float:
+        values = [
+            float(row[value_column])
+            for row in database.table(table).lookup_by_index(key_column, key)
+            if row.get(value_column) is not None
+        ]
+        if not values:
+            return default
+        return agg_fn(values)
+
+    return SQLBodiedFunction(name=name, arity=1, fn=body)
+
+
+def weighted_sum(name: str, weights: Sequence[float]) -> ScalarFunction:
+    """Build an aggregation function ``Agg(s1..sm) = sum(w_i * s_i)``.
+
+    The paper's example uses ``Agg(s1, s2, s3) = s1*100 + s2/2 + s3`` which is
+    ``weighted_sum("Agg", [100, 0.5, 1])``.
+    """
+    weight_list = [float(w) for w in weights]
+
+    def body(*scores: float) -> float:
+        return sum(w * s for w, s in zip(weight_list, scores))
+
+    return ScalarFunction(name=name, arity=len(weight_list), fn=body)

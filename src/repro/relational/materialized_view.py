@@ -1,0 +1,188 @@
+"""Incrementally maintained materialised views.
+
+Section 3.2 of the paper maintains SVR scores with a materialised view::
+
+    create materialized view Score as
+    SELECT R.Ck, Agg(S1(R.Ck), ..., Sm(R.Ck)) FROM R
+
+and relies on incremental view maintenance so that updates to the structured
+base tables (Reviews, Statistics, ...) immediately update the score.  This
+module implements the mechanism: a view is a key-value mapping stored in a
+B+-tree (small and cache-resident, exactly like the paper's Score table), a
+set of *dependencies* saying which base-table changes affect which view keys,
+and a list of subscribers that are notified whenever a view value changes —
+the hook the SVR text indexes use to learn about score updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import ViewError
+from repro.relational.triggers import RowChange
+from repro.storage.environment import StorageEnvironment
+
+#: Maps a base-table row change to the view keys whose values may have changed.
+KeyMapper = Callable[[RowChange], Iterable[Any]]
+
+#: Subscriber signature: (view key, old value or None, new value or None).
+ViewSubscriber = Callable[[Any, Any, Any], None]
+
+
+@dataclass(frozen=True)
+class ViewDependency:
+    """A single base-table dependency of a materialised view.
+
+    Attributes
+    ----------
+    table:
+        Base-table name whose changes affect the view.
+    key_mapper:
+        Function translating a :class:`RowChange` on that table into the view
+        keys that must be recomputed.
+    """
+
+    table: str
+    key_mapper: KeyMapper
+
+
+class MaterializedView:
+    """A key -> value view maintained incrementally from base-table changes.
+
+    Parameters
+    ----------
+    env:
+        Storage environment (the view contents live in a B+-tree there).
+    name:
+        View name.
+    compute:
+        Function recomputing the view value for a single key from the base
+        tables.  Returning ``None`` removes the key from the view.
+    dependencies:
+        Base tables whose changes trigger recomputation, with key mappers.
+    database:
+        The owning database; used to register trigger listeners.
+    """
+
+    def __init__(
+        self,
+        env: StorageEnvironment,
+        name: str,
+        compute: Callable[[Any], Any],
+        dependencies: list[ViewDependency],
+        database: Any,
+    ) -> None:
+        if not dependencies:
+            raise ViewError(f"view {name!r} must declare at least one dependency")
+        self.name = name
+        self.compute = compute
+        self.dependencies = list(dependencies)
+        self._store = env.create_kvstore(f"view.{name}")
+        self._subscribers: list[ViewSubscriber] = []
+        self._maintenance_recomputes = 0
+        for dependency in self.dependencies:
+            database.triggers.register(dependency.table, self._make_listener(dependency))
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the view value for ``key`` (or ``default``)."""
+        return self._store.get(key, default=default)
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Iterate ``(key, value)`` pairs in key order."""
+        return self._store.items()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Any) -> bool:
+        return self._store.contains(key)
+
+    @property
+    def maintenance_recomputes(self) -> int:
+        """Number of per-key recomputations performed by incremental maintenance."""
+        return self._maintenance_recomputes
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def refresh_key(self, key: Any) -> Any:
+        """Recompute the view value for one key, notify subscribers, return it."""
+        old_value = self._store.get(key, default=None)
+        new_value = self.compute(key)
+        self._maintenance_recomputes += 1
+        if new_value is None:
+            if old_value is not None:
+                self._store.delete_if_present(key)
+                self._notify(key, old_value, None)
+            return None
+        if new_value != old_value:
+            self._store.put(key, new_value)
+            self._notify(key, old_value, new_value)
+        return new_value
+
+    def refresh_keys(self, keys: Iterable[Any]) -> None:
+        """Recompute the view for several keys (deduplicated)."""
+        for key in dict.fromkeys(keys):
+            self.refresh_key(key)
+
+    def refresh_full(self, keys: Iterable[Any]) -> None:
+        """Recompute the view for an explicit key population.
+
+        Used at view-creation time (the initial population) and by tests that
+        compare the incrementally maintained contents with a from-scratch
+        computation.
+        """
+        self.refresh_keys(keys)
+
+    # -- change notification ----------------------------------------------------------
+
+    def subscribe(self, subscriber: ViewSubscriber) -> None:
+        """Register a callback invoked whenever a view value changes."""
+        self._subscribers.append(subscriber)
+
+    def unsubscribe(self, subscriber: ViewSubscriber) -> None:
+        """Remove a previously registered callback (no-op when absent)."""
+        if subscriber in self._subscribers:
+            self._subscribers.remove(subscriber)
+
+    def _notify(self, key: Any, old_value: Any, new_value: Any) -> None:
+        for subscriber in self._subscribers:
+            subscriber(key, old_value, new_value)
+
+    def _make_listener(self, dependency: ViewDependency) -> Callable[[RowChange], None]:
+        def listener(change: RowChange) -> None:
+            affected = list(dependency.key_mapper(change))
+            if affected:
+                self.refresh_keys(affected)
+
+        return listener
+
+
+def foreign_key_mapper(column: str) -> KeyMapper:
+    """Key mapper for the common "base row carries the view key in ``column``" case.
+
+    For the paper's example, changes to ``Reviews`` affect the view key stored
+    in the review row's ``mID`` column; this helper extracts it from both the
+    old and new row images (covering updates that move a row between keys).
+    """
+
+    def mapper(change: RowChange) -> Iterable[Any]:
+        keys = []
+        if change.old_row is not None and change.old_row.get(column) is not None:
+            keys.append(change.old_row[column])
+        if change.new_row is not None and change.new_row.get(column) is not None:
+            keys.append(change.new_row[column])
+        return keys
+
+    return mapper
+
+
+def primary_key_mapper() -> KeyMapper:
+    """Key mapper for views keyed directly by the base table's primary key."""
+
+    def mapper(change: RowChange) -> Iterable[Any]:
+        return [change.key]
+
+    return mapper

@@ -1,0 +1,173 @@
+"""A small select / join / aggregate / order-by / limit query evaluator.
+
+The reproduction does not need a SQL parser; it needs the relational algebra
+that the paper's SQL/MM example exercises — selection, projection, equi-joins
+on foreign keys, grouping with aggregates, ordering and LIMIT/FETCH FIRST.
+:class:`Query` provides those as a fluent builder over base tables, and is the
+piece that the SVR manager combines with keyword-search scores to answer the
+mixed structured/text queries of §3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import RelationalError
+from repro.relational.expressions import Predicate, project
+
+Row = dict[str, Any]
+
+_AGGREGATES: dict[str, Callable[[list[float]], float]] = {
+    "avg": lambda values: sum(values) / len(values) if values else 0.0,
+    "sum": lambda values: float(sum(values)),
+    "count": lambda values: float(len(values)),
+    "min": lambda values: float(min(values)) if values else 0.0,
+    "max": lambda values: float(max(values)) if values else 0.0,
+}
+
+
+class Query:
+    """A lazily evaluated pipeline over an iterable of rows.
+
+    Build a query from a table (or any row iterable), chain transformation
+    methods and call :meth:`rows` (or iterate) to execute it.  Each method
+    returns a new :class:`Query`, so partially built queries can be reused.
+    """
+
+    def __init__(self, source: Iterable[Mapping[str, Any]] | Callable[[], Iterator[Row]]):
+        if callable(source):
+            self._source = source
+        else:
+            materialised = [dict(row) for row in source]
+            self._source = lambda: iter(materialised)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: Any) -> "Query":
+        """Create a query scanning all rows of a table-like object with ``scan()``."""
+        return cls(lambda: (dict(row) for row in table.scan()))
+
+    # -- relational operators -----------------------------------------------------
+
+    def where(self, predicate: Predicate) -> "Query":
+        """Keep only rows satisfying ``predicate``."""
+        source = self._source
+        return Query(lambda: (row for row in source() if predicate(row)))
+
+    def select(self, columns: Sequence[str]) -> "Query":
+        """Project each row onto ``columns``."""
+        source = self._source
+        return Query(lambda: (project(row, columns) for row in source()))
+
+    def extend(self, column: str, fn: Callable[[Row], Any]) -> "Query":
+        """Add a computed column ``column = fn(row)`` to every row."""
+        source = self._source
+
+        def generate() -> Iterator[Row]:
+            for row in source():
+                extended = dict(row)
+                extended[column] = fn(row)
+                yield extended
+
+        return Query(generate)
+
+    def join(self, other: "Query | Any", left_on: str, right_on: str,
+             prefix: str = "") -> "Query":
+        """Equi-join with ``other`` on ``left_on == right_on`` (hash join).
+
+        Columns from the right side are optionally prefixed to avoid clashes.
+        Rows without a match are dropped (inner join).
+        """
+        right_query = other if isinstance(other, Query) else Query.from_table(other)
+        source = self._source
+
+        def generate() -> Iterator[Row]:
+            build: dict[Any, list[Row]] = {}
+            for row in right_query.rows():
+                build.setdefault(row.get(right_on), []).append(row)
+            for left_row in source():
+                for right_row in build.get(left_row.get(left_on), []):
+                    merged = dict(left_row)
+                    for name, value in right_row.items():
+                        merged[f"{prefix}{name}"] = value
+                    yield merged
+
+        return Query(generate)
+
+    def group_by(self, keys: Sequence[str],
+                 aggregates: Mapping[str, tuple[str, str]]) -> "Query":
+        """Group rows by ``keys`` and compute aggregates.
+
+        ``aggregates`` maps output column names to ``(aggregate, column)``
+        pairs, e.g. ``{"avg_rating": ("avg", "rating")}``.
+        """
+        for output, (aggregate, _column) in aggregates.items():
+            if aggregate not in _AGGREGATES:
+                raise RelationalError(
+                    f"unknown aggregate {aggregate!r} for output column {output!r}"
+                )
+        source = self._source
+
+        def generate() -> Iterator[Row]:
+            groups: dict[tuple[Any, ...], list[Row]] = {}
+            for row in source():
+                group_key = tuple(row.get(key) for key in keys)
+                groups.setdefault(group_key, []).append(row)
+            for group_key, rows in groups.items():
+                result: Row = dict(zip(keys, group_key))
+                for output, (aggregate, column) in aggregates.items():
+                    values = [
+                        float(row[column]) for row in rows if row.get(column) is not None
+                    ]
+                    result[output] = _AGGREGATES[aggregate](values)
+                yield result
+
+        return Query(generate)
+
+    def order_by(self, column: str, descending: bool = False) -> "Query":
+        """Sort rows by ``column`` (nulls last)."""
+        source = self._source
+
+        def generate() -> Iterator[Row]:
+            rows = list(source())
+            rows.sort(
+                key=lambda row: (row.get(column) is None, row.get(column)),
+                reverse=descending,
+            )
+            return iter(rows)
+
+        return Query(generate)
+
+    def limit(self, count: int) -> "Query":
+        """Keep only the first ``count`` rows (SQL ``FETCH FIRST count ROWS``)."""
+        if count < 0:
+            raise RelationalError(f"limit must be non-negative, got {count}")
+        source = self._source
+
+        def generate() -> Iterator[Row]:
+            for index, row in enumerate(source()):
+                if index >= count:
+                    return
+                yield row
+
+        return Query(generate)
+
+    # -- execution ---------------------------------------------------------------
+
+    def rows(self) -> list[Row]:
+        """Execute the pipeline and return all result rows."""
+        return list(self._source())
+
+    def __iter__(self) -> Iterator[Row]:
+        return self._source()
+
+    def count(self) -> int:
+        """Number of result rows."""
+        return sum(1 for _row in self._source())
+
+    def scalar(self, column: str) -> Any:
+        """Value of ``column`` in the first result row (or ``None`` if empty)."""
+        for row in self._source():
+            return row.get(column)
+        return None

@@ -1,0 +1,114 @@
+"""Column and schema definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.types import ColumnType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition.
+
+    Attributes
+    ----------
+    name:
+        Column name (unique within the schema).
+    type:
+        Column type.
+    nullable:
+        Whether ``None`` is an acceptable value.
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+    def validate(self, value: Any) -> Any:
+        """Validate a value destined for this column."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return None
+        return self.type.validate(value)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of columns plus a primary-key designation.
+
+    Attributes
+    ----------
+    columns:
+        Column definitions, in declaration order.
+    primary_key:
+        Name of the primary-key column.  The primary key is implicitly
+        non-nullable.
+    """
+
+    columns: tuple[Column, ...]
+    primary_key: str
+    _by_name: Mapping[str, Column] = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        by_name = {column.name: column for column in self.columns}
+        if self.primary_key not in by_name:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} is not a column of the schema"
+            )
+        object.__setattr__(self, "_by_name", by_name)
+
+    @classmethod
+    def build(cls, columns: list[Column] | tuple[Column, ...], primary_key: str) -> "Schema":
+        """Convenience constructor accepting a list of columns."""
+        return cls(columns=tuple(columns), primary_key=primary_key)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column definition by name."""
+        column = self._by_name.get(name)
+        if column is None:
+            raise UnknownColumnError(f"unknown column {name!r}")
+        return column
+
+    def has_column(self, name: str) -> bool:
+        """Whether the schema defines a column called ``name``."""
+        return name in self._by_name
+
+    def validate_row(self, row: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate a full row and return a normalised copy.
+
+        Missing nullable columns are filled with ``None``; unknown keys raise.
+        The primary key must be present and non-null.
+        """
+        unknown = set(row) - set(self._by_name)
+        if unknown:
+            raise UnknownColumnError(f"row has unknown columns: {sorted(unknown)}")
+        validated: dict[str, Any] = {}
+        for column in self.columns:
+            value = row.get(column.name)
+            if column.name == self.primary_key and value is None:
+                raise SchemaError("primary key value must be present and non-null")
+            validated[column.name] = column.validate(value)
+        return validated
+
+    def validate_update(self, changes: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate a partial update (column -> new value)."""
+        unknown = set(changes) - set(self._by_name)
+        if unknown:
+            raise UnknownColumnError(f"update touches unknown columns: {sorted(unknown)}")
+        if self.primary_key in changes:
+            raise SchemaError("primary key columns cannot be updated in place")
+        return {
+            name: self._by_name[name].validate(value) for name, value in changes.items()
+        }

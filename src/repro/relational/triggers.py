@@ -1,0 +1,92 @@
+"""Row-change events and trigger registration.
+
+Materialised views (and through them the SVR text indexes) must learn about
+every insert, update and delete on their base tables.  The paper assumes "the
+index structures are notified whenever the score of a document is updated in
+the materialized view" (§4.1); this module provides the notification plumbing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+
+class ChangeKind(enum.Enum):
+    """The three kinds of base-table row changes."""
+
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class RowChange:
+    """A single row-level change on a table.
+
+    Attributes
+    ----------
+    table:
+        Name of the table the change applies to.
+    kind:
+        Insert, update or delete.
+    key:
+        Primary-key value of the affected row.
+    old_row / new_row:
+        Row images before and after the change.  ``old_row`` is ``None`` for
+        inserts and ``new_row`` is ``None`` for deletes.
+    """
+
+    table: str
+    kind: ChangeKind
+    key: Any
+    old_row: Mapping[str, Any] | None
+    new_row: Mapping[str, Any] | None
+
+    def changed_columns(self) -> set[str]:
+        """Columns whose values differ between the old and new row images."""
+        if self.old_row is None or self.new_row is None:
+            columns = self.new_row or self.old_row or {}
+            return set(columns)
+        return {
+            name
+            for name in set(self.old_row) | set(self.new_row)
+            if self.old_row.get(name) != self.new_row.get(name)
+        }
+
+
+Listener = Callable[[RowChange], None]
+
+
+class TriggerRegistry:
+    """Registry of row-change listeners, keyed by table name.
+
+    Listeners registered for a table are invoked synchronously, in
+    registration order, after each committed row change.  A listener
+    registered under the table name ``"*"`` receives changes for every table.
+    """
+
+    def __init__(self) -> None:
+        self._listeners: dict[str, list[Listener]] = {}
+
+    def register(self, table: str, listener: Listener) -> None:
+        """Register ``listener`` for changes on ``table`` (or ``"*"``)."""
+        self._listeners.setdefault(table, []).append(listener)
+
+    def unregister(self, table: str, listener: Listener) -> None:
+        """Remove a previously registered listener (no-op if absent)."""
+        listeners = self._listeners.get(table, [])
+        if listener in listeners:
+            listeners.remove(listener)
+
+    def notify(self, change: RowChange) -> None:
+        """Deliver ``change`` to every listener registered for its table."""
+        for listener in self._listeners.get(change.table, []):
+            listener(change)
+        for listener in self._listeners.get("*", []):
+            listener(change)
+
+    def listener_count(self, table: str) -> int:
+        """Number of listeners registered for ``table`` (excluding ``"*"``)."""
+        return len(self._listeners.get(table, []))

@@ -1,0 +1,60 @@
+"""Column types and value validation for the relational substrate."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types.
+
+    The reproduction only needs the handful of types that appear in the
+    paper's example schema (integer keys, float scores/ratings, counters and
+    text columns).
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    STRING = "string"
+    BOOLEAN = "boolean"
+
+    def validate(self, value: Any) -> Any:
+        """Validate (and lightly coerce) ``value`` for this column type.
+
+        Integers are accepted for FLOAT columns and coerced to ``float``;
+        booleans are rejected for numeric columns (a common Python pitfall
+        because ``bool`` subclasses ``int``).
+
+        Raises
+        ------
+        SchemaError
+            If the value cannot be stored in a column of this type.
+        """
+        if value is None:
+            return None
+        if self is ColumnType.INTEGER:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError(f"expected an integer, got {value!r}")
+            return value
+        if self is ColumnType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"expected a number, got {value!r}")
+            return float(value)
+        if self is ColumnType.BOOLEAN:
+            if not isinstance(value, bool):
+                raise SchemaError(f"expected a boolean, got {value!r}")
+            return value
+        # TEXT and STRING both hold str; TEXT marks columns eligible for
+        # full-text indexing.
+        if not isinstance(value, str):
+            raise SchemaError(f"expected a string, got {value!r}")
+        return value
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type can participate in numeric aggregates."""
+        return self in (ColumnType.INTEGER, ColumnType.FLOAT)

@@ -1,0 +1,141 @@
+"""Storage environment: the shared disk, buffer pool and named stores.
+
+A :class:`StorageEnvironment` plays the role of a BerkeleyDB environment in
+the paper's implementation: one page cache shared by every table and index,
+plus a catalogue of named stores.  Experiments grab I/O snapshots from here to
+attribute page reads/writes to individual operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.storage.buffer_pool import BufferPool, BufferPoolStats
+from repro.storage.disk import DiskCostModel, DiskStats, SimulatedDisk
+from repro.storage.heap_file import HeapFile
+from repro.storage.kvstore import KVStore
+from repro.storage.pager import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class IOSnapshot:
+    """Immutable snapshot of disk and buffer-pool counters."""
+
+    disk: DiskStats
+    pool: BufferPoolStats
+
+    def cost_ms(self, model: DiskCostModel | None = None) -> float:
+        """Estimated elapsed milliseconds implied by the disk counters."""
+        return (model or DiskCostModel()).cost_ms(self.disk)
+
+
+@dataclass(frozen=True)
+class IODelta:
+    """Difference between two :class:`IOSnapshot` instances."""
+
+    disk: DiskStats
+    pool: BufferPoolStats
+
+    @property
+    def page_reads(self) -> int:
+        """Pages read from the simulated disk (buffer-pool misses)."""
+        return self.disk.reads
+
+    @property
+    def page_writes(self) -> int:
+        """Pages written to the simulated disk."""
+        return self.disk.writes
+
+    @property
+    def pool_hits(self) -> int:
+        """Buffer-pool hits (pages served without disk I/O)."""
+        return self.pool.hits
+
+    def cost_ms(self, model: DiskCostModel | None = None) -> float:
+        """Estimated elapsed milliseconds implied by the disk counter deltas."""
+        return (model or DiskCostModel()).cost_ms(self.disk)
+
+
+class StorageEnvironment:
+    """One simulated disk + buffer pool and a catalogue of named stores.
+
+    Parameters
+    ----------
+    cache_pages:
+        Buffer-pool capacity in pages.  The paper used a 100 MB cache over an
+        805 MB data set (~12%); experiments typically scale this down with the
+        corpus.
+    page_size:
+        Page size in bytes.
+    """
+
+    def __init__(self, cache_pages: int = 4096, page_size: int = PAGE_SIZE) -> None:
+        self.disk = SimulatedDisk(page_size=page_size)
+        self.pool = BufferPool(self.disk, capacity_pages=cache_pages)
+        self._kvstores: dict[str, KVStore] = {}
+        self._heapfiles: dict[str, HeapFile] = {}
+
+    # -- store management -------------------------------------------------------
+
+    def create_kvstore(self, name: str, order: int | None = None) -> KVStore:
+        """Create (or raise if it exists) a named ordered key-value store."""
+        if name in self._kvstores or name in self._heapfiles:
+            raise StorageError(f"store {name!r} already exists")
+        store = KVStore(self.pool, name=name, order=order)
+        self._kvstores[name] = store
+        return store
+
+    def create_heapfile(self, name: str) -> HeapFile:
+        """Create (or raise if it exists) a named heap file."""
+        if name in self._kvstores or name in self._heapfiles:
+            raise StorageError(f"store {name!r} already exists")
+        heap = HeapFile(self.pool, name=name)
+        self._heapfiles[name] = heap
+        return heap
+
+    def kvstore(self, name: str) -> KVStore:
+        """Look up an existing key-value store by name."""
+        store = self._kvstores.get(name)
+        if store is None:
+            raise StorageError(f"unknown kv store {name!r}")
+        return store
+
+    def heapfile(self, name: str) -> HeapFile:
+        """Look up an existing heap file by name."""
+        heap = self._heapfiles.get(name)
+        if heap is None:
+            raise StorageError(f"unknown heap file {name!r}")
+        return heap
+
+    def store_names(self) -> list[str]:
+        """Names of all stores (key-value stores and heap files)."""
+        return sorted([*self._kvstores, *self._heapfiles])
+
+    # -- statistics --------------------------------------------------------------
+
+    def snapshot(self) -> IOSnapshot:
+        """Capture the current disk and buffer-pool counters."""
+        return IOSnapshot(disk=self.disk.stats.snapshot(), pool=self.pool.stats.snapshot())
+
+    def delta_since(self, earlier: IOSnapshot) -> IODelta:
+        """Counter deltas since ``earlier``."""
+        return IODelta(
+            disk=self.disk.stats.diff(earlier.disk),
+            pool=self.pool.stats.diff(earlier.pool),
+        )
+
+    def reset_stats(self) -> None:
+        """Zero all disk and buffer-pool counters."""
+        self.disk.stats.reset()
+        self.pool.stats.reset()
+
+    def drop_cache(self) -> None:
+        """Evict every cached page (flushing dirty pages first)."""
+        self.pool.drop()
+
+    def total_size_bytes(self) -> int:
+        """Serialized size of all stores, in bytes."""
+        total = sum(store.size_bytes() for store in self._kvstores.values())
+        total += sum(heap.total_bytes() for heap in self._heapfiles.values())
+        return total

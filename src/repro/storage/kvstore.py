@@ -1,0 +1,169 @@
+"""BerkeleyDB-flavoured key-value facade over a B+-tree.
+
+The relational layer and the index implementations mostly need an ordered
+key-value store with cursors (the BerkeleyDB API the paper's implementation
+used).  :class:`KVStore` wraps a :class:`~repro.storage.btree.BPlusTree` with
+``put``/``get``/``delete``/``cursor`` methods and duplicate-key support via
+composite keys, which is how the short inverted lists (term -> postings) are
+laid out.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import KeyNotFoundError, StoreClosedError
+from repro.storage.btree import BPlusTree
+from repro.storage.buffer_pool import BufferPool
+
+
+class Cursor:
+    """Forward iterator over a key range of a :class:`KVStore`."""
+
+    def __init__(
+        self,
+        store: "KVStore",
+        low: Any = None,
+        high: Any = None,
+        inclusive: tuple[bool, bool] = (True, True),
+    ) -> None:
+        self._iterator = store.tree.items(low=low, high=high, inclusive=inclusive)
+        self._current: tuple[Any, Any] | None = None
+        self._exhausted = False
+
+    def next(self) -> tuple[Any, Any] | None:
+        """Advance and return the next ``(key, value)`` pair, or ``None``."""
+        if self._exhausted:
+            return None
+        try:
+            self._current = next(self._iterator)
+        except StopIteration:
+            self._current = None
+            self._exhausted = True
+        return self._current
+
+    @property
+    def current(self) -> tuple[Any, Any] | None:
+        """The pair returned by the last successful :meth:`next` call."""
+        return self._current
+
+    def __iter__(self) -> Iterator[tuple[Any, Any]]:
+        while True:
+            pair = self.next()
+            if pair is None:
+                return
+            yield pair
+
+
+class KVStore:
+    """An ordered key-value store with BerkeleyDB-style semantics.
+
+    Parameters
+    ----------
+    buffer_pool:
+        Buffer pool shared with the rest of the storage environment.
+    name:
+        Store name (used in error messages and the environment catalogue).
+    order:
+        B+-tree fan-out; derived from the page size when omitted.
+    """
+
+    def __init__(self, buffer_pool: BufferPool, name: str, order: int | None = None) -> None:
+        self.name = name
+        self.tree = BPlusTree(buffer_pool, order=order, name=name)
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Mark the store closed; further operations raise ``StoreClosedError``."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError(f"store {self.name!r} is closed")
+
+    # -- point operations ------------------------------------------------------
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        self._check_open()
+        self.tree.insert(key, value, overwrite=True)
+
+    def get(self, key: Any, default: Any = ...) -> Any:
+        """Return the value under ``key`` (or ``default`` if supplied)."""
+        self._check_open()
+        return self.tree.get(key, default=default)
+
+    def delete(self, key: Any) -> Any:
+        """Delete ``key`` and return its old value."""
+        self._check_open()
+        return self.tree.delete(key)
+
+    def delete_if_present(self, key: Any) -> bool:
+        """Delete ``key`` if it exists; return whether a deletion happened."""
+        self._check_open()
+        try:
+            self.tree.delete(key)
+        except KeyNotFoundError:
+            return False
+        return True
+
+    def contains(self, key: Any) -> bool:
+        """Whether ``key`` is present."""
+        self._check_open()
+        return key in self.tree
+
+    def __contains__(self, key: Any) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    # -- range operations --------------------------------------------------------
+
+    def cursor(
+        self,
+        low: Any = None,
+        high: Any = None,
+        inclusive: tuple[bool, bool] = (True, True),
+    ) -> Cursor:
+        """Open a forward cursor over ``[low, high]``."""
+        self._check_open()
+        return Cursor(self, low=low, high=high, inclusive=inclusive)
+
+    def items(self, low: Any = None, high: Any = None) -> Iterator[tuple[Any, Any]]:
+        """Iterate ``(key, value)`` pairs over ``[low, high]`` in key order."""
+        self._check_open()
+        return self.tree.items(low=low, high=high)
+
+    def prefix_items(self, prefix: Any) -> Iterator[tuple[Any, Any]]:
+        """Iterate pairs whose (tuple) key starts with ``prefix``.
+
+        Keys must be tuples; ``prefix`` is matched against the first
+        ``len(prefix)`` components.  This is the duplicate-key idiom used for
+        short inverted lists, whose keys are ``(term, doc_id)``.
+        """
+        self._check_open()
+        prefix = tuple(prefix)
+        for key, value in self.tree.items(low=prefix):
+            if not isinstance(key, tuple) or key[: len(prefix)] != prefix:
+                return
+            yield key, value
+
+    # -- statistics ----------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Serialized size of the underlying tree."""
+        self._check_open()
+        return self.tree.size_bytes()
+
+    def page_ids(self) -> set[int]:
+        """Page ids owned by the underlying tree."""
+        self._check_open()
+        return self.tree.page_ids()

@@ -1,0 +1,122 @@
+"""Page abstraction for the simulated storage engine.
+
+A :class:`Page` is a fixed-capacity container of bytes identified by an integer
+page id.  The storage engine never hands raw byte offsets to higher layers;
+instead, components serialise their payloads (posting runs, B+-tree nodes)
+into pages and the disk/buffer-pool layers count how many pages an operation
+touches.  That page count is the quantity the paper's performance arguments
+are about, so keeping it explicit is the whole point of this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PageError
+
+#: Default page size in bytes.  BerkeleyDB's default is 4 KiB; the SVR paper
+#: packs "multiple postings into the same page", which this size reproduces.
+PAGE_SIZE = 4096
+
+
+@dataclass
+class Page:
+    """A fixed-capacity page of bytes.
+
+    Parameters
+    ----------
+    page_id:
+        Identifier assigned by the :class:`~repro.storage.disk.SimulatedDisk`.
+    capacity:
+        Maximum payload size in bytes.
+    data:
+        Current payload.  Must never exceed ``capacity``.
+    """
+
+    page_id: int
+    capacity: int = PAGE_SIZE
+    data: bytes = b""
+    dirty: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise PageError(f"page capacity must be positive, got {self.capacity}")
+        if len(self.data) > self.capacity:
+            raise PageError(
+                f"page {self.page_id}: payload of {len(self.data)} bytes exceeds "
+                f"capacity {self.capacity}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of payload bytes currently stored in the page."""
+        return len(self.data)
+
+    @property
+    def free_space(self) -> int:
+        """Number of payload bytes that can still be written to the page."""
+        return self.capacity - len(self.data)
+
+    def write(self, payload: bytes) -> None:
+        """Replace the page payload, marking the page dirty.
+
+        Raises
+        ------
+        PageError
+            If the payload does not fit in the page.
+        """
+        if len(payload) > self.capacity:
+            raise PageError(
+                f"page {self.page_id}: payload of {len(payload)} bytes exceeds "
+                f"capacity {self.capacity}"
+            )
+        self.data = bytes(payload)
+        self.dirty = True
+
+    def append(self, payload: bytes) -> None:
+        """Append bytes to the page payload, marking the page dirty.
+
+        Raises
+        ------
+        PageError
+            If the combined payload does not fit in the page.
+        """
+        if len(payload) > self.free_space:
+            raise PageError(
+                f"page {self.page_id}: appending {len(payload)} bytes exceeds free "
+                f"space {self.free_space}"
+            )
+        self.data = self.data + bytes(payload)
+        self.dirty = True
+
+    def clear(self) -> None:
+        """Drop the payload, marking the page dirty."""
+        self.data = b""
+        self.dirty = True
+
+    def copy(self) -> "Page":
+        """Return an independent copy of the page (used by the disk layer)."""
+        return Page(page_id=self.page_id, capacity=self.capacity, data=self.data)
+
+
+def pages_needed(payload_size: int, page_size: int = PAGE_SIZE) -> int:
+    """Number of pages required to hold ``payload_size`` bytes.
+
+    A zero-byte payload still occupies one page (the object exists on disk).
+    """
+    if payload_size < 0:
+        raise PageError(f"payload size must be non-negative, got {payload_size}")
+    if payload_size == 0:
+        return 1
+    return (payload_size + page_size - 1) // page_size
+
+
+def split_into_pages(payload: bytes, page_size: int = PAGE_SIZE) -> list[bytes]:
+    """Split a byte string into page-sized fragments.
+
+    The final fragment may be shorter than ``page_size``.  An empty payload
+    yields a single empty fragment so that the object still occupies one page.
+    """
+    if not payload:
+        return [b""]
+    return [payload[i:i + page_size] for i in range(0, len(payload), page_size)]

@@ -1,0 +1,30 @@
+"""Text management substrate: tokenisation, document storage and term scoring.
+
+This is the "black box" text component of the SQL/MM architecture in §3 of the
+paper, minus the inverted lists themselves (those are the paper's contribution
+and live in :mod:`repro.core.indexes`).  It provides:
+
+* :class:`~repro.text.tokenizer.Tokenizer` and
+  :class:`~repro.text.analyzer.Analyzer` — turning raw text into normalised
+  terms,
+* :class:`~repro.text.documents.DocumentStore` — the forward index
+  (document id -> term frequencies), which the score-update algorithm needs to
+  know a document's terms (``Content(id)`` in Algorithm 1), and
+* :mod:`repro.text.termscore` — TF, IDF and normalised-TF scoring used by the
+  TermScore index variants and the TF-IDF baseline.
+"""
+
+from repro.text.analyzer import Analyzer
+from repro.text.dictionary import TermDictionary
+from repro.text.documents import Document, DocumentStore
+from repro.text.termscore import TermScorer
+from repro.text.tokenizer import Tokenizer
+
+__all__ = [
+    "Tokenizer",
+    "Analyzer",
+    "Document",
+    "DocumentStore",
+    "TermDictionary",
+    "TermScorer",
+]

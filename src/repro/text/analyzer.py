@@ -1,0 +1,78 @@
+"""Analysis pipeline: tokenisation plus term normalisation and filtering."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.text.tokenizer import Tokenizer
+
+#: A small English stopword list.  The paper's synthetic corpus uses random
+#: terms so stopwords barely matter there, but the Internet-Archive-style
+#: examples benefit from dropping them.
+DEFAULT_STOPWORDS = frozenset(
+    """a an and are as at be but by for from has have in is it its of on or that the
+    this to was were will with""".split()
+)
+
+
+class Analyzer:
+    """Turns raw text into a normalised term sequence.
+
+    The pipeline is: tokenize -> lowercase (optional) -> stopword filter
+    (optional).  Term *stemming* is deliberately omitted: the paper does not
+    stem, and stemming would change corpus statistics such as the number of
+    distinct terms that the synthetic workload controls precisely.
+
+    Parameters
+    ----------
+    tokenizer:
+        Tokenizer used for the first stage (a default one is created if omitted).
+    lowercase:
+        Whether to lowercase tokens.
+    stopwords:
+        Terms to drop after normalisation; pass an empty set to keep everything.
+    """
+
+    def __init__(
+        self,
+        tokenizer: Tokenizer | None = None,
+        lowercase: bool = True,
+        stopwords: Iterable[str] | None = None,
+    ) -> None:
+        self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
+        self.lowercase = lowercase
+        if stopwords is None:
+            self.stopwords = frozenset()
+        else:
+            self.stopwords = frozenset(
+                word.lower() if lowercase else word for word in stopwords
+            )
+
+    @classmethod
+    def english(cls) -> "Analyzer":
+        """An analyzer with the default English stopword list."""
+        return cls(stopwords=DEFAULT_STOPWORDS)
+
+    def analyze(self, text: str) -> list[str]:
+        """Return the normalised terms of ``text``."""
+        return list(self.iter_terms(text))
+
+    def iter_terms(self, text: str) -> Iterator[str]:
+        """Yield the normalised terms of ``text`` one at a time."""
+        for token in self.tokenizer.iter_tokens(text):
+            term = token.lower() if self.lowercase else token
+            if term in self.stopwords:
+                continue
+            yield term
+
+    def normalize_query_terms(self, keywords: Iterable[str]) -> list[str]:
+        """Normalise user-supplied query keywords the same way documents are analysed.
+
+        Keywords that normalise to nothing (stopwords, punctuation-only) are
+        dropped; duplicates are removed while preserving order.
+        """
+        seen: dict[str, None] = {}
+        for keyword in keywords:
+            for term in self.iter_terms(keyword):
+                seen.setdefault(term, None)
+        return list(seen)

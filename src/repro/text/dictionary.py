@@ -1,0 +1,73 @@
+"""Term dictionary: per-term document frequencies and term identifiers."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import TextError
+
+
+class TermDictionary:
+    """Tracks the vocabulary of an indexed collection.
+
+    For every term the dictionary records a stable integer term id (assigned
+    in first-seen order) and the term's document frequency — the number of
+    documents currently containing it.  Document frequencies feed the IDF part
+    of term scoring and let index implementations size their fancy lists.
+    """
+
+    def __init__(self) -> None:
+        self._term_ids: dict[str, int] = {}
+        self._doc_freq: dict[str, int] = {}
+
+    def add_document_terms(self, terms: set[str]) -> None:
+        """Record that a new document contains the given distinct terms."""
+        for term in terms:
+            if term not in self._term_ids:
+                self._term_ids[term] = len(self._term_ids)
+                self._doc_freq[term] = 0
+            self._doc_freq[term] += 1
+
+    def remove_document_terms(self, terms: set[str]) -> None:
+        """Record that a document containing the given distinct terms was removed."""
+        for term in terms:
+            current = self._doc_freq.get(term)
+            if current is None or current <= 0:
+                raise TextError(
+                    f"cannot decrement document frequency of unseen term {term!r}"
+                )
+            self._doc_freq[term] = current - 1
+
+    def update_document_terms(self, old_terms: set[str], new_terms: set[str]) -> None:
+        """Adjust document frequencies for a content update."""
+        self.add_document_terms(new_terms - old_terms)
+        self.remove_document_terms(old_terms - new_terms)
+
+    def term_id(self, term: str) -> int:
+        """Stable integer id of ``term`` (raises for unknown terms)."""
+        term_id = self._term_ids.get(term)
+        if term_id is None:
+            raise TextError(f"unknown term {term!r}")
+        return term_id
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents currently containing ``term`` (0 when unknown)."""
+        return self._doc_freq.get(term, 0)
+
+    def contains(self, term: str) -> bool:
+        """Whether the term has ever been seen."""
+        return term in self._term_ids
+
+    def __contains__(self, term: str) -> bool:
+        return self.contains(term)
+
+    def __len__(self) -> int:
+        return len(self._term_ids)
+
+    def terms(self) -> Iterator[str]:
+        """Iterate all terms ever seen, in first-seen order."""
+        return iter(self._term_ids)
+
+    def live_terms(self) -> Iterator[str]:
+        """Iterate terms whose document frequency is currently positive."""
+        return (term for term, freq in self._doc_freq.items() if freq > 0)

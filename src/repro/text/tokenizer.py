@@ -1,0 +1,59 @@
+"""Tokenisation of raw text into term sequences."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.errors import TokenizationError
+
+#: Default token pattern: maximal runs of letters, digits and apostrophes.
+_TOKEN_PATTERN = re.compile(r"[A-Za-z0-9']+")
+
+
+class Tokenizer:
+    """Splits text into raw tokens.
+
+    Parameters
+    ----------
+    pattern:
+        Regular expression describing a single token.  The default matches
+        alphanumeric runs, which is what the paper's synthetic corpus (random
+        English-like terms) and the Internet Archive descriptions need.
+    min_length / max_length:
+        Tokens outside this length range are dropped.
+    """
+
+    def __init__(
+        self,
+        pattern: str | re.Pattern[str] | None = None,
+        min_length: int = 1,
+        max_length: int = 64,
+    ) -> None:
+        if min_length < 1:
+            raise TokenizationError(f"min_length must be at least 1, got {min_length}")
+        if max_length < min_length:
+            raise TokenizationError(
+                f"max_length ({max_length}) must be >= min_length ({min_length})"
+            )
+        if pattern is None:
+            self._pattern = _TOKEN_PATTERN
+        elif isinstance(pattern, re.Pattern):
+            self._pattern = pattern
+        else:
+            self._pattern = re.compile(pattern)
+        self.min_length = min_length
+        self.max_length = max_length
+
+    def tokenize(self, text: str) -> list[str]:
+        """Return the list of tokens in ``text`` (order preserved, duplicates kept)."""
+        return list(self.iter_tokens(text))
+
+    def iter_tokens(self, text: str) -> Iterator[str]:
+        """Yield tokens in ``text`` one at a time."""
+        if not isinstance(text, str):
+            raise TokenizationError(f"expected a string to tokenize, got {type(text).__name__}")
+        for match in self._pattern.finditer(text):
+            token = match.group(0)
+            if self.min_length <= len(token) <= self.max_length:
+                yield token

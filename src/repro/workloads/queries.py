@@ -1,0 +1,115 @@
+"""Keyword-query workloads (§5.1).
+
+The paper studies three selectivity classes — keywords drawn from the 350 most
+frequent terms (unselective: long inverted lists), the top 1,600 (medium) and
+the top 15,000 (selective) — with a varying number of desired results ``k`` and
+both conjunctive and disjunctive semantics.  Because the reproduction runs at a
+reduced corpus scale, the class boundaries are expressed as *fractions* of the
+vocabulary by default, with the paper's absolute values available via
+:meth:`QueryWorkloadConfig.paper_scale`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import WorkloadError
+
+#: Fraction of the (frequency-ranked) vocabulary each selectivity class draws from.
+_SELECTIVITY_FRACTIONS = {
+    "unselective": 0.00175,   # paper: top 350 of 200,000 terms
+    "medium": 0.008,          # paper: top 1,600
+    "selective": 0.075,       # paper: top 15,000
+}
+
+
+@dataclass(frozen=True)
+class KeywordQuery:
+    """One keyword query: terms, number of desired results and semantics."""
+
+    keywords: tuple[str, ...]
+    k: int = 10
+    conjunctive: bool = True
+
+
+@dataclass(frozen=True)
+class QueryWorkloadConfig:
+    """Parameters of a query workload."""
+
+    num_queries: int = 50                # paper: 50 independent measurements
+    terms_per_query: int = 2
+    selectivity: str = "unselective"     # "unselective" | "medium" | "selective"
+    k: int = 10
+    conjunctive: bool = True
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 1:
+            raise WorkloadError("num_queries must be positive")
+        if self.terms_per_query < 1:
+            raise WorkloadError("terms_per_query must be positive")
+        if self.selectivity not in _SELECTIVITY_FRACTIONS:
+            raise WorkloadError(
+                f"selectivity must be one of {sorted(_SELECTIVITY_FRACTIONS)}, "
+                f"got {self.selectivity!r}"
+            )
+        if self.k < 1:
+            raise WorkloadError("k must be positive")
+
+    def candidate_pool_size(self, vocabulary_size: int) -> int:
+        """Number of frequency-ranked terms this class draws its keywords from."""
+        fraction = _SELECTIVITY_FRACTIONS[self.selectivity]
+        return max(self.terms_per_query, int(round(fraction * vocabulary_size)))
+
+
+class QueryWorkload:
+    """Generates a deterministic list of keyword queries.
+
+    Parameters
+    ----------
+    config:
+        Workload parameters.
+    frequent_terms:
+        The corpus vocabulary ordered by decreasing frequency (see
+        :meth:`repro.workloads.synthetic.SyntheticCorpus.frequent_terms`).
+    vocabulary_size:
+        Total vocabulary size; defaults to ``len(frequent_terms)``.
+    """
+
+    def __init__(self, config: QueryWorkloadConfig, frequent_terms: Sequence[str],
+                 vocabulary_size: int | None = None) -> None:
+        if not frequent_terms:
+            raise WorkloadError("the query workload needs a non-empty vocabulary")
+        self.config = config
+        vocabulary_size = (
+            vocabulary_size if vocabulary_size is not None else len(frequent_terms)
+        )
+        pool_size = min(
+            config.candidate_pool_size(vocabulary_size), len(frequent_terms)
+        )
+        self._pool = list(frequent_terms[:pool_size])
+        if len(self._pool) < config.terms_per_query:
+            raise WorkloadError(
+                f"the keyword pool has {len(self._pool)} terms but queries need "
+                f"{config.terms_per_query}"
+            )
+        self._rng = random.Random(config.seed)
+
+    @property
+    def pool(self) -> list[str]:
+        """The terms queries are drawn from."""
+        return list(self._pool)
+
+    def generate(self) -> list[KeywordQuery]:
+        """Generate ``config.num_queries`` keyword queries."""
+        queries = []
+        for _ in range(self.config.num_queries):
+            keywords = tuple(self._rng.sample(self._pool, self.config.terms_per_query))
+            queries.append(
+                KeywordQuery(
+                    keywords=keywords, k=self.config.k, conjunctive=self.config.conjunctive
+                )
+            )
+        return queries

@@ -1,0 +1,156 @@
+"""Synthetic corpus generator (§5.1).
+
+The paper's synthetic data set is a relation ``R(Id, StructuredColumn,
+TextColumn)``: 100,000 documents of 2,000 terms each drawn from a 200,000-term
+vocabulary with Zipf(0.1) term frequencies, plus a Score table with values in
+``[0, 100000]`` following Zipf(0.75).  A pure-Python reproduction runs the same
+*shape* at a reduced default scale; every parameter is configurable and the
+paper-scale values are available through :meth:`SyntheticCorpusConfig.paper_scale`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.workloads.zipf import ZipfSampler, zipf_scores
+
+
+@dataclass(frozen=True)
+class SyntheticCorpusConfig:
+    """Parameters of the synthetic corpus.
+
+    Defaults are a laptop-scale rendition of the paper's defaults (which are in
+    the comments); the ratios between parameters — vocabulary much larger than
+    a document, Zipfian term reuse, heavily skewed scores — are preserved.
+    """
+
+    num_docs: int = 2000                 # paper: 100,000
+    terms_per_doc: int = 120             # paper: 2,000
+    num_distinct_terms: int = 20000      # paper: 200,000
+    term_zipf: float = 0.8               # paper: 0.1 over a 200k vocabulary
+    max_score: float = 100000.0          # paper: 100,000
+    score_zipf: float = 0.75             # paper: 0.75
+    structured_column_bytes: int = 100   # paper: 100-byte structured column
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_docs < 1:
+            raise WorkloadError("num_docs must be positive")
+        if self.terms_per_doc < 1:
+            raise WorkloadError("terms_per_doc must be positive")
+        if self.num_distinct_terms < 1:
+            raise WorkloadError("num_distinct_terms must be positive")
+
+    @classmethod
+    def paper_scale(cls) -> "SyntheticCorpusConfig":
+        """The paper's actual default parameters (805 MB of data; slow in Python)."""
+        return cls(
+            num_docs=100000,
+            terms_per_doc=2000,
+            num_distinct_terms=200000,
+            term_zipf=0.1,
+            max_score=100000.0,
+            score_zipf=0.75,
+        )
+
+    @classmethod
+    def tiny(cls, seed: int = 7) -> "SyntheticCorpusConfig":
+        """A very small corpus for unit tests."""
+        return cls(num_docs=120, terms_per_doc=25, num_distinct_terms=400, seed=seed)
+
+    def scaled(self, factor: float) -> "SyntheticCorpusConfig":
+        """A copy with the document count scaled by ``factor`` (at least one doc)."""
+        if factor <= 0:
+            raise WorkloadError(f"scale factor must be positive, got {factor}")
+        return replace(self, num_docs=max(1, int(self.num_docs * factor)))
+
+
+@dataclass(frozen=True)
+class SyntheticDocument:
+    """One generated document: id, term sequence, structured payload and score."""
+
+    doc_id: int
+    terms: tuple[str, ...]
+    structured_value: str
+    score: float
+
+    @property
+    def text(self) -> str:
+        """The document rendered as a text string (for relational-table storage)."""
+        return " ".join(self.terms)
+
+
+@dataclass
+class SyntheticCorpus:
+    """A generated corpus plus the vocabulary statistics the workloads need."""
+
+    config: SyntheticCorpusConfig
+    documents: list[SyntheticDocument]
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def scores(self) -> dict[int, float]:
+        """Document id -> initial score."""
+        return {document.doc_id: document.score for document in self.documents}
+
+    def doc_ids(self) -> list[int]:
+        """All document ids in generation order."""
+        return [document.doc_id for document in self.documents]
+
+    def frequent_terms(self, count: int) -> list[str]:
+        """The ``count`` most frequent terms, most frequent first.
+
+        The query workloads draw their keywords from prefixes of this list —
+        the paper's "top 350 / top 1,600 / top 15,000 most frequent terms".
+        """
+        frequencies: dict[str, int] = {}
+        for document in self.documents:
+            for term in document.terms:
+                frequencies[term] = frequencies.get(term, 0) + 1
+        ordered = sorted(frequencies.items(), key=lambda item: (-item[1], item[0]))
+        return [term for term, _freq in ordered[:count]]
+
+    def iter_documents(self) -> Iterator[SyntheticDocument]:
+        """Iterate documents in generation order."""
+        return iter(self.documents)
+
+
+def term_name(rank: int) -> str:
+    """Stable name of the term with frequency rank ``rank`` (1-based)."""
+    return f"term{rank:06d}"
+
+
+def generate_corpus(config: SyntheticCorpusConfig | None = None) -> SyntheticCorpus:
+    """Generate a synthetic corpus according to ``config``.
+
+    Generation is fully deterministic given the config's ``seed``.
+    """
+    config = config if config is not None else SyntheticCorpusConfig()
+    rng = random.Random(config.seed)
+    term_sampler = ZipfSampler(config.num_distinct_terms, config.term_zipf, rng)
+    scores = zipf_scores(config.num_docs, config.max_score, config.score_zipf, rng)
+    documents = []
+    for index in range(config.num_docs):
+        doc_id = index + 1
+        ranks = term_sampler.sample_ranks(config.terms_per_doc)
+        terms = tuple(term_name(rank) for rank in ranks)
+        structured_value = _structured_payload(rng, config.structured_column_bytes)
+        documents.append(
+            SyntheticDocument(
+                doc_id=doc_id,
+                terms=terms,
+                structured_value=structured_value,
+                score=scores[index],
+            )
+        )
+    return SyntheticCorpus(config=config, documents=documents)
+
+
+def _structured_payload(rng: random.Random, size: int) -> str:
+    """A fixed-size printable payload simulating the 100-byte structured column."""
+    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+    return "".join(rng.choice(alphabet) for _ in range(size))

@@ -1,0 +1,150 @@
+"""Score-update workloads (§5.1).
+
+The paper's update workload has four knobs:
+
+* documents with higher scores are updated more often (Zipf over score rank,
+  matching the Internet Archive update logs);
+* the **mean update step** controls the magnitude of a score change — a value
+  of 100 means the score moves by a uniformly distributed amount between 0 and
+  200, equally likely to increase or decrease;
+* a **focus set** — a small fraction of documents, chosen independently of
+  their score, that temporarily receives a share of the updates ("newly
+  popular" documents such as a song entering the top-5);
+* the **focus direction** — focus-set updates are strictly increasing by
+  default (the flash-crowd case), but can be strictly decreasing or mixed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import WorkloadError
+from repro.workloads.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class ScoreUpdate:
+    """One score update: the target document and the signed score delta."""
+
+    doc_id: int
+    delta: float
+
+    def apply_to(self, current: float) -> float:
+        """New (non-negative) score after applying the update to ``current``."""
+        return max(0.0, current + self.delta)
+
+
+@dataclass(frozen=True)
+class UpdateWorkloadConfig:
+    """Parameters of a score-update workload (paper defaults in bold in §5.1)."""
+
+    num_updates: int = 10000             # paper default: 100,000
+    mean_step: float = 100.0             # paper default: 100
+    target_zipf: float = 0.75            # skew towards high-score documents
+    focus_set_fraction: float = 0.01     # fraction of documents in the focus set
+    focus_update_fraction: float = 0.2   # fraction of updates aimed at the focus set
+    focus_direction: str = "increase"    # "increase" | "decrease" | "mixed"
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.num_updates < 0:
+            raise WorkloadError("num_updates must be non-negative")
+        if self.mean_step <= 0:
+            raise WorkloadError("mean_step must be positive")
+        if not 0.0 <= self.focus_set_fraction <= 1.0:
+            raise WorkloadError("focus_set_fraction must be in [0, 1]")
+        if not 0.0 <= self.focus_update_fraction <= 1.0:
+            raise WorkloadError("focus_update_fraction must be in [0, 1]")
+        if self.focus_direction not in ("increase", "decrease", "mixed"):
+            raise WorkloadError(
+                "focus_direction must be 'increase', 'decrease' or 'mixed', "
+                f"got {self.focus_direction!r}"
+            )
+
+
+class UpdateWorkload:
+    """Generates a deterministic stream of :class:`ScoreUpdate` events.
+
+    Parameters
+    ----------
+    config:
+        Workload parameters.
+    initial_scores:
+        Document id -> initial score; used to bias update targets towards
+        high-score documents and to pick the focus set.
+    """
+
+    def __init__(self, config: UpdateWorkloadConfig,
+                 initial_scores: Mapping[int, float]) -> None:
+        if not initial_scores:
+            raise WorkloadError("the update workload needs at least one document")
+        self.config = config
+        self._rng = random.Random(config.seed)
+        # Documents ordered by decreasing initial score: rank 1 = highest score,
+        # so a Zipf sampler over ranks updates popular documents most often.
+        self._by_score = [
+            doc_id
+            for doc_id, _score in sorted(
+                initial_scores.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+        self._sampler = ZipfSampler(len(self._by_score), config.target_zipf, self._rng)
+        focus_count = int(round(config.focus_set_fraction * len(self._by_score)))
+        population = list(initial_scores)
+        self._focus_set = (
+            self._rng.sample(population, focus_count) if focus_count > 0 else []
+        )
+        self._focus_directions = {
+            doc_id: self._direction_for(position)
+            for position, doc_id in enumerate(self._focus_set)
+        }
+
+    def _direction_for(self, position: int) -> int:
+        if self.config.focus_direction == "increase":
+            return 1
+        if self.config.focus_direction == "decrease":
+            return -1
+        return 1 if position % 2 == 0 else -1
+
+    @property
+    def focus_set(self) -> list[int]:
+        """The documents in the focus set (possibly empty)."""
+        return list(self._focus_set)
+
+    def generate(self) -> Iterator[ScoreUpdate]:
+        """Yield ``config.num_updates`` score updates."""
+        for _ in range(self.config.num_updates):
+            yield self._one_update()
+
+    def generate_list(self) -> list[ScoreUpdate]:
+        """Materialise the whole update stream."""
+        return list(self.generate())
+
+    def _one_update(self) -> ScoreUpdate:
+        use_focus = (
+            bool(self._focus_set)
+            and self._rng.random() < self.config.focus_update_fraction
+        )
+        magnitude = self._rng.uniform(0.0, 2.0 * self.config.mean_step)
+        if use_focus:
+            doc_id = self._rng.choice(self._focus_set)
+            sign = self._focus_directions[doc_id]
+        else:
+            rank = self._sampler.sample_rank()
+            doc_id = self._by_score[rank - 1]
+            sign = 1 if self._rng.random() < 0.5 else -1
+        return ScoreUpdate(doc_id=doc_id, delta=sign * magnitude)
+
+
+def apply_updates(updates: Iterator[ScoreUpdate] | list[ScoreUpdate],
+                  scores: dict[int, float]) -> dict[int, float]:
+    """Apply a stream of updates to a plain score dictionary (reference model).
+
+    Tests use this to compare index behaviour against ground truth; the
+    experiment harness applies the same updates through the index API instead.
+    """
+    for update in updates:
+        scores[update.doc_id] = update.apply_to(scores[update.doc_id])
+    return scores

@@ -1,0 +1,88 @@
+"""Zipf samplers.
+
+Three quantities in the paper follow Zipf distributions: term frequencies in
+the synthetic text (parameter 0.1, "as in English"), document scores
+(parameter 0.75, matching what the authors measured on the Internet Archive),
+and the score-update target distribution (documents with higher scores are
+updated more often).  :class:`ZipfSampler` covers all three.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Sequence
+
+from repro.errors import WorkloadError
+
+
+class ZipfSampler:
+    """Samples ranks ``1..n`` with probability proportional to ``1 / rank**s``.
+
+    Parameters
+    ----------
+    n:
+        Number of ranks.
+    s:
+        Zipf exponent (``s = 0`` degenerates to the uniform distribution).
+    rng:
+        Random generator; a seeded one should be supplied for reproducibility.
+    """
+
+    def __init__(self, n: int, s: float, rng: random.Random | None = None) -> None:
+        if n < 1:
+            raise WorkloadError(f"n must be positive, got {n}")
+        if s < 0:
+            raise WorkloadError(f"the Zipf exponent must be non-negative, got {s}")
+        self.n = n
+        self.s = s
+        self._rng = rng if rng is not None else random.Random(0)
+        weights = [1.0 / (rank ** s) for rank in range(1, n + 1)]
+        total = sum(weights)
+        cumulative = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        cumulative[-1] = 1.0
+        self._cumulative = cumulative
+
+    def sample_rank(self) -> int:
+        """Draw one rank in ``1..n`` (rank 1 is the most probable)."""
+        value = self._rng.random()
+        return bisect.bisect_left(self._cumulative, value) + 1
+
+    def sample_ranks(self, count: int) -> list[int]:
+        """Draw ``count`` independent ranks."""
+        if count < 0:
+            raise WorkloadError(f"count must be non-negative, got {count}")
+        return [self.sample_rank() for _ in range(count)]
+
+    def probability(self, rank: int) -> float:
+        """Probability mass of a given rank."""
+        if rank < 1 or rank > self.n:
+            raise WorkloadError(f"rank must be in 1..{self.n}, got {rank}")
+        if rank == 1:
+            return self._cumulative[0]
+        return self._cumulative[rank - 1] - self._cumulative[rank - 2]
+
+
+def zipf_scores(count: int, max_score: float, s: float,
+                rng: random.Random | None = None) -> list[float]:
+    """Generate ``count`` document scores with a Zipf-shaped distribution.
+
+    Scores are assigned by rank — the document at rank ``r`` receives
+    ``max_score / r**s`` — and then shuffled so that document ids and scores
+    are uncorrelated, matching the paper's synthetic Score table (values in
+    ``[0, max_score]``, Zipf parameter ``s``).
+    """
+    if count < 0:
+        raise WorkloadError(f"count must be non-negative, got {count}")
+    if max_score <= 0:
+        raise WorkloadError(f"max_score must be positive, got {max_score}")
+    if s < 0:
+        raise WorkloadError(f"the Zipf exponent must be non-negative, got {s}")
+    rng = rng if rng is not None else random.Random(0)
+    scores = [max_score / ((rank + 1) ** s) for rank in range(count)]
+    rng.shuffle(scores)
+    return scores

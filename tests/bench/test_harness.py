@@ -1,0 +1,146 @@
+"""Smoke tests for the experiment harness (metrics, runner, reporting, experiments).
+
+Every paper experiment is exercised at smoke scale so that a broken harness is
+caught by ``pytest tests/`` without having to run the full benchmark suite.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ablation_chunk_boundaries,
+    fig7_varying_updates,
+    fig8_varying_k,
+    fig9_termscore,
+    fig10_disjunctive,
+    table1_index_sizes,
+    table2_chunk_ratio,
+    table3_insertions,
+)
+from repro.bench.metrics import MeteredEnvironment, OperationMetrics
+from repro.bench.reporting import format_rows, save_report
+from repro.bench.runner import BenchScale, ExperimentRunner, MethodSetup
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return BenchScale.smoke()
+
+
+@pytest.fixture(scope="module")
+def runner(scale):
+    return ExperimentRunner(scale)
+
+
+class TestMetrics:
+    def test_operation_metrics_averages(self):
+        metrics = OperationMetrics(label="x")
+        metrics.record(wall_ms=10.0, pages_read=4)
+        metrics.record(wall_ms=20.0, pages_read=0)
+        assert metrics.operations == 2
+        assert metrics.avg_wall_ms == 15.0
+        assert metrics.avg_pages_read == 2.0
+        row = metrics.as_row()
+        assert row["operations"] == 2
+
+    def test_merge(self):
+        a = OperationMetrics()
+        a.record(wall_ms=1.0)
+        b = OperationMetrics()
+        b.record(wall_ms=3.0, pages_read=2)
+        a.merge(b)
+        assert a.operations == 2 and a.pages_read == 2
+
+    def test_metered_environment_captures_io(self, runner):
+        index, _ = runner.build_index(MethodSetup("id"))
+        metrics = OperationMetrics()
+        meter = MeteredEnvironment(index.env)
+        index.drop_long_list_cache()
+        keywords = runner.make_queries(num_queries=1)[0].keywords
+        with meter.measure(metrics):
+            index.search(keywords, k=3)
+        assert metrics.operations == 1
+        assert metrics.wall_ms > 0
+        assert metrics.pages_read >= 1
+
+
+class TestRunner:
+    def test_build_update_query_cycle(self, runner):
+        setup = MethodSetup("chunk", {"chunk_ratio": 2.0})
+        updates = runner.make_updates(num_updates=50)
+        queries = runner.make_queries(num_queries=3)
+        run = runner.measure_method(setup, updates, queries)
+        assert run.update_metrics.operations == 50
+        assert run.query_metrics.operations == 3
+        assert run.long_list_bytes > 0
+
+    def test_update_stream_and_queries_are_deterministic(self, runner):
+        assert [
+            (u.doc_id, u.delta) for u in runner.make_updates(num_updates=20)
+        ] == [(u.doc_id, u.delta) for u in runner.make_updates(num_updates=20)]
+        assert [q.keywords for q in runner.make_queries(num_queries=4)] == [
+            q.keywords for q in runner.make_queries(num_queries=4)
+        ]
+
+    def test_scale_presets(self):
+        assert BenchScale.smoke().corpus.num_docs < BenchScale.small().corpus.num_docs
+        assert BenchScale.small().with_updates(7).num_updates == 7
+
+
+class TestReporting:
+    def test_format_rows_alignment_and_missing_values(self):
+        text = format_rows(
+            [{"a": 1, "b": 2.5}, {"a": 10}], columns=["a", "b"], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+        assert format_rows([]) == "(no rows)"
+
+    def test_save_report(self, tmp_path):
+        path = save_report("unit", "content", directory=tmp_path)
+        assert path.read_text() == "content\n"
+
+
+class TestExperimentsSmoke:
+    def test_table1(self, scale):
+        rows = table1_index_sizes(scale)
+        assert {row["method"] for row in rows} == {
+            "id", "score", "score_threshold", "chunk", "id_termscore", "chunk_termscore",
+        }
+        sizes = {row["method"]: row["long_list_bytes"] for row in rows}
+        assert sizes["score"] > sizes["id"]
+
+    def test_table2(self, scale):
+        rows = table2_chunk_ratio(scale, ratios=(8.0, 2.0), mean_steps=(100.0,))
+        assert len(rows) == 2
+        assert all(row["avg_query_ms"] > 0 for row in rows)
+
+    def test_fig7(self, scale):
+        rows = fig7_varying_updates(scale, update_counts=(0, 100))
+        methods = {row["method"] for row in rows}
+        assert methods == {"id", "score", "score_threshold", "chunk"}
+        assert all(row["avg_query_ms"] > 0 for row in rows)
+
+    def test_fig8(self, scale):
+        rows = fig8_varying_k(scale, ks=(1, 10))
+        assert len(rows) == 6
+
+    def test_fig9(self, scale):
+        rows = fig9_termscore(scale)
+        assert {row["method"] for row in rows} == {"id_termscore", "chunk_termscore"}
+
+    def test_fig10(self, scale):
+        rows = fig10_disjunctive(
+            scale, methods=(MethodSetup("id"), MethodSetup("chunk", {"chunk_ratio": 2.0}))
+        )
+        assert all(row["disj_query_ms"] > 0 for row in rows)
+
+    def test_table3(self, scale):
+        rows = table3_insertions(scale, insertion_counts=(5, 10), score_update_sample=20)
+        assert [row["inserted_docs"] for row in rows] == [5, 10]
+        assert rows[-1]["short_list_bytes"] >= rows[0]["short_list_bytes"]
+
+    def test_ablation_chunk_boundaries(self, scale):
+        rows = ablation_chunk_boundaries(scale, num_chunks=5)
+        assert {row["strategy"] for row in rows} == {"ratio", "equal_count", "exponential"}

@@ -1,0 +1,205 @@
+"""Cross-method equivalence: every index must return the ground-truth top-k.
+
+These are the tests of the paper's central claims (Theorems 1 and 2): no matter
+how scores are updated, which method is used, and how stale the long inverted
+lists become, a query must return exactly the top-k documents under the
+*latest* scores.  The ground truth is a brute-force recomputation
+(:func:`tests.helpers.reference_top_k`).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import METHOD_OPTIONS, SVR_ONLY_METHODS, TERMSCORE_METHODS, make_corpus
+from tests.helpers import build_index, normalized_tf, query_doc_scores, reference_top_k
+
+
+def _corpus_maps(corpus):
+    documents = {doc_id: set(terms) for doc_id, terms, _score in corpus}
+    scores = {doc_id: score for doc_id, _terms, score in corpus}
+    term_scores = {doc_id: normalized_tf(terms) for doc_id, terms, _score in corpus}
+    return documents, scores, term_scores
+
+
+def _apply_random_updates(index, scores, rng, count=60, max_score=5000.0):
+    doc_ids = list(scores)
+    for _ in range(count):
+        doc_id = rng.choice(doc_ids)
+        new_score = round(rng.uniform(0.0, max_score), 2)
+        scores[doc_id] = new_score
+        index.update_score(doc_id, new_score)
+
+
+@pytest.mark.parametrize("method", SVR_ONLY_METHODS)
+@pytest.mark.parametrize("conjunctive", [True, False])
+def test_svr_methods_match_reference_after_updates(method, conjunctive, small_corpus, rng):
+    index = build_index(method, small_corpus, **METHOD_OPTIONS[method])
+    documents, scores, _ = _corpus_maps(small_corpus)
+    _apply_random_updates(index, scores, rng)
+    vocabulary = sorted({term for terms in documents.values() for term in terms})
+    for trial in range(20):
+        keywords = rng.sample(vocabulary, 2)
+        k = rng.choice([1, 3, 5, 10])
+        expected = reference_top_k(documents, scores, set(), keywords, k, conjunctive)
+        actual = query_doc_scores(index, keywords, k, conjunctive)
+        assert actual == expected, f"trial {trial}: {method} diverged for {keywords}"
+
+
+@pytest.mark.parametrize("method", SVR_ONLY_METHODS)
+def test_svr_methods_agree_with_each_other(method, small_corpus, rng):
+    """All SVR-only methods must return identical rankings for the same state."""
+    baseline = build_index("id", small_corpus)
+    other = build_index(method, small_corpus, **METHOD_OPTIONS[method])
+    updates = [(rng.choice(small_corpus)[0], round(rng.uniform(0, 3000), 2)) for _ in range(40)]
+    for doc_id, new_score in updates:
+        baseline.update_score(doc_id, new_score)
+        other.update_score(doc_id, new_score)
+    vocabulary = sorted({term for _d, terms, _s in small_corpus for term in terms})
+    for _ in range(10):
+        keywords = rng.sample(vocabulary, 2)
+        assert query_doc_scores(other, keywords, 5) == query_doc_scores(baseline, keywords, 5)
+
+
+@pytest.mark.parametrize("method", TERMSCORE_METHODS)
+@pytest.mark.parametrize("conjunctive", [True, False])
+def test_termscore_methods_match_combined_reference(method, conjunctive, small_corpus, rng):
+    index = build_index(method, small_corpus, **METHOD_OPTIONS[method])
+    documents, scores, term_scores = _corpus_maps(small_corpus)
+    _apply_random_updates(index, scores, rng)
+    vocabulary = sorted({term for terms in documents.values() for term in terms})
+    for _ in range(15):
+        keywords = rng.sample(vocabulary, 2)
+        k = rng.choice([1, 5, 10])
+        expected = reference_top_k(
+            documents, scores, set(), keywords, k, conjunctive, term_scores=term_scores
+        )
+        actual = query_doc_scores(index, keywords, k, conjunctive)
+        assert [doc for doc, _ in actual] == [doc for doc, _ in expected]
+        for (_, got), (_, want) in zip(actual, expected):
+            assert got == pytest.approx(want, rel=1e-4, abs=1e-6)
+
+
+@pytest.mark.parametrize("method", SVR_ONLY_METHODS)
+def test_methods_handle_deletions(method, small_corpus, rng):
+    index = build_index(method, small_corpus, **METHOD_OPTIONS[method])
+    documents, scores, _ = _corpus_maps(small_corpus)
+    deleted = set(rng.sample(list(scores), 8))
+    for doc_id in deleted:
+        index.delete_document(doc_id)
+    vocabulary = sorted({term for terms in documents.values() for term in terms})
+    for _ in range(10):
+        keywords = rng.sample(vocabulary, 2)
+        expected = reference_top_k(documents, scores, deleted, keywords, 5, True)
+        assert query_doc_scores(index, keywords, 5) == expected
+
+
+@pytest.mark.parametrize("method", SVR_ONLY_METHODS + TERMSCORE_METHODS)
+def test_methods_handle_insertions(method, small_corpus, rng):
+    index = build_index(method, small_corpus, **METHOD_OPTIONS[method])
+    documents, scores, term_scores = _corpus_maps(small_corpus)
+    vocabulary = sorted({term for terms in documents.values() for term in terms})
+    next_id = max(scores) + 1
+    for offset in range(10):
+        doc_id = next_id + offset
+        terms = [rng.choice(vocabulary) for _ in range(10)]
+        score = round(rng.uniform(0, 4000), 2)
+        index.insert_document(doc_id, terms, score)
+        documents[doc_id] = set(terms)
+        scores[doc_id] = score
+        term_scores[doc_id] = normalized_tf(terms)
+    use_term_scores = term_scores if method in TERMSCORE_METHODS else None
+    for _ in range(10):
+        keywords = rng.sample(vocabulary, 2)
+        expected = reference_top_k(
+            documents, scores, set(), keywords, 5, True, term_scores=use_term_scores
+        )
+        actual = query_doc_scores(index, keywords, 5)
+        assert [doc for doc, _ in actual] == [doc for doc, _ in expected]
+
+
+@pytest.mark.parametrize("method", SVR_ONLY_METHODS)
+def test_methods_handle_content_updates(method, small_corpus, rng):
+    index = build_index(method, small_corpus, **METHOD_OPTIONS[method])
+    documents, scores, _ = _corpus_maps(small_corpus)
+    vocabulary = sorted({term for terms in documents.values() for term in terms})
+    targets = rng.sample(list(scores), 10)
+    for doc_id in targets:
+        new_terms = [rng.choice(vocabulary) for _ in range(8)]
+        index.update_content(doc_id, new_terms)
+        documents[doc_id] = set(new_terms)
+    for _ in range(10):
+        keywords = rng.sample(vocabulary, 2)
+        expected = reference_top_k(documents, scores, set(), keywords, 5, True)
+        assert query_doc_scores(index, keywords, 5) == expected
+
+
+@pytest.mark.parametrize("method", SVR_ONLY_METHODS)
+def test_mixed_update_streams_stay_correct(method, rng):
+    """Interleaved score updates, inserts, deletes and content updates."""
+    corpus = make_corpus(rng, num_docs=30, vocabulary=15, terms_per_doc=8)
+    index = build_index(method, corpus, **METHOD_OPTIONS[method])
+    documents, scores, _ = _corpus_maps(corpus)
+    deleted: set[int] = set()
+    vocabulary = [f"w{i:03d}" for i in range(15)]
+    next_id = 1000
+    for step in range(80):
+        action = rng.random()
+        live = [doc for doc in scores if doc not in deleted]
+        if action < 0.5 and live:
+            doc_id = rng.choice(live)
+            new_score = round(rng.uniform(0, 8000), 2)
+            index.update_score(doc_id, new_score)
+            scores[doc_id] = new_score
+        elif action < 0.7:
+            next_id += 1
+            terms = [rng.choice(vocabulary) for _ in range(6)]
+            score = round(rng.uniform(0, 8000), 2)
+            index.insert_document(next_id, terms, score)
+            documents[next_id] = set(terms)
+            scores[next_id] = score
+        elif action < 0.85 and live:
+            doc_id = rng.choice(live)
+            index.delete_document(doc_id)
+            deleted.add(doc_id)
+        elif live:
+            doc_id = rng.choice(live)
+            terms = [rng.choice(vocabulary) for _ in range(6)]
+            index.update_content(doc_id, terms)
+            documents[doc_id] = set(terms)
+        if step % 10 == 9:
+            keywords = rng.sample(vocabulary, 2)
+            expected = reference_top_k(documents, scores, deleted, keywords, 5, True)
+            assert query_doc_scores(index, keywords, 5) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_docs=st.integers(min_value=5, max_value=25),
+    num_updates=st.integers(min_value=0, max_value=40),
+    k=st.integers(min_value=1, max_value=8),
+    conjunctive=st.booleans(),
+)
+def test_property_chunk_and_threshold_match_reference(seed, num_docs, num_updates, k, conjunctive):
+    """Property: Chunk and Score-Threshold return the reference top-k for random workloads."""
+    rng = random.Random(seed)
+    corpus = make_corpus(rng, num_docs=num_docs, vocabulary=10, terms_per_doc=6)
+    documents, scores, _ = _corpus_maps(corpus)
+    vocabulary = [f"w{i:03d}" for i in range(10)]
+    for method in ("chunk", "score_threshold"):
+        index = build_index(method, corpus, **METHOD_OPTIONS[method])
+        local_scores = dict(scores)
+        update_rng = random.Random(seed + 1)
+        for _ in range(num_updates):
+            doc_id = update_rng.choice(list(local_scores))
+            new_score = round(update_rng.uniform(0, 5000), 2)
+            index.update_score(doc_id, new_score)
+            local_scores[doc_id] = new_score
+        keywords = update_rng.sample(vocabulary, 2)
+        expected = reference_top_k(documents, local_scores, set(), keywords, k, conjunctive)
+        assert query_doc_scores(index, keywords, k, conjunctive) == expected

@@ -1,0 +1,84 @@
+"""Property-based round-trip tests for the posting codecs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.posting import (
+    LazyBytesReader,
+    Posting,
+    ScoredPosting,
+    build_chunk_runs,
+    decode_chunk_runs,
+    decode_id_postings,
+    decode_scored_postings,
+    decode_varint,
+    encode_chunk_runs,
+    encode_id_postings,
+    encode_scored_postings,
+    encode_varint,
+    iter_chunk_postings_lazy,
+    iter_id_postings_lazy,
+)
+
+doc_ids = st.integers(min_value=0, max_value=2 ** 31 - 1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(value=st.integers(min_value=0, max_value=2 ** 62))
+def test_varint_round_trip(value):
+    decoded, offset = decode_varint(encode_varint(value), 0)
+    assert decoded == value
+    assert offset == len(encode_varint(value))
+
+
+@settings(max_examples=60, deadline=None)
+@given(ids=st.lists(doc_ids, max_size=200, unique=True))
+def test_id_postings_round_trip(ids):
+    postings = [Posting(doc_id=i) for i in sorted(ids)]
+    assert decode_id_postings(encode_id_postings(postings)) == postings
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(doc_ids, st.floats(min_value=0, max_value=1e6, allow_nan=False)),
+        max_size=100,
+        unique_by=lambda entry: entry[0],
+    )
+)
+def test_scored_postings_round_trip(entries):
+    ordered = sorted(entries, key=lambda entry: -entry[1])
+    postings = [ScoredPosting(doc_id=doc, score=score) for doc, score in ordered]
+    decoded = decode_scored_postings(encode_scored_postings(postings))
+    assert [(p.doc_id, p.score) for p in decoded] == [(p.doc_id, p.score) for p in postings]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    triples=st.lists(
+        st.tuples(doc_ids, st.integers(min_value=1, max_value=20)),
+        max_size=150,
+        unique_by=lambda entry: entry[0],
+    ),
+    page_size=st.integers(min_value=3, max_value=64),
+)
+def test_chunk_runs_round_trip_eager_and_lazy(triples, page_size):
+    runs = build_chunk_runs([(doc, chunk, 0.0) for doc, chunk in triples])
+    data = encode_chunk_runs(runs)
+    assert decode_chunk_runs(data) == runs
+    pages = [data[i:i + page_size] for i in range(0, len(data), page_size)]
+    lazy = list(iter_chunk_postings_lazy(LazyBytesReader(iter(pages))))
+    eager = [(run.chunk_id, posting) for run in runs for posting in run.postings]
+    assert lazy == eager
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ids=st.lists(doc_ids, max_size=200, unique=True),
+    page_size=st.integers(min_value=1, max_value=48),
+)
+def test_lazy_id_decoding_is_page_size_independent(ids, page_size):
+    postings = [Posting(doc_id=i) for i in sorted(ids)]
+    data = encode_id_postings(postings)
+    pages = [data[i:i + page_size] for i in range(0, len(data), page_size)]
+    assert list(iter_id_postings_lazy(LazyBytesReader(iter(pages)))) == postings

@@ -1,0 +1,110 @@
+"""Tests for the bounded top-k result heap."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.core.result_heap import ResultHeap
+
+
+class TestResultHeap:
+    def test_k_must_be_positive(self):
+        with pytest.raises(QueryError):
+            ResultHeap(0)
+
+    def test_keeps_best_k(self):
+        heap = ResultHeap(3)
+        for doc_id, score in [(1, 10.0), (2, 50.0), (3, 5.0), (4, 40.0), (5, 60.0)]:
+            heap.add(doc_id, score)
+        assert [entry.doc_id for entry in heap.results()] == [5, 2, 4]
+
+    def test_results_sorted_by_score_then_doc_id(self):
+        heap = ResultHeap(4)
+        heap.add(9, 10.0)
+        heap.add(3, 10.0)
+        heap.add(5, 20.0)
+        assert [(e.doc_id, e.score) for e in heap.results()] == [
+            (5, 20.0), (3, 10.0), (9, 10.0),
+        ]
+
+    def test_tie_break_prefers_smaller_doc_id_on_eviction(self):
+        heap = ResultHeap(2)
+        heap.add(10, 5.0)
+        heap.add(20, 5.0)
+        heap.add(1, 5.0)       # same score, smaller id: displaces doc 20
+        assert [entry.doc_id for entry in heap.results()] == [1, 10]
+
+    def test_duplicate_doc_keeps_best_score(self):
+        heap = ResultHeap(3)
+        heap.add(1, 10.0)
+        heap.add(1, 30.0)
+        heap.add(1, 20.0)
+        assert len(heap) == 1
+        assert heap.get(1) == 30.0
+
+    def test_min_score_is_negative_infinity_until_full(self):
+        heap = ResultHeap(3)
+        heap.add(1, 100.0)
+        assert heap.min_score() == -math.inf
+        heap.add(2, 50.0)
+        heap.add(3, 75.0)
+        assert heap.min_score() == 50.0
+
+    def test_would_accept(self):
+        heap = ResultHeap(2)
+        heap.add(1, 10.0)
+        assert heap.would_accept(0.0)          # not full yet
+        heap.add(2, 20.0)
+        assert heap.would_accept(15.0)
+        assert not heap.would_accept(5.0)
+
+    def test_rejected_offer_returns_false(self):
+        heap = ResultHeap(1)
+        assert heap.add(1, 10.0) is True
+        assert heap.add(2, 5.0) is False
+        assert 2 not in heap
+
+    def test_contains(self):
+        heap = ResultHeap(2)
+        heap.add(7, 1.0)
+        assert 7 in heap
+        assert 8 not in heap
+
+
+class TestAgainstSortReference:
+    def test_matches_sorting_on_random_streams(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            k = rng.randint(1, 8)
+            heap = ResultHeap(k)
+            entries = {}
+            for _ in range(rng.randint(0, 100)):
+                doc_id = rng.randint(1, 30)
+                score = round(rng.uniform(0, 100), 1)
+                heap.add(doc_id, score)
+                entries[doc_id] = max(entries.get(doc_id, -1.0), score)
+            expected = sorted(entries.items(), key=lambda item: (-item[1], item[0]))[:k]
+            assert [(e.doc_id, e.score) for e in heap.results()] == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    offers=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=40),
+                  st.floats(min_value=0, max_value=1000, allow_nan=False)),
+        max_size=200,
+    ),
+    k=st.integers(min_value=1, max_value=10),
+)
+def test_property_heap_equals_global_sort(offers, k):
+    heap = ResultHeap(k)
+    best: dict[int, float] = {}
+    for doc_id, score in offers:
+        heap.add(doc_id, score)
+        best[doc_id] = max(best.get(doc_id, -1.0), score)
+    expected = sorted(best.items(), key=lambda item: (-item[1], item[0]))[:k]
+    assert [(entry.doc_id, entry.score) for entry in heap.results()] == expected

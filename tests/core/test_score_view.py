@@ -1,0 +1,123 @@
+"""Tests for the Score materialised view plumbing (ScoreMaintainer)."""
+
+import pytest
+
+from repro.core.score_view import ScoreMaintainer
+from repro.core.scorespec import ScoreSpec
+from repro.relational.database import Database
+from repro.relational.functions import aggregate_lookup, column_lookup
+from repro.relational.types import ColumnType
+
+
+@pytest.fixture
+def rated_database():
+    database = Database()
+    items = database.create_table(
+        "items",
+        columns=[("item_id", ColumnType.INTEGER), ("body", ColumnType.TEXT)],
+        primary_key="item_id",
+    )
+    ratings = database.create_table(
+        "ratings",
+        columns=[
+            ("rating_id", ColumnType.INTEGER),
+            ("item_id", ColumnType.INTEGER),
+            ("stars", ColumnType.FLOAT),
+        ],
+        primary_key="rating_id",
+    )
+    ratings.create_index("item_id")
+    counters = database.create_table(
+        "counters",
+        columns=[("item_id", ColumnType.INTEGER), ("visits", ColumnType.INTEGER)],
+        primary_key="item_id",
+    )
+    for item_id in (1, 2, 3):
+        items.insert({"item_id": item_id, "body": f"document {item_id}"})
+        counters.insert({"item_id": item_id, "visits": item_id * 10})
+    ratings.insert({"rating_id": 1, "item_id": 1, "stars": 4.0})
+    ratings.insert({"rating_id": 2, "item_id": 2, "stars": 2.0})
+    spec = ScoreSpec.weighted(
+        [
+            aggregate_lookup(database, "S1", "ratings", "item_id", "stars", "avg"),
+            column_lookup(database, "S2", "counters", "item_id", "visits"),
+        ],
+        weights=[100.0, 1.0],
+    )
+    return database, spec
+
+
+class TestScoreMaintainer:
+    def test_initial_population_matches_spec(self, rated_database):
+        database, spec = rated_database
+        maintainer = ScoreMaintainer(
+            database, "score", spec,
+            dependencies=[("items", "item_id"), ("ratings", "item_id"), ("counters", "item_id")],
+            initial_keys=[1, 2, 3],
+        )
+        for key in (1, 2, 3):
+            assert maintainer.score(key) == pytest.approx(spec.svr_score(key))
+        assert set(maintainer.scores()) == {1, 2, 3}
+
+    def test_incremental_maintenance_on_every_dependency(self, rated_database):
+        database, spec = rated_database
+        maintainer = ScoreMaintainer(
+            database, "score", spec,
+            dependencies=[("items", "item_id"), ("ratings", "item_id"), ("counters", "item_id")],
+            initial_keys=[1, 2, 3],
+        )
+        database.table("ratings").insert({"rating_id": 3, "item_id": 3, "stars": 5.0})
+        database.table("counters").update(1, {"visits": 500})
+        database.table("ratings").update(2, {"stars": 4.5})
+        for key in (1, 2, 3):
+            assert maintainer.score(key) == pytest.approx(spec.svr_score(key))
+
+    def test_attach_index_forwards_score_changes(self, rated_database):
+        database, spec = rated_database
+
+        class RecordingIndex:
+            def __init__(self):
+                self.updates = []
+
+            def current_score(self, key):
+                return 0.0 if key in (1, 2, 3) else None
+
+            def update_score(self, key, score):
+                self.updates.append((key, score))
+
+        maintainer = ScoreMaintainer(
+            database, "score", spec,
+            dependencies=[("ratings", "item_id")],
+            initial_keys=[1, 2, 3],
+        )
+        recorder = RecordingIndex()
+        maintainer.attach_index(recorder)
+        database.table("ratings").insert({"rating_id": 9, "item_id": 1, "stars": 1.0})
+        assert recorder.updates == [(1, pytest.approx(spec.svr_score(1)))]
+
+    def test_changes_for_unknown_documents_are_ignored(self, rated_database):
+        database, spec = rated_database
+
+        class RejectingIndex:
+            def current_score(self, key):
+                return None
+
+            def update_score(self, key, score):  # pragma: no cover - must not run
+                raise AssertionError("unknown documents must not be forwarded")
+
+        maintainer = ScoreMaintainer(
+            database, "score", spec,
+            dependencies=[("ratings", "item_id")], initial_keys=[1, 2, 3],
+        )
+        maintainer.attach_index(RejectingIndex())
+        database.table("ratings").insert({"rating_id": 10, "item_id": 2, "stars": 3.3})
+
+    def test_maintenance_recompute_counter(self, rated_database):
+        database, spec = rated_database
+        maintainer = ScoreMaintainer(
+            database, "score", spec,
+            dependencies=[("ratings", "item_id")], initial_keys=[1, 2, 3],
+        )
+        before = maintainer.view.maintenance_recomputes
+        database.table("ratings").insert({"rating_id": 11, "item_id": 1, "stars": 2.0})
+        assert maintainer.view.maintenance_recomputes == before + 1

@@ -1,0 +1,75 @@
+"""Tests for the SVR score specification."""
+
+import pytest
+
+from repro.errors import ScoreSpecError
+from repro.core.scorespec import ScoreSpec
+from repro.relational.functions import ScalarFunction, weighted_sum
+
+
+def constant(name, value):
+    return ScalarFunction(name=name, arity=1, fn=lambda _key: value)
+
+
+class TestScoreSpec:
+    def test_paper_example_aggregation(self):
+        # Agg(s1,s2,s3) = s1*100 + s2/2 + s3 with S1=4.5, S2=200, S3=30.
+        spec = ScoreSpec.weighted(
+            [constant("S1", 4.5), constant("S2", 200.0), constant("S3", 30.0)],
+            weights=[100.0, 0.5, 1.0],
+        )
+        assert spec.svr_score(1) == pytest.approx(4.5 * 100 + 200 / 2 + 30)
+
+    def test_component_scores_exposed_by_name(self):
+        spec = ScoreSpec.weighted(
+            [constant("S1", 1.0), constant("S2", 2.0)], weights=[1.0, 1.0]
+        )
+        assert spec.component_scores(42) == {"S1": 1.0, "S2": 2.0}
+        assert spec.component_names == ("S1", "S2")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ScoreSpecError):
+            ScoreSpec(
+                components=(constant("S1", 1.0),),
+                aggregate=weighted_sum("Agg", [1.0, 2.0]),
+            )
+
+    def test_needs_at_least_one_component(self):
+        with pytest.raises(ScoreSpecError):
+            ScoreSpec(components=(), aggregate=weighted_sum("Agg", []))
+
+    def test_weight_count_mismatch_rejected(self):
+        with pytest.raises(ScoreSpecError):
+            ScoreSpec.weighted([constant("S1", 1.0)], weights=[1.0, 2.0])
+
+    def test_negative_scores_rejected(self):
+        spec = ScoreSpec.weighted([constant("S1", -5.0)], weights=[1.0])
+        with pytest.raises(ScoreSpecError):
+            spec.svr_score(1)
+
+    def test_negative_term_weight_rejected(self):
+        with pytest.raises(ScoreSpecError):
+            ScoreSpec.weighted(
+                [constant("S1", 1.0)], weights=[1.0], term_weight=-0.5
+            )
+
+    def test_include_term_score_flag(self):
+        spec = ScoreSpec.weighted(
+            [constant("S1", 1.0)], weights=[1.0],
+            include_term_score=True, term_weight=0.5,
+        )
+        assert spec.include_term_score
+        assert spec.term_weight == 0.5
+
+    def test_component_functions_receive_the_key(self):
+        seen = []
+
+        def record(key):
+            seen.append(key)
+            return 1.0
+
+        spec = ScoreSpec.weighted(
+            [ScalarFunction("S1", 1, record)], weights=[2.0]
+        )
+        assert spec.svr_score("movie-7") == 2.0
+        assert seen == ["movie-7"]

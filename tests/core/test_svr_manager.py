@@ -1,0 +1,123 @@
+"""End-to-end tests of the SVR manager: §3's pipeline over a relational database."""
+
+import pytest
+
+from repro.core.svr import SVRManager
+from repro.errors import ScoreSpecError
+from repro.relational.database import Database
+from repro.workloads.archive import ArchiveConfig, InternetArchiveDataset
+
+
+@pytest.fixture
+def archive():
+    database = Database()
+    dataset = InternetArchiveDataset(ArchiveConfig(num_movies=40, seed=5))
+    dataset.populate(database)
+    manager = SVRManager(database)
+    spec = dataset.build_score_spec(database)
+    manager.create_text_index(
+        name="movies_text",
+        table="movies",
+        text_column="description",
+        spec=spec,
+        method="chunk",
+        score_dependencies=dataset.score_dependencies(),
+        chunk_ratio=3.0,
+        min_chunk_size=2,
+    )
+    return database, dataset, manager, spec
+
+
+class TestIndexCreation:
+    def test_search_returns_rows_with_scores(self, archive):
+        _database, _dataset, manager, spec = archive
+        results = manager.search("movies_text", "golden gate", k=5)
+        assert results
+        for result in results:
+            assert result.row is not None
+            assert result.row["movie_id"] == result.doc_id
+            assert result.score == pytest.approx(spec.svr_score(result.doc_id))
+        scores = [result.score for result in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_duplicate_index_name_rejected(self, archive):
+        database, dataset, manager, spec = archive
+        with pytest.raises(ScoreSpecError):
+            manager.create_text_index(
+                name="movies_text", table="movies", text_column="description", spec=spec
+            )
+
+    def test_term_score_spec_requires_termscore_method(self, archive):
+        database, dataset, manager, _spec = archive
+        spec = dataset.build_score_spec(database, include_term_score=True)
+        with pytest.raises(ScoreSpecError):
+            manager.create_text_index(
+                name="other", table="movies", text_column="description",
+                spec=spec, method="chunk",
+            )
+
+    def test_lookup_accessors(self, archive):
+        _database, _dataset, manager, _spec = archive
+        assert manager.index_names() == ["movies_text"]
+        assert manager.text_index("movies_text").document_count() == 40
+        assert manager.score_view("movies_text").score(1) > 0
+        with pytest.raises(ScoreSpecError):
+            manager.text_index("nope")
+
+
+class TestIncrementalMaintenance:
+    def test_new_reviews_change_the_ranking(self, archive):
+        database, _dataset, manager, spec = archive
+        baseline = manager.search("movies_text", "golden gate", k=5)
+        target = baseline[-1].doc_id
+        reviews = database.table("reviews")
+        next_id = max(row["review_id"] for row in reviews.scan()) + 1
+        statistics = database.table("statistics")
+        current = statistics.get(target)
+        statistics.update(target, {"visits": current["visits"] + 10_000_000})
+        for offset in range(2):
+            reviews.insert({"review_id": next_id + offset, "movie_id": target, "rating": 5.0})
+        boosted = manager.search("movies_text", "golden gate", k=5)
+        assert boosted[0].doc_id == target
+        assert boosted[0].score == pytest.approx(spec.svr_score(target))
+
+    def test_view_scores_track_base_tables(self, archive):
+        database, _dataset, manager, spec = archive
+        view = manager.score_view("movies_text")
+        statistics = database.table("statistics")
+        row = statistics.get(3)
+        statistics.update(3, {"downloads": row["downloads"] + 777})
+        assert view.score(3) == pytest.approx(spec.svr_score(3))
+
+    def test_inserting_a_movie_makes_it_searchable(self, archive):
+        database, _dataset, manager, _spec = archive
+        movies = database.table("movies")
+        movies.insert(
+            {
+                "movie_id": 500,
+                "title": "Fresh upload",
+                "description": "a brand new golden gate timelapse",
+            }
+        )
+        database.table("statistics").insert(
+            {"movie_id": 500, "visits": 900_000, "downloads": 10_000}
+        )
+        results = manager.search("movies_text", "golden gate", k=3)
+        assert results[0].doc_id == 500
+
+    def test_deleting_a_movie_removes_it_from_results(self, archive):
+        database, _dataset, manager, _spec = archive
+        victim = manager.search("movies_text", "golden gate", k=1)[0].doc_id
+        database.table("movies").delete(victim)
+        remaining = manager.search("movies_text", "golden gate", k=10)
+        assert victim not in [result.doc_id for result in remaining]
+
+    def test_description_update_changes_matching(self, archive):
+        database, _dataset, manager, _spec = archive
+        target = manager.search("movies_text", "golden gate", k=1)[0].doc_id
+        database.table("movies").update(
+            target, {"description": "a film about something else entirely"}
+        )
+        assert target not in [
+            result.doc_id for result in manager.search("movies_text", "golden gate", k=10)
+        ]

@@ -1,0 +1,111 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests drive the public API the way the examples do — relational tables,
+SVR specification, materialised Score view, inverted-list index, query results
+joined back to rows — and cross-check every index method against the same
+ground truth on a realistic update-intensive scenario.
+"""
+
+import pytest
+
+from repro import Database, SVRManager, SVRTextIndex, available_methods
+from repro.workloads.archive import ArchiveConfig, InternetArchiveDataset
+from repro.workloads.synthetic import SyntheticCorpusConfig, generate_corpus
+from repro.workloads.updates import UpdateWorkload, UpdateWorkloadConfig
+
+
+def test_all_methods_agree_on_a_full_update_intensive_scenario():
+    """The paper's core promise: any index method, same (latest-score) answers."""
+    corpus = generate_corpus(
+        SyntheticCorpusConfig(num_docs=200, terms_per_doc=30, num_distinct_terms=500, seed=11)
+    )
+    workload = UpdateWorkload(
+        UpdateWorkloadConfig(num_updates=400, mean_step=5000.0, focus_set_fraction=0.05,
+                             focus_update_fraction=0.5, seed=13),
+        corpus.scores(),
+    )
+    updates = workload.generate_list()
+    keywords = corpus.frequent_terms(6)[:2]
+
+    rankings = {}
+    for method in available_methods():
+        options = {}
+        if method.startswith("chunk"):
+            options = {"chunk_ratio": 2.5, "min_chunk_size": 5}
+        elif method == "score_threshold":
+            options = {"threshold_ratio": 3.0}
+        index = SVRTextIndex(method=method, **options)
+        for document in corpus.iter_documents():
+            index.add_document_terms(document.doc_id, document.terms, document.score)
+        index.finalize()
+        for update in updates:
+            current = index.current_score(update.doc_id)
+            index.update_score(update.doc_id, update.apply_to(current))
+        rankings[method] = index.search(keywords, k=10).doc_ids()
+
+    svr_only = ["id", "score", "score_threshold", "chunk"]
+    for method in svr_only[1:]:
+        assert rankings[method] == rankings["id"], f"{method} diverged from ID"
+    # TermScore methods agree with each other (their scores include term scores).
+    assert rankings["chunk_termscore"] == rankings["id_termscore"]
+
+
+def test_archive_pipeline_survives_a_burst_of_structured_updates():
+    """Figure 2 end to end: base-table churn flows into the keyword ranking."""
+    database = Database()
+    dataset = InternetArchiveDataset(ArchiveConfig(num_movies=60, seed=9))
+    dataset.populate(database)
+    manager = SVRManager(database)
+    spec = dataset.build_score_spec(database)
+    manager.create_text_index(
+        name="movies",
+        table="movies",
+        text_column="description",
+        spec=spec,
+        method="chunk",
+        score_dependencies=dataset.score_dependencies(),
+        chunk_ratio=2.5,
+        min_chunk_size=3,
+    )
+
+    statistics = database.table("statistics")
+    reviews = database.table("reviews")
+    next_review = max(row["review_id"] for row in reviews.scan()) + 1
+    # A burst of structured updates: visits churn on every movie, new reviews
+    # on a handful of them.
+    for movie_id in range(1, 61):
+        row = statistics.get(movie_id)
+        statistics.update(movie_id, {"visits": row["visits"] + (movie_id % 7) * 1000})
+    for offset, movie_id in enumerate((5, 17, 42)):
+        reviews.insert({"review_id": next_review + offset, "movie_id": movie_id, "rating": 5.0})
+
+    results = manager.search("movies", "golden gate", k=10)
+    assert results, "the shared vocabulary guarantees matches"
+    for result in results:
+        assert result.score == pytest.approx(spec.svr_score(result.doc_id))
+    scores = [result.score for result in results]
+    assert scores == sorted(scores, reverse=True)
+
+    view = manager.score_view("movies")
+    for movie_id in (5, 17, 42):
+        assert view.score(movie_id) == pytest.approx(spec.svr_score(movie_id))
+
+
+def test_query_statistics_reflect_early_termination():
+    """The Chunk method must do less work than a full scan on a skewed corpus."""
+    corpus = generate_corpus(
+        SyntheticCorpusConfig(num_docs=400, terms_per_doc=40, num_distinct_terms=800, seed=21)
+    )
+    chunk = SVRTextIndex(method="chunk", chunk_ratio=2.0, min_chunk_size=5)
+    id_index = SVRTextIndex(method="id")
+    for document in corpus.iter_documents():
+        chunk.add_document_terms(document.doc_id, document.terms, document.score)
+        id_index.add_document_terms(document.doc_id, document.terms, document.score)
+    chunk.finalize()
+    id_index.finalize()
+    keywords = corpus.frequent_terms(2)
+    chunk_stats = chunk.search(keywords, k=5).stats
+    id_stats = id_index.search(keywords, k=5).stats
+    assert chunk.search(keywords, k=5).doc_ids() == id_index.search(keywords, k=5).doc_ids()
+    assert chunk_stats.postings_scanned < id_stats.postings_scanned
+    assert chunk_stats.stopped_early

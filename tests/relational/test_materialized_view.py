@@ -1,0 +1,127 @@
+"""Tests for incrementally maintained materialised views and the database catalogue."""
+
+import pytest
+
+from repro.errors import RelationalError, UnknownTableError, ViewError
+from repro.relational.database import Database
+from repro.relational.materialized_view import ViewDependency, foreign_key_mapper, primary_key_mapper
+from repro.relational.functions import ScalarFunction
+from repro.relational.types import ColumnType
+
+
+@pytest.fixture
+def counters_db():
+    database = Database()
+    counters = database.create_table(
+        "counters",
+        columns=[("item_id", ColumnType.INTEGER), ("clicks", ColumnType.INTEGER)],
+        primary_key="item_id",
+    )
+    for item_id in (1, 2, 3):
+        counters.insert({"item_id": item_id, "clicks": item_id * 10})
+    return database
+
+
+def make_view(database, name="clicks_view"):
+    counters = database.table("counters")
+
+    def compute(key):
+        row = counters.get(key)
+        return None if row is None else float(row["clicks"])
+
+    return database.create_materialized_view(
+        name,
+        compute=compute,
+        dependencies=[ViewDependency("counters", primary_key_mapper())],
+        initial_keys=[1, 2, 3],
+    )
+
+
+class TestMaterializedView:
+    def test_initial_population(self, counters_db):
+        view = make_view(counters_db)
+        assert view.get(1) == 10.0
+        assert view.get(3) == 30.0
+        assert len(view) == 3
+        assert 2 in view
+
+    def test_incremental_refresh_matches_full_recompute(self, counters_db):
+        view = make_view(counters_db)
+        table = counters_db.table("counters")
+        table.update(2, {"clicks": 999})
+        table.insert({"item_id": 4, "clicks": 7})
+        assert view.get(2) == 999.0
+        assert view.get(4) == 7.0
+        expected = {row["item_id"]: float(row["clicks"]) for row in table.scan()}
+        assert dict(view.items()) == expected
+
+    def test_deleted_base_rows_remove_view_entries(self, counters_db):
+        view = make_view(counters_db)
+        counters_db.table("counters").delete(1)
+        assert view.get(1) is None
+        assert 1 not in view
+
+    def test_subscribers_receive_old_and_new_values(self, counters_db):
+        view = make_view(counters_db)
+        changes = []
+        view.subscribe(lambda key, old, new: changes.append((key, old, new)))
+        counters_db.table("counters").update(3, {"clicks": 31})
+        assert changes == [(3, 30.0, 31.0)]
+        view.unsubscribe(view._subscribers[0])
+        counters_db.table("counters").update(3, {"clicks": 32})
+        assert len(changes) == 1
+
+    def test_unchanged_values_do_not_notify(self, counters_db):
+        view = make_view(counters_db)
+        changes = []
+        view.subscribe(lambda key, old, new: changes.append(key))
+        view.refresh_key(1)
+        assert changes == []
+
+    def test_view_requires_dependencies_and_known_tables(self, counters_db):
+        with pytest.raises(ViewError):
+            counters_db.create_materialized_view("bad", compute=lambda k: 0.0, dependencies=[])
+        with pytest.raises(UnknownTableError):
+            counters_db.create_materialized_view(
+                "bad2", compute=lambda k: 0.0,
+                dependencies=[ViewDependency("nope", primary_key_mapper())],
+            )
+
+    def test_foreign_key_mapper_covers_old_and_new_keys(self):
+        from repro.relational.triggers import ChangeKind, RowChange
+
+        mapper = foreign_key_mapper("movie_id")
+        change = RowChange(
+            "reviews", ChangeKind.UPDATE, key=5,
+            old_row={"movie_id": 1}, new_row={"movie_id": 2},
+        )
+        assert sorted(mapper(change)) == [1, 2]
+
+
+class TestDatabaseCatalogue:
+    def test_duplicate_names_rejected(self, counters_db):
+        make_view(counters_db, "v")
+        with pytest.raises(RelationalError):
+            make_view(counters_db, "v")
+        with pytest.raises(RelationalError):
+            counters_db.create_table("counters", [("a", ColumnType.INTEGER)], "a")
+
+    def test_lookups(self, counters_db):
+        view = make_view(counters_db, "v2")
+        assert counters_db.view("v2") is view
+        assert "counters" in counters_db.table_names()
+        assert counters_db.has_table("counters")
+        with pytest.raises(UnknownTableError):
+            counters_db.table("missing")
+        with pytest.raises(RelationalError):
+            counters_db.view("missing")
+
+    def test_function_registry(self, counters_db):
+        fn = ScalarFunction("double", 1, lambda x: 2 * x)
+        counters_db.register_function(fn)
+        assert counters_db.function("double")(4) == 8
+        assert counters_db.function_names() == ["double"]
+        with pytest.raises(RelationalError):
+            counters_db.register_function(fn)
+        with pytest.raises(RelationalError):
+            counters_db.function("missing")

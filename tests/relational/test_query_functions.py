@@ -1,0 +1,150 @@
+"""Tests for the query evaluator, expressions and scalar (SQL-bodied) functions."""
+
+import pytest
+
+from repro.errors import FunctionError, RelationalError
+from repro.relational import expressions as ex
+from repro.relational.database import Database
+from repro.relational.functions import (
+    ScalarFunction,
+    aggregate_lookup,
+    column_lookup,
+    weighted_sum,
+)
+from repro.relational.query import Query
+from repro.relational.types import ColumnType
+
+
+@pytest.fixture
+def archive_db():
+    database = Database()
+    movies = database.create_table(
+        "movies",
+        columns=[("movie_id", ColumnType.INTEGER), ("title", ColumnType.STRING)],
+        primary_key="movie_id",
+    )
+    reviews = database.create_table(
+        "reviews",
+        columns=[
+            ("review_id", ColumnType.INTEGER),
+            ("movie_id", ColumnType.INTEGER),
+            ("rating", ColumnType.FLOAT),
+        ],
+        primary_key="review_id",
+    )
+    reviews.create_index("movie_id")
+    stats = database.create_table(
+        "statistics",
+        columns=[("movie_id", ColumnType.INTEGER), ("visits", ColumnType.INTEGER)],
+        primary_key="movie_id",
+    )
+    for movie_id, title in [(1, "A"), (2, "B"), (3, "C")]:
+        movies.insert({"movie_id": movie_id, "title": title})
+        stats.insert({"movie_id": movie_id, "visits": movie_id * 100})
+    ratings = [(1, 1, 5.0), (2, 1, 3.0), (3, 2, 4.0)]
+    for review_id, movie_id, rating in ratings:
+        reviews.insert({"review_id": review_id, "movie_id": movie_id, "rating": rating})
+    return database
+
+
+class TestExpressions:
+    def test_comparisons_and_null_safety(self):
+        row = {"a": 5, "b": None}
+        assert ex.eq("a", 5)(row)
+        assert ex.ne("a", 4)(row)
+        assert ex.gt("a", 4)(row)
+        assert not ex.gt("b", 1)(row)
+        assert ex.is_null("b")(row)
+        assert ex.in_("a", [1, 5])(row)
+
+    def test_boolean_combinators(self):
+        row = {"a": 5}
+        assert ex.and_(ex.gt("a", 1), ex.lt("a", 10))(row)
+        assert ex.or_(ex.eq("a", 0), ex.eq("a", 5))(row)
+        assert ex.not_(ex.eq("a", 0))(row)
+        assert ex.and_()(row)
+        assert not ex.or_()(row)
+
+    def test_project(self):
+        assert ex.project({"a": 1, "b": 2}, ["a", "c"]) == {"a": 1, "c": None}
+
+
+class TestQuery:
+    def test_where_select_order_limit(self, archive_db):
+        rows = (
+            archive_db.query("statistics")
+            .where(ex.ge("visits", 200))
+            .order_by("visits", descending=True)
+            .select(["movie_id"])
+            .limit(1)
+            .rows()
+        )
+        assert rows == [{"movie_id": 3}]
+
+    def test_join_on_foreign_key(self, archive_db):
+        rows = (
+            archive_db.query("movies")
+            .join(archive_db.query("reviews"), left_on="movie_id", right_on="movie_id",
+                  prefix="r_")
+            .rows()
+        )
+        assert len(rows) == 3
+        assert all(row["movie_id"] == row["r_movie_id"] for row in rows)
+
+    def test_group_by_aggregates(self, archive_db):
+        rows = (
+            archive_db.query("reviews")
+            .group_by(["movie_id"], {"avg_rating": ("avg", "rating"),
+                                     "n": ("count", "rating")})
+            .order_by("movie_id")
+            .rows()
+        )
+        assert rows[0] == {"movie_id": 1, "avg_rating": 4.0, "n": 2.0}
+        assert rows[1]["avg_rating"] == 4.0 and rows[1]["n"] == 1.0
+
+    def test_extend_adds_computed_column(self, archive_db):
+        rows = (
+            archive_db.query("statistics")
+            .extend("double_visits", lambda row: row["visits"] * 2)
+            .order_by("movie_id")
+            .rows()
+        )
+        assert rows[0]["double_visits"] == 200
+
+    def test_unknown_aggregate_and_negative_limit_rejected(self, archive_db):
+        with pytest.raises(RelationalError):
+            archive_db.query("reviews").group_by(["movie_id"], {"x": ("median", "rating")})
+        with pytest.raises(RelationalError):
+            archive_db.query("reviews").limit(-1)
+
+    def test_count_and_scalar(self, archive_db):
+        query = archive_db.query("reviews")
+        assert query.count() == 3
+        assert query.order_by("rating", descending=True).scalar("rating") == 5.0
+        assert Query([]).scalar("anything") is None
+
+
+class TestScalarFunctions:
+    def test_arity_enforced(self):
+        fn = ScalarFunction("f", 2, lambda a, b: a + b)
+        assert fn(1, 2) == 3
+        with pytest.raises(FunctionError):
+            fn(1)
+
+    def test_aggregate_lookup_matches_manual_average(self, archive_db):
+        s1 = aggregate_lookup(archive_db, "S1", "reviews", "movie_id", "rating", "avg")
+        assert s1(1) == pytest.approx(4.0)
+        assert s1(3) == 0.0  # no reviews -> default
+
+    def test_column_lookup(self, archive_db):
+        s2 = column_lookup(archive_db, "S2", "statistics", "movie_id", "visits")
+        assert s2(2) == 200.0
+        assert s2(99) == 0.0
+
+    def test_unknown_aggregate_rejected(self, archive_db):
+        with pytest.raises(FunctionError):
+            aggregate_lookup(archive_db, "S", "reviews", "movie_id", "rating", "median")
+
+    def test_weighted_sum_matches_paper_example(self):
+        agg = weighted_sum("Agg", [100.0, 0.5, 1.0])
+        assert agg(4.5, 200.0, 30.0) == pytest.approx(580.0)

@@ -1,0 +1,104 @@
+"""Tests for column types, columns and schemas."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.schema import Column, Schema
+from repro.relational.types import ColumnType
+
+
+class TestColumnType:
+    def test_integer_validation(self):
+        assert ColumnType.INTEGER.validate(5) == 5
+        with pytest.raises(SchemaError):
+            ColumnType.INTEGER.validate("5")
+        with pytest.raises(SchemaError):
+            ColumnType.INTEGER.validate(True)
+
+    def test_float_accepts_ints_and_coerces(self):
+        assert ColumnType.FLOAT.validate(5) == 5.0
+        assert isinstance(ColumnType.FLOAT.validate(5), float)
+        with pytest.raises(SchemaError):
+            ColumnType.FLOAT.validate("nope")
+
+    def test_boolean_strict(self):
+        assert ColumnType.BOOLEAN.validate(True) is True
+        with pytest.raises(SchemaError):
+            ColumnType.BOOLEAN.validate(1)
+
+    def test_text_and_string(self):
+        assert ColumnType.TEXT.validate("hello") == "hello"
+        assert ColumnType.STRING.validate("x") == "x"
+        with pytest.raises(SchemaError):
+            ColumnType.TEXT.validate(42)
+
+    def test_none_passes_through(self):
+        assert ColumnType.INTEGER.validate(None) is None
+
+    def test_is_numeric(self):
+        assert ColumnType.INTEGER.is_numeric
+        assert ColumnType.FLOAT.is_numeric
+        assert not ColumnType.TEXT.is_numeric
+
+
+class TestColumn:
+    def test_nullable_control(self):
+        nullable = Column("a", ColumnType.INTEGER)
+        assert nullable.validate(None) is None
+        strict = Column("a", ColumnType.INTEGER, nullable=False)
+        with pytest.raises(SchemaError):
+            strict.validate(None)
+
+
+def movie_schema():
+    return Schema.build(
+        [
+            Column("movie_id", ColumnType.INTEGER),
+            Column("title", ColumnType.STRING),
+            Column("rating", ColumnType.FLOAT),
+        ],
+        primary_key="movie_id",
+    )
+
+
+class TestSchema:
+    def test_column_lookup(self):
+        schema = movie_schema()
+        assert schema.column("title").type is ColumnType.STRING
+        assert schema.has_column("rating")
+        with pytest.raises(UnknownColumnError):
+            schema.column("missing")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.build(
+                [Column("a", ColumnType.INTEGER), Column("a", ColumnType.FLOAT)],
+                primary_key="a",
+            )
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            Schema.build([Column("a", ColumnType.INTEGER)], primary_key="b")
+
+    def test_validate_row_fills_missing_nullable_columns(self):
+        schema = movie_schema()
+        row = schema.validate_row({"movie_id": 1, "title": "X"})
+        assert row == {"movie_id": 1, "title": "X", "rating": None}
+
+    def test_validate_row_requires_primary_key(self):
+        schema = movie_schema()
+        with pytest.raises(SchemaError):
+            schema.validate_row({"title": "X"})
+
+    def test_validate_row_rejects_unknown_columns(self):
+        schema = movie_schema()
+        with pytest.raises(UnknownColumnError):
+            schema.validate_row({"movie_id": 1, "bogus": 2})
+
+    def test_validate_update_protects_primary_key(self):
+        schema = movie_schema()
+        assert schema.validate_update({"rating": 3}) == {"rating": 3.0}
+        with pytest.raises(SchemaError):
+            schema.validate_update({"movie_id": 7})
+        with pytest.raises(UnknownColumnError):
+            schema.validate_update({"bogus": 1})

@@ -1,0 +1,129 @@
+"""Tests for relational tables: CRUD, secondary indexes and triggers."""
+
+import pytest
+
+from repro.errors import ConstraintError, UnknownColumnError
+from repro.relational.database import Database
+from repro.relational.triggers import ChangeKind
+from repro.relational.types import ColumnType
+
+
+@pytest.fixture
+def movies():
+    database = Database()
+    table = database.create_table(
+        "movies",
+        columns=[
+            ("movie_id", ColumnType.INTEGER),
+            ("title", ColumnType.STRING),
+            ("year", ColumnType.INTEGER),
+        ],
+        primary_key="movie_id",
+    )
+    for movie_id, title, year in [
+        (1, "American Thrift", 1962),
+        (2, "Amateur Film", 1962),
+        (3, "Harbor Days", 1950),
+    ]:
+        table.insert({"movie_id": movie_id, "title": title, "year": year})
+    return database, table
+
+
+class TestCrud:
+    def test_insert_and_get(self, movies):
+        _db, table = movies
+        assert table.get(1)["title"] == "American Thrift"
+        assert table.get(99) is None
+        assert len(table) == 3
+        assert 2 in table
+
+    def test_duplicate_primary_key_rejected(self, movies):
+        _db, table = movies
+        with pytest.raises(ConstraintError):
+            table.insert({"movie_id": 1, "title": "Copy", "year": 2000})
+
+    def test_update_changes_only_named_columns(self, movies):
+        _db, table = movies
+        new_row = table.update(2, {"year": 1963})
+        assert new_row["year"] == 1963
+        assert new_row["title"] == "Amateur Film"
+        assert table.get(2)["year"] == 1963
+
+    def test_update_missing_row_raises(self, movies):
+        _db, table = movies
+        with pytest.raises(ConstraintError):
+            table.update(77, {"year": 2001})
+
+    def test_delete(self, movies):
+        _db, table = movies
+        old = table.delete(3)
+        assert old["title"] == "Harbor Days"
+        assert table.get(3) is None
+        with pytest.raises(ConstraintError):
+            table.delete(3)
+
+    def test_upsert(self, movies):
+        _db, table = movies
+        table.upsert({"movie_id": 1, "title": "Renamed", "year": 1962})
+        table.upsert({"movie_id": 9, "title": "Fresh", "year": 2001})
+        assert table.get(1)["title"] == "Renamed"
+        assert table.get(9)["title"] == "Fresh"
+
+    def test_scan_in_primary_key_order(self, movies):
+        _db, table = movies
+        assert [row["movie_id"] for row in table.scan()] == [1, 2, 3]
+
+    def test_scan_where(self, movies):
+        _db, table = movies
+        old_movies = list(table.scan_where(lambda row: row["year"] < 1960))
+        assert [row["movie_id"] for row in old_movies] == [3]
+
+
+class TestSecondaryIndexes:
+    def test_index_lookup_matches_scan(self, movies):
+        _db, table = movies
+        table.create_index("year")
+        assert table.indexed_columns() == ["year"]
+        from_index = sorted(row["movie_id"] for row in table.lookup_by_index("year", 1962))
+        assert from_index == [1, 2]
+
+    def test_index_maintained_on_update_and_delete(self, movies):
+        _db, table = movies
+        table.create_index("year")
+        table.update(1, {"year": 1999})
+        assert [row["movie_id"] for row in table.lookup_by_index("year", 1999)] == [1]
+        assert [row["movie_id"] for row in table.lookup_by_index("year", 1962)] == [2]
+        table.delete(2)
+        assert list(table.lookup_by_index("year", 1962)) == []
+
+    def test_lookup_without_index_falls_back_to_scan(self, movies):
+        _db, table = movies
+        assert [row["movie_id"] for row in table.lookup_by_index("year", 1950)] == [3]
+
+    def test_index_on_unknown_column_rejected(self, movies):
+        _db, table = movies
+        with pytest.raises(UnknownColumnError):
+            table.create_index("bogus")
+
+
+class TestTriggers:
+    def test_changes_are_delivered_with_old_and_new_rows(self, movies):
+        database, table = movies
+        events = []
+        database.triggers.register("movies", events.append)
+        table.insert({"movie_id": 10, "title": "New", "year": 2000})
+        table.update(10, {"year": 2001})
+        table.delete(10)
+        kinds = [event.kind for event in events]
+        assert kinds == [ChangeKind.INSERT, ChangeKind.UPDATE, ChangeKind.DELETE]
+        assert events[1].old_row["year"] == 2000
+        assert events[1].new_row["year"] == 2001
+        assert events[1].changed_columns() == {"year"}
+        assert events[2].new_row is None
+
+    def test_noop_update_fires_no_trigger(self, movies):
+        database, table = movies
+        events = []
+        database.triggers.register("movies", events.append)
+        table.update(1, {"year": 1962})
+        assert events == []

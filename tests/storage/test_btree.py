@@ -1,0 +1,172 @@
+"""Tests for the paged B+-tree."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError, StorageError
+from repro.storage.btree import BPlusTree, default_order
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+
+def make_tree(order=6, page_size=4096, cache_pages=64):
+    pool = BufferPool(SimulatedDisk(page_size=page_size), capacity_pages=cache_pages)
+    return BPlusTree(pool, order=order, name="test")
+
+
+class TestBasicOperations:
+    def test_insert_and_get(self):
+        tree = make_tree()
+        tree.insert(5, "five")
+        tree.insert(1, "one")
+        assert tree.get(5) == "five"
+        assert tree.get(1) == "one"
+        assert len(tree) == 2
+
+    def test_get_missing_key_raises_or_returns_default(self):
+        tree = make_tree()
+        with pytest.raises(KeyNotFoundError):
+            tree.get(99)
+        assert tree.get(99, default="fallback") == "fallback"
+
+    def test_overwrite_and_duplicate_detection(self):
+        tree = make_tree()
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.get("k") == 2
+        assert len(tree) == 1
+        with pytest.raises(DuplicateKeyError):
+            tree.insert("k", 3, overwrite=False)
+
+    def test_delete(self):
+        tree = make_tree()
+        tree.insert(1, "a")
+        tree.insert(2, "b")
+        assert tree.delete(1) == "a"
+        assert 1 not in tree
+        assert len(tree) == 1
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(1)
+
+    def test_contains(self):
+        tree = make_tree()
+        tree.insert(10, None)
+        assert 10 in tree
+        assert 11 not in tree
+
+    def test_update_value(self):
+        tree = make_tree()
+        tree.insert("counter", 1)
+        assert tree.update_value("counter", lambda value: value + 1) == 2
+        assert tree.get("counter") == 2
+        with pytest.raises(KeyNotFoundError):
+            tree.update_value("missing", lambda value: value)
+
+    def test_clear(self):
+        tree = make_tree()
+        for i in range(20):
+            tree.insert(i, i)
+        tree.clear()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+
+class TestOrderingAndRangeScans:
+    def test_items_sorted_after_random_inserts(self):
+        tree = make_tree(order=6)
+        import random
+
+        rng = random.Random(3)
+        keys = list(range(500))
+        rng.shuffle(keys)
+        for key in keys:
+            tree.insert(key, key * 2)
+        assert [key for key, _ in tree.items()] == sorted(keys)
+        assert all(value == key * 2 for key, value in tree.items())
+
+    def test_range_scan_bounds(self):
+        tree = make_tree()
+        for key in range(100):
+            tree.insert(key, None)
+        assert [k for k, _ in tree.items(low=10, high=15)] == [10, 11, 12, 13, 14, 15]
+        assert [k for k, _ in tree.items(low=10, high=15, inclusive=(False, False))] == [
+            11, 12, 13, 14,
+        ]
+        assert [k for k, _ in tree.items(low=97)] == [97, 98, 99]
+        assert [k for k, _ in tree.items(high=2)] == [0, 1, 2]
+
+    def test_reverse_iteration(self):
+        tree = make_tree()
+        for key in range(10):
+            tree.insert(key, None)
+        assert [k for k, _ in tree.items(reverse=True)] == list(reversed(range(10)))
+
+    def test_first_and_last(self):
+        tree = make_tree()
+        with pytest.raises(KeyNotFoundError):
+            tree.first()
+        for key in (5, 1, 9):
+            tree.insert(key, str(key))
+        assert tree.first() == (1, "1")
+        assert tree.last() == (9, "9")
+
+    def test_tuple_keys_order_lexicographically(self):
+        tree = make_tree()
+        tree.insert(("b", 2), "b2")
+        tree.insert(("a", 9), "a9")
+        tree.insert(("a", 1), "a1")
+        assert [key for key, _ in tree.items()] == [("a", 1), ("a", 9), ("b", 2)]
+
+
+class TestStructure:
+    def test_height_grows_with_size(self):
+        tree = make_tree(order=6)
+        assert tree.height() == 1
+        for key in range(200):
+            tree.insert(key, None)
+        assert tree.height() >= 3
+        assert tree.node_count() > 30
+
+    def test_order_validation(self):
+        with pytest.raises(StorageError):
+            make_tree(order=2)
+
+    def test_default_order_scales_with_page_size(self):
+        assert default_order(4096) > default_order(512) >= 6
+
+    def test_oversized_value_raises_clear_error(self):
+        tree = make_tree(order=6, page_size=256)
+        with pytest.raises(StorageError, match="HeapFile"):
+            tree.insert(1, "x" * 5000)
+
+    def test_page_ids_cover_all_nodes(self):
+        tree = make_tree(order=6)
+        for key in range(100):
+            tree.insert(key, None)
+        assert len(tree.page_ids()) == tree.node_count()
+
+    def test_size_bytes_positive_and_grows(self):
+        tree = make_tree()
+        empty_size = tree.size_bytes()
+        for key in range(50):
+            tree.insert(key, "payload")
+        assert tree.size_bytes() > empty_size
+
+
+class TestIOBehaviour:
+    def test_lookups_touch_pages_through_the_pool(self):
+        pool = BufferPool(SimulatedDisk(page_size=4096), capacity_pages=128)
+        tree = BPlusTree(pool, order=8, name="io")
+        for key in range(300):
+            tree.insert(key, key)
+        before = pool.stats.accesses
+        tree.get(123)
+        assert pool.stats.accesses - before >= tree.height()
+
+    def test_persists_across_cache_drop(self):
+        pool = BufferPool(SimulatedDisk(page_size=4096), capacity_pages=8)
+        tree = BPlusTree(pool, order=8, name="evict")
+        for key in range(500):
+            tree.insert(key, key * 3)
+        pool.drop()
+        assert tree.get(250) == 750
+        assert [key for key, _ in tree.items(low=495)] == [495, 496, 497, 498, 499]

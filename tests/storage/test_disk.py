@@ -1,0 +1,99 @@
+"""Tests for the simulated disk and its cost model."""
+
+import pytest
+
+from repro.errors import PageNotFoundError
+from repro.storage.disk import DiskCostModel, DiskStats, SimulatedDisk
+from repro.storage.pager import Page
+
+
+class TestSimulatedDisk:
+    def test_allocate_assigns_increasing_ids(self):
+        disk = SimulatedDisk()
+        ids = [disk.allocate() for _ in range(3)]
+        assert ids == [0, 1, 2]
+        assert disk.page_count == 3
+
+    def test_read_returns_copy(self):
+        disk = SimulatedDisk()
+        page_id = disk.allocate()
+        page = disk.read(page_id)
+        page.write(b"local change")
+        assert disk.read(page_id).data == b""
+
+    def test_write_persists_payload(self):
+        disk = SimulatedDisk()
+        page_id = disk.allocate()
+        page = Page(page_id=page_id, capacity=disk.page_size, data=b"persisted")
+        disk.write(page)
+        assert disk.read(page_id).data == b"persisted"
+
+    def test_read_unknown_page_raises(self):
+        disk = SimulatedDisk()
+        with pytest.raises(PageNotFoundError):
+            disk.read(42)
+
+    def test_write_unknown_page_raises(self):
+        disk = SimulatedDisk()
+        with pytest.raises(PageNotFoundError):
+            disk.write(Page(page_id=9, capacity=disk.page_size))
+
+    def test_free_removes_page(self):
+        disk = SimulatedDisk()
+        page_id = disk.allocate()
+        disk.free(page_id)
+        assert not disk.contains(page_id)
+
+    def test_sequential_vs_random_read_accounting(self):
+        disk = SimulatedDisk()
+        ids = disk.allocate_many(5)
+        disk.stats.reset()
+        disk.read(ids[0])
+        disk.read(ids[1])          # sequential (previous + 1)
+        disk.read(ids[4])          # random jump
+        disk.read(ids[2])          # random jump backwards
+        assert disk.stats.reads == 4
+        assert disk.stats.sequential_reads == 1
+        assert disk.stats.random_reads == 3
+        assert disk.stats.reads == disk.stats.sequential_reads + disk.stats.random_reads
+
+    def test_bytes_accounting(self):
+        disk = SimulatedDisk(page_size=128)
+        page_id = disk.allocate()
+        disk.read(page_id)
+        assert disk.stats.bytes_read == 128
+        disk.write(Page(page_id=page_id, capacity=128, data=b"x"))
+        assert disk.stats.bytes_written == 128
+
+
+class TestDiskStats:
+    def test_snapshot_and_diff(self):
+        stats = DiskStats(reads=10, writes=4, random_reads=6, sequential_reads=4)
+        snap = stats.snapshot()
+        stats.reads += 5
+        stats.random_reads += 5
+        delta = stats.diff(snap)
+        assert delta.reads == 5
+        assert delta.random_reads == 5
+        assert snap.reads == 10
+
+    def test_reset(self):
+        stats = DiskStats(reads=3, writes=2)
+        stats.reset()
+        assert stats.reads == 0 and stats.writes == 0
+
+
+class TestDiskCostModel:
+    def test_cost_scales_with_random_reads(self):
+        model = DiskCostModel(random_read_ms=10.0, sequential_read_ms=0.1, write_ms=0.0,
+                              cpu_per_page_ms=0.0)
+        cheap = DiskStats(reads=10, sequential_reads=10)
+        expensive = DiskStats(reads=10, random_reads=10)
+        assert model.cost_ms(expensive) > 50 * model.cost_ms(cheap)
+
+    def test_estimated_cost_tracks_activity(self):
+        disk = SimulatedDisk()
+        assert disk.estimated_cost_ms() == 0.0
+        page_id = disk.allocate()
+        disk.read(page_id)
+        assert disk.estimated_cost_ms() > 0.0

@@ -1,0 +1,79 @@
+"""Tests for the storage environment (named stores + global I/O accounting)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.environment import StorageEnvironment
+
+
+class TestStoreManagement:
+    def test_create_and_lookup_stores(self):
+        env = StorageEnvironment(cache_pages=32)
+        kv = env.create_kvstore("scores")
+        heap = env.create_heapfile("long_lists")
+        assert env.kvstore("scores") is kv
+        assert env.heapfile("long_lists") is heap
+        assert env.store_names() == ["long_lists", "scores"]
+
+    def test_duplicate_names_rejected_across_store_kinds(self):
+        env = StorageEnvironment(cache_pages=32)
+        env.create_kvstore("x")
+        with pytest.raises(StorageError):
+            env.create_kvstore("x")
+        with pytest.raises(StorageError):
+            env.create_heapfile("x")
+
+    def test_unknown_store_lookup_raises(self):
+        env = StorageEnvironment(cache_pages=32)
+        with pytest.raises(StorageError):
+            env.kvstore("nope")
+        with pytest.raises(StorageError):
+            env.heapfile("nope")
+
+    def test_total_size_accounts_all_stores(self):
+        env = StorageEnvironment(cache_pages=32)
+        kv = env.create_kvstore("kv")
+        heap = env.create_heapfile("heap")
+        kv.put(1, "value")
+        heap.write(b"x" * 100)
+        assert env.total_size_bytes() >= 100
+
+
+class TestIOAccounting:
+    def test_snapshot_delta_captures_activity(self):
+        env = StorageEnvironment(cache_pages=4)
+        heap = env.create_heapfile("heap")
+        handle = heap.write(b"a" * 4096 * 3)
+        env.drop_cache()
+        before = env.snapshot()
+        heap.read(handle)
+        delta = env.delta_since(before)
+        assert delta.page_reads >= 3
+        assert delta.cost_ms() > 0.0
+
+    def test_delta_is_zero_without_activity(self):
+        env = StorageEnvironment(cache_pages=8)
+        before = env.snapshot()
+        delta = env.delta_since(before)
+        assert delta.page_reads == 0
+        assert delta.page_writes == 0
+        assert delta.pool_hits == 0
+
+    def test_reset_stats(self):
+        env = StorageEnvironment(cache_pages=8)
+        kv = env.create_kvstore("kv")
+        kv.put(1, 1)
+        env.reset_stats()
+        assert env.disk.stats.reads == 0
+        assert env.pool.stats.accesses == 0
+
+    def test_drop_cache_then_read_counts_misses(self):
+        env = StorageEnvironment(cache_pages=16)
+        kv = env.create_kvstore("kv")
+        for i in range(50):
+            kv.put(i, i)
+        env.drop_cache()
+        before = env.snapshot()
+        kv.get(25)
+        delta = env.delta_since(before)
+        assert delta.page_reads >= 1

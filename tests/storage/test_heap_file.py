@@ -1,0 +1,84 @@
+"""Tests for the append-only heap file."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heap_file import HeapFile
+
+
+def make_heap(page_size=128, cache_pages=16):
+    pool = BufferPool(SimulatedDisk(page_size=page_size), capacity_pages=cache_pages)
+    return HeapFile(pool, name="test"), pool
+
+
+class TestHeapFile:
+    def test_write_and_read_round_trip(self):
+        heap, _pool = make_heap()
+        payload = bytes(range(200)) * 3
+        handle = heap.write(payload)
+        assert heap.read(handle) == payload
+        assert handle.length == len(payload)
+
+    def test_multi_page_segments(self):
+        heap, _pool = make_heap(page_size=64)
+        payload = b"x" * 1000
+        handle = heap.write(payload)
+        assert handle.page_count == (1000 + 63) // 64
+        assert heap.read(handle) == payload
+
+    def test_empty_segment_occupies_one_page(self):
+        heap, _pool = make_heap()
+        handle = heap.write(b"")
+        assert handle.page_count == 1
+        assert heap.read(handle) == b""
+
+    def test_iter_pages_streams_lazily(self):
+        heap, pool = make_heap(page_size=64)
+        handle = heap.write(b"a" * 640)
+        pool.drop()
+        before = pool.stats.misses
+        iterator = heap.iter_pages(handle)
+        next(iterator)
+        next(iterator)
+        assert pool.stats.misses - before == 2  # only the consumed pages were read
+
+    def test_delete_frees_pages(self):
+        heap, pool = make_heap()
+        handle = heap.write(b"payload")
+        heap.delete(handle)
+        assert heap.segment_count == 0
+        assert not pool.disk.contains(handle.page_ids[0])
+        with pytest.raises(StorageError):
+            heap.read(handle)
+
+    def test_get_by_segment_id(self):
+        heap, _pool = make_heap()
+        handle = heap.write(b"abc")
+        assert heap.get(handle.segment_id) == handle
+        with pytest.raises(StorageError):
+            heap.get(999)
+
+    def test_totals(self):
+        heap, _pool = make_heap(page_size=64)
+        heap.write(b"a" * 100)
+        heap.write(b"b" * 30)
+        assert heap.segment_count == 2
+        assert heap.total_bytes() == 130
+        assert heap.total_pages() == 2 + 1
+
+    def test_drop_from_cache_forces_cold_reads(self):
+        heap, pool = make_heap(page_size=64)
+        handle = heap.write(b"z" * 500)
+        heap.read(handle)           # warm the cache
+        heap.drop_from_cache()
+        misses_before = pool.stats.misses
+        heap.read(handle)
+        assert pool.stats.misses - misses_before == handle.page_count
+
+    def test_page_ids_cover_all_segments(self):
+        heap, _pool = make_heap(page_size=64)
+        handles = [heap.write(b"q" * 100) for _ in range(3)]
+        expected = {pid for handle in handles for pid in handle.page_ids}
+        assert heap.page_ids() == expected

@@ -1,0 +1,109 @@
+"""Tests for the BerkeleyDB-style key-value facade."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError, StoreClosedError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.kvstore import KVStore
+
+
+def make_store():
+    pool = BufferPool(SimulatedDisk(), capacity_pages=64)
+    return KVStore(pool, name="test")
+
+
+class TestPointOperations:
+    def test_put_get_delete(self):
+        store = make_store()
+        store.put("a", 1)
+        assert store.get("a") == 1
+        assert store.delete("a") == 1
+        assert "a" not in store
+
+    def test_get_with_default(self):
+        store = make_store()
+        assert store.get("missing", default=None) is None
+        with pytest.raises(KeyNotFoundError):
+            store.get("missing")
+
+    def test_delete_if_present(self):
+        store = make_store()
+        store.put("k", "v")
+        assert store.delete_if_present("k") is True
+        assert store.delete_if_present("k") is False
+
+    def test_len_and_contains(self):
+        store = make_store()
+        for i in range(10):
+            store.put(i, i)
+        assert len(store) == 10
+        assert 5 in store
+
+    def test_closed_store_rejects_operations(self):
+        store = make_store()
+        store.close()
+        assert store.closed
+        with pytest.raises(StoreClosedError):
+            store.put("a", 1)
+        with pytest.raises(StoreClosedError):
+            store.get("a")
+
+
+class TestCursorsAndRanges:
+    def test_cursor_iterates_range_in_order(self):
+        store = make_store()
+        for i in range(20):
+            store.put(i, i * 10)
+        cursor = store.cursor(low=5, high=8)
+        assert list(cursor) == [(5, 50), (6, 60), (7, 70), (8, 80)]
+
+    def test_cursor_next_returns_none_when_exhausted(self):
+        store = make_store()
+        store.put(1, "a")
+        cursor = store.cursor()
+        assert cursor.next() == (1, "a")
+        assert cursor.current == (1, "a")
+        assert cursor.next() is None
+        assert cursor.next() is None
+
+    def test_items_full_scan_sorted(self):
+        store = make_store()
+        for key in (5, 3, 9, 1):
+            store.put(key, None)
+        assert [key for key, _ in store.items()] == [1, 3, 5, 9]
+
+    def test_prefix_items_on_composite_keys(self):
+        store = make_store()
+        store.put(("apple", 2), "a2")
+        store.put(("apple", 1), "a1")
+        store.put(("banana", 1), "b1")
+        store.put(("apricot", 1), "ap1")
+        assert list(store.prefix_items(("apple",))) == [
+            (("apple", 1), "a1"),
+            (("apple", 2), "a2"),
+        ]
+        assert list(store.prefix_items(("cherry",))) == []
+
+    def test_prefix_items_multi_component_prefix(self):
+        store = make_store()
+        for term in ("x", "y"):
+            for chunk in (3, 2, 1):
+                for doc in (7, 5):
+                    store.put((term, chunk, doc), None)
+        keys = [key for key, _ in store.prefix_items(("x", 2))]
+        assert keys == [("x", 2, 5), ("x", 2, 7)]
+
+
+class TestSizes:
+    def test_size_bytes_grows_with_content(self):
+        store = make_store()
+        empty = store.size_bytes()
+        for i in range(200):
+            store.put(i, "value-%d" % i)
+        assert store.size_bytes() > empty
+
+    def test_page_ids_nonempty(self):
+        store = make_store()
+        store.put(1, 1)
+        assert store.page_ids()

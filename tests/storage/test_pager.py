@@ -1,0 +1,74 @@
+"""Tests for the page abstraction."""
+
+import pytest
+
+from repro.errors import PageError
+from repro.storage.pager import PAGE_SIZE, Page, pages_needed, split_into_pages
+
+
+class TestPage:
+    def test_new_page_is_empty(self):
+        page = Page(page_id=1)
+        assert page.size == 0
+        assert page.free_space == PAGE_SIZE
+        assert not page.dirty
+
+    def test_write_replaces_payload_and_marks_dirty(self):
+        page = Page(page_id=1, capacity=64)
+        page.write(b"hello")
+        assert page.data == b"hello"
+        assert page.dirty
+        page.write(b"world!")
+        assert page.data == b"world!"
+
+    def test_write_rejects_oversized_payload(self):
+        page = Page(page_id=1, capacity=8)
+        with pytest.raises(PageError):
+            page.write(b"123456789")
+
+    def test_append_accumulates_until_capacity(self):
+        page = Page(page_id=1, capacity=8)
+        page.append(b"1234")
+        page.append(b"5678")
+        assert page.data == b"12345678"
+        with pytest.raises(PageError):
+            page.append(b"9")
+
+    def test_clear_empties_payload(self):
+        page = Page(page_id=1, capacity=8, data=b"abc")
+        page.clear()
+        assert page.size == 0
+        assert page.dirty
+
+    def test_copy_is_independent(self):
+        page = Page(page_id=3, capacity=16, data=b"abc")
+        duplicate = page.copy()
+        duplicate.write(b"xyz")
+        assert page.data == b"abc"
+
+    def test_constructor_validates_capacity_and_size(self):
+        with pytest.raises(PageError):
+            Page(page_id=1, capacity=0)
+        with pytest.raises(PageError):
+            Page(page_id=1, capacity=2, data=b"abc")
+
+
+class TestPageMath:
+    def test_pages_needed_rounds_up(self):
+        assert pages_needed(0, page_size=100) == 1
+        assert pages_needed(1, page_size=100) == 1
+        assert pages_needed(100, page_size=100) == 1
+        assert pages_needed(101, page_size=100) == 2
+
+    def test_pages_needed_rejects_negative(self):
+        with pytest.raises(PageError):
+            pages_needed(-1)
+
+    def test_split_into_pages_reassembles(self):
+        payload = bytes(range(256)) * 5
+        fragments = split_into_pages(payload, page_size=100)
+        assert all(len(fragment) <= 100 for fragment in fragments)
+        assert b"".join(fragments) == payload
+
+    def test_split_empty_payload_occupies_one_page(self):
+        assert split_into_pages(b"", page_size=100) == [b""]

@@ -1,0 +1,62 @@
+"""Tests for tokenisation and the analysis pipeline."""
+
+import pytest
+
+from repro.errors import TokenizationError
+from repro.text.analyzer import DEFAULT_STOPWORDS, Analyzer
+from repro.text.tokenizer import Tokenizer
+
+
+class TestTokenizer:
+    def test_splits_on_non_alphanumerics(self):
+        tokens = Tokenizer().tokenize("Hello, world!  It's 2005;ICDE")
+        assert tokens == ["Hello", "world", "It's", "2005", "ICDE"]
+
+    def test_length_filters(self):
+        tokenizer = Tokenizer(min_length=3, max_length=5)
+        assert tokenizer.tokenize("a ab abc abcd abcdef") == ["abc", "abcd"]
+
+    def test_custom_pattern(self):
+        tokenizer = Tokenizer(pattern=r"[a-z]+")
+        assert tokenizer.tokenize("abc123def") == ["abc", "def"]
+
+    def test_invalid_configuration(self):
+        with pytest.raises(TokenizationError):
+            Tokenizer(min_length=0)
+        with pytest.raises(TokenizationError):
+            Tokenizer(min_length=5, max_length=2)
+
+    def test_non_string_input_rejected(self):
+        with pytest.raises(TokenizationError):
+            Tokenizer().tokenize(123)
+
+    def test_empty_text(self):
+        assert Tokenizer().tokenize("") == []
+
+
+class TestAnalyzer:
+    def test_lowercases_by_default(self):
+        assert Analyzer().analyze("Golden GATE") == ["golden", "gate"]
+
+    def test_lowercasing_can_be_disabled(self):
+        assert Analyzer(lowercase=False).analyze("Golden GATE") == ["Golden", "GATE"]
+
+    def test_english_stopwords_removed(self):
+        analyzer = Analyzer.english()
+        terms = analyzer.analyze("The bridge and the fog")
+        assert terms == ["bridge", "fog"]
+        assert "the" in DEFAULT_STOPWORDS
+
+    def test_duplicates_preserved_for_term_frequencies(self):
+        assert Analyzer().analyze("gate gate gate") == ["gate", "gate", "gate"]
+
+    def test_normalize_query_terms_deduplicates_and_filters(self):
+        analyzer = Analyzer.english()
+        keywords = analyzer.normalize_query_terms(["Golden", "golden gate", "the", "!!"])
+        assert keywords == ["golden", "gate"]
+
+    def test_query_and_document_analysis_are_consistent(self):
+        analyzer = Analyzer()
+        document_terms = set(analyzer.analyze("Golden Gate bridge"))
+        query_terms = analyzer.normalize_query_terms(["GOLDEN", "Bridge"])
+        assert set(query_terms) <= document_terms

@@ -1,0 +1,123 @@
+"""Tests for the forward index, term dictionary and term scoring."""
+
+import math
+
+import pytest
+
+from repro.errors import DocumentNotFoundError, TextError
+from repro.text.dictionary import TermDictionary
+from repro.text.documents import Document, DocumentStore
+from repro.text.termscore import TermScorer
+
+
+class TestDocument:
+    def test_from_terms_counts_frequencies(self):
+        document = Document.from_terms(1, ["a", "b", "a", "c", "a"])
+        assert document.term_frequencies == {"a": 3, "b": 1, "c": 1}
+        assert document.length == 5
+        assert document.distinct_terms == {"a", "b", "c"}
+        assert document.term_frequency("a") == 3
+        assert document.term_frequency("zzz") == 0
+
+
+class TestDocumentStore:
+    def test_add_get_remove(self):
+        store = DocumentStore()
+        store.add_terms(1, ["x", "y"])
+        assert store.get(1).length == 2
+        assert 1 in store and len(store) == 1
+        removed = store.remove(1)
+        assert removed.doc_id == 1
+        with pytest.raises(DocumentNotFoundError):
+            store.get(1)
+
+    def test_duplicate_add_rejected(self):
+        store = DocumentStore()
+        store.add_terms(1, ["x"])
+        with pytest.raises(TextError):
+            store.add_terms(1, ["y"])
+
+    def test_replace_returns_old_version(self):
+        store = DocumentStore()
+        store.add_terms(1, ["old"])
+        old = store.replace(Document.from_terms(1, ["new", "terms"]))
+        assert old.distinct_terms == {"old"}
+        assert store.get(1).distinct_terms == {"new", "terms"}
+        with pytest.raises(DocumentNotFoundError):
+            store.replace(Document.from_terms(9, ["x"]))
+
+    def test_average_length(self):
+        store = DocumentStore()
+        assert store.average_length() == 0.0
+        store.add_terms(1, ["a"] * 4)
+        store.add_terms(2, ["b"] * 2)
+        assert store.average_length() == 3.0
+
+
+class TestTermDictionary:
+    def test_document_frequencies(self):
+        dictionary = TermDictionary()
+        dictionary.add_document_terms({"a", "b"})
+        dictionary.add_document_terms({"a", "c"})
+        assert dictionary.document_frequency("a") == 2
+        assert dictionary.document_frequency("b") == 1
+        assert dictionary.document_frequency("zzz") == 0
+        assert len(dictionary) == 3
+        assert set(dictionary.live_terms()) == {"a", "b", "c"}
+
+    def test_remove_and_update(self):
+        dictionary = TermDictionary()
+        dictionary.add_document_terms({"a", "b"})
+        dictionary.update_document_terms({"a", "b"}, {"b", "c"})
+        assert dictionary.document_frequency("a") == 0
+        assert dictionary.document_frequency("c") == 1
+        with pytest.raises(TextError):
+            dictionary.remove_document_terms({"never-seen"})
+
+    def test_term_ids_are_stable(self):
+        dictionary = TermDictionary()
+        dictionary.add_document_terms({"first"})
+        first_id = dictionary.term_id("first")
+        dictionary.add_document_terms({"second"})
+        assert dictionary.term_id("first") == first_id
+        with pytest.raises(TextError):
+            dictionary.term_id("missing")
+
+
+class TestTermScorer:
+    @pytest.fixture
+    def scorer(self):
+        documents = DocumentStore()
+        dictionary = TermDictionary()
+        corpus = {
+            1: ["gate"] * 5 + ["bridge"] * 5,
+            2: ["gate", "harbor", "ferry", "fog"],
+            3: ["harbor", "ferry"],
+        }
+        for doc_id, terms in corpus.items():
+            documents.add_terms(doc_id, terms)
+            dictionary.add_document_terms(documents.get(doc_id).distinct_terms)
+        return TermScorer(documents, dictionary)
+
+    def test_normalized_tf(self, scorer):
+        assert scorer.term_score("gate", 1) == pytest.approx(0.5)
+        assert scorer.term_score("gate", 2) == pytest.approx(0.25)
+        assert scorer.term_score("gate", 3) == 0.0
+        assert scorer.term_score("gate", 99) == 0.0
+
+    def test_idf_prefers_rare_terms(self, scorer):
+        assert scorer.idf("fog") > scorer.idf("gate") > 0.0
+        assert scorer.idf("fog") == pytest.approx(math.log(1 + 3 / 1))
+
+    def test_query_tfidf_ranks_relevant_documents_higher(self, scorer):
+        assert scorer.query_tfidf(["gate", "bridge"], 1) > scorer.query_tfidf(
+            ["gate", "bridge"], 2
+        )
+        assert scorer.query_tfidf(["gate"], 3) == 0.0
+
+    def test_combined_scoring_function_is_monotone(self, scorer):
+        term_scores = scorer.query_term_scores(["gate"], 1)
+        low = TermScorer.combine(100.0, term_scores, term_weight=1.0)
+        high = TermScorer.combine(200.0, term_scores, term_weight=1.0)
+        assert high > low
+        assert TermScorer.combine(100.0, {}, term_weight=1.0) == 100.0

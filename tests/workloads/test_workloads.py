@@ -1,0 +1,208 @@
+"""Tests for the workload generators (Zipf samplers, corpus, updates, queries, archive)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.relational.database import Database
+from repro.workloads.archive import ArchiveConfig, InternetArchiveDataset
+from repro.workloads.queries import QueryWorkload, QueryWorkloadConfig
+from repro.workloads.synthetic import SyntheticCorpusConfig, generate_corpus, term_name
+from repro.workloads.updates import UpdateWorkload, UpdateWorkloadConfig, apply_updates
+from repro.workloads.zipf import ZipfSampler, zipf_scores
+
+
+class TestZipf:
+    def test_sampler_is_skewed_towards_low_ranks(self):
+        sampler = ZipfSampler(100, 1.0, random.Random(0))
+        ranks = sampler.sample_ranks(5000)
+        counts = Counter(ranks)
+        assert counts[1] > counts[50] >= 0
+        assert min(ranks) >= 1 and max(ranks) <= 100
+
+    def test_zero_exponent_is_roughly_uniform(self):
+        sampler = ZipfSampler(10, 0.0, random.Random(0))
+        counts = Counter(sampler.sample_ranks(10000))
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(50, 0.75)
+        assert sum(sampler.probability(rank) for rank in range(1, 51)) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(10, -1.0)
+        with pytest.raises(WorkloadError):
+            zipf_scores(-1, 100.0, 0.75)
+
+    def test_zipf_scores_range_and_determinism(self):
+        scores_a = zipf_scores(200, 100000.0, 0.75, random.Random(1))
+        scores_b = zipf_scores(200, 100000.0, 0.75, random.Random(1))
+        assert scores_a == scores_b
+        assert all(0 <= score <= 100000.0 for score in scores_a)
+        assert max(scores_a) > 10 * min(scores_a)   # heavy skew
+
+
+class TestSyntheticCorpus:
+    def test_generation_is_deterministic(self):
+        config = SyntheticCorpusConfig.tiny()
+        a = generate_corpus(config)
+        b = generate_corpus(config)
+        assert [d.terms for d in a.documents] == [d.terms for d in b.documents]
+        assert a.scores() == b.scores()
+
+    def test_corpus_respects_config(self):
+        config = SyntheticCorpusConfig(
+            num_docs=50, terms_per_doc=20, num_distinct_terms=100,
+            structured_column_bytes=32, seed=1,
+        )
+        corpus = generate_corpus(config)
+        assert len(corpus) == 50
+        assert all(len(doc.terms) == 20 for doc in corpus.documents)
+        assert all(len(doc.structured_value) == 32 for doc in corpus.documents)
+        used_terms = {term for doc in corpus.documents for term in doc.terms}
+        assert used_terms <= {term_name(rank) for rank in range(1, 101)}
+
+    def test_frequent_terms_ordered_by_frequency(self):
+        corpus = generate_corpus(SyntheticCorpusConfig.tiny())
+        top = corpus.frequent_terms(10)
+        counts = Counter(term for doc in corpus.documents for term in doc.terms)
+        frequencies = [counts[term] for term in top]
+        assert frequencies == sorted(frequencies, reverse=True)
+
+    def test_scaled_and_paper_scale_configs(self):
+        config = SyntheticCorpusConfig(num_docs=100)
+        assert config.scaled(0.5).num_docs == 50
+        with pytest.raises(WorkloadError):
+            config.scaled(0)
+        paper = SyntheticCorpusConfig.paper_scale()
+        assert paper.num_docs == 100000 and paper.terms_per_doc == 2000
+
+    def test_document_text_round_trips_terms(self):
+        corpus = generate_corpus(SyntheticCorpusConfig.tiny())
+        document = corpus.documents[0]
+        assert tuple(document.text.split()) == document.terms
+
+
+class TestUpdateWorkload:
+    def make(self, **overrides):
+        corpus = generate_corpus(SyntheticCorpusConfig.tiny())
+        overrides.setdefault("num_updates", 500)
+        config = UpdateWorkloadConfig(**overrides)
+        return UpdateWorkload(config, corpus.scores()), corpus
+
+    def test_updates_are_deterministic_and_bounded(self):
+        workload, _corpus = self.make(mean_step=100.0, seed=3)
+        first = workload.generate_list()
+        workload_again, _ = self.make(mean_step=100.0, seed=3)
+        assert [ (u.doc_id, u.delta) for u in first ] == [
+            (u.doc_id, u.delta) for u in workload_again.generate_list()
+        ]
+        assert all(abs(update.delta) <= 200.0 for update in first)
+
+    def test_focus_set_updates_follow_direction(self):
+        workload, _corpus = self.make(
+            focus_set_fraction=0.1, focus_update_fraction=1.0, focus_direction="increase"
+        )
+        focus = set(workload.focus_set)
+        assert focus
+        updates = workload.generate_list()
+        assert all(update.doc_id in focus for update in updates)
+        assert all(update.delta >= 0 for update in updates)
+
+    def test_high_score_documents_updated_more_often(self):
+        workload, corpus = self.make(focus_set_fraction=0.0, target_zipf=1.0,
+                                     num_updates=2000)
+        counts = Counter(update.doc_id for update in workload.generate())
+        by_score = sorted(corpus.scores().items(), key=lambda item: -item[1])
+        top_docs = {doc for doc, _ in by_score[:20]}
+        bottom_docs = {doc for doc, _ in by_score[-20:]}
+        top_updates = sum(counts.get(doc, 0) for doc in top_docs)
+        bottom_updates = sum(counts.get(doc, 0) for doc in bottom_docs)
+        assert top_updates > bottom_updates
+
+    def test_apply_updates_never_goes_negative(self):
+        workload, corpus = self.make(mean_step=100000.0)
+        scores = apply_updates(workload.generate(), dict(corpus.scores()))
+        assert all(score >= 0 for score in scores.values())
+
+    def test_config_validation(self):
+        with pytest.raises(WorkloadError):
+            UpdateWorkloadConfig(mean_step=0)
+        with pytest.raises(WorkloadError):
+            UpdateWorkloadConfig(focus_set_fraction=2.0)
+        with pytest.raises(WorkloadError):
+            UpdateWorkloadConfig(focus_direction="sideways")
+        with pytest.raises(WorkloadError):
+            UpdateWorkload(UpdateWorkloadConfig(), {})
+
+
+class TestQueryWorkload:
+    def test_selectivity_controls_the_keyword_pool(self):
+        corpus = generate_corpus(SyntheticCorpusConfig.tiny())
+        frequent = corpus.frequent_terms(200)
+        unselective = QueryWorkload(
+            QueryWorkloadConfig(selectivity="unselective", num_queries=10), frequent,
+            vocabulary_size=10000,
+        )
+        selective = QueryWorkload(
+            QueryWorkloadConfig(selectivity="selective", num_queries=10), frequent,
+            vocabulary_size=10000,
+        )
+        assert len(unselective.pool) < len(selective.pool)
+
+    def test_queries_use_pool_terms_and_config(self):
+        corpus = generate_corpus(SyntheticCorpusConfig.tiny())
+        workload = QueryWorkload(
+            QueryWorkloadConfig(num_queries=7, terms_per_query=3, k=5, conjunctive=False),
+            corpus.frequent_terms(50),
+        )
+        queries = workload.generate()
+        assert len(queries) == 7
+        for query in queries:
+            assert len(query.keywords) == 3
+            assert set(query.keywords) <= set(workload.pool)
+            assert query.k == 5 and not query.conjunctive
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            QueryWorkloadConfig(selectivity="bogus")
+        with pytest.raises(WorkloadError):
+            QueryWorkload(QueryWorkloadConfig(), [])
+        with pytest.raises(WorkloadError):
+            QueryWorkload(QueryWorkloadConfig(terms_per_query=5), ["only-term"])
+
+
+class TestArchiveDataset:
+    def test_populate_creates_consistent_tables(self):
+        database = Database()
+        dataset = InternetArchiveDataset(ArchiveConfig(num_movies=25, seed=2))
+        dataset.populate(database)
+        movies = list(database.table("movies").scan())
+        assert len(movies) == 25
+        stats = {row["movie_id"] for row in database.table("statistics").scan()}
+        assert stats == {row["movie_id"] for row in movies}
+        for row in database.table("reviews").scan():
+            assert 1.0 <= row["rating"] <= 5.0
+            assert row["movie_id"] in stats
+
+    def test_score_spec_is_positive_and_matches_formula(self):
+        database = Database()
+        dataset = InternetArchiveDataset(ArchiveConfig(num_movies=10, seed=2))
+        dataset.populate(database)
+        spec = dataset.build_score_spec(database)
+        for movie_id in range(1, 11):
+            components = spec.component_scores(movie_id)
+            expected = (
+                components["S1"] * 100 + components["S2"] * 0.5 + components["S3"]
+            )
+            assert spec.svr_score(movie_id) == pytest.approx(expected)
+            assert spec.svr_score(movie_id) >= 0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ArchiveConfig(num_movies=0)
