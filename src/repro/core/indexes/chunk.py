@@ -263,21 +263,23 @@ class ChunkIndex(InvertedIndex):
                 yield -chunk_id, doc_id, term_index, True, term_score
 
         def long_iter() -> Iterator[tuple[int, int, int, bool, float]]:
-            for chunk_id, posting in long_postings:
-                if posting.doc_id in removed:
+            for chunk_id, doc_id, term_score in long_postings:
+                if doc_id in removed:
                     continue
-                yield -chunk_id, posting.doc_id, term_index, False, posting.term_score
+                yield -chunk_id, doc_id, term_index, False, term_score
 
         return heapq.merge(short_iter(), long_iter())
 
-    def _iter_long(self, term: str, stats: QueryStats) -> Iterator[tuple[int, object]]:
+    def _iter_long(self, term: str,
+                   stats: QueryStats) -> "Iterator[tuple[int, int, float]]":
+        """Stream ``(chunk_id, doc_id, term_score)`` triples from the long list."""
         handle = self._segments.get(term)
         if handle is None:
             return
         reader = LazyBytesReader(self._long_lists.iter_pages(handle))
-        for chunk_id, posting in iter_chunk_postings_lazy(reader):
+        for posting in iter_chunk_postings_lazy(reader):
             stats.postings_scanned += 1
-            yield chunk_id, posting
+            yield posting
 
     def _load_short(self, term: str) -> tuple[list[tuple[int, int, float]], set[int]]:
         """One term's short list: (chunk_id, doc_id, term_score) adds plus removed ids."""

@@ -37,21 +37,21 @@ _REM = "REM"
 
 
 def merge_streams_by_doc_id(
-    streams: list[Iterator[Posting]],
-) -> Iterator[tuple[int, dict[int, Posting]]]:
-    """Merge ID-ordered posting streams, grouping postings by document id.
+    streams: "list[Iterator[tuple[int, float]]]",
+) -> Iterator[tuple[int, dict[int, tuple[int, float]]]]:
+    """Merge ID-ordered ``(doc_id, term_score)`` streams, grouping by document id.
 
     Yields ``(doc_id, {stream_index: posting})`` in increasing document-id
     order; the mapping records which streams contained the document (and with
-    which posting, so term scores survive the merge).
+    which posting tuple, so term scores survive the merge).
     """
-    def tag(index: int, stream: Iterator[Posting]) -> Iterator[tuple[int, int, Posting]]:
+    def tag(index: int, stream: "Iterator[tuple[int, float]]") -> Iterator[tuple[int, int, tuple[int, float]]]:
         for posting in stream:
-            yield posting.doc_id, index, posting
+            yield posting[0], index, posting
 
     merged = heapq.merge(*(tag(index, stream) for index, stream in enumerate(streams)))
     current_doc: int | None = None
-    found: dict[int, Posting] = {}
+    found: dict[int, tuple[int, float]] = {}
     for doc_id, index, posting in merged:
         if current_doc is None:
             current_doc = doc_id
@@ -151,18 +151,23 @@ class IDIndex(InvertedIndex):
         return [QueryResult(entry.doc_id, entry.score) for entry in heap.results()]
 
     def _result_score(self, doc_id: int, svr_score: float,
-                      found: dict[int, Posting], terms: list[str]) -> float:
+                      found: dict[int, tuple[int, float]], terms: list[str]) -> float:
         """Final ranking score for a candidate (SVR only for the plain ID method)."""
         del doc_id, found, terms
         return svr_score
 
-    def _term_stream(self, term: str, stats: QueryStats) -> Iterator[Posting]:
-        """Long-list postings merged with the delta list for one term, ID order."""
+    def _term_stream(self, term: str, stats: QueryStats) -> "Iterator[tuple[int, float]]":
+        """Long-list postings merged with the delta list for one term, ID order.
+
+        Postings flow through the scan as plain ``(doc_id, term_score)`` tuples
+        (the zero-copy decoders yield them directly; no per-posting objects).
+        """
         adds, removed = self._load_delta(term)
         long_postings = self._iter_long_postings(term, stats)
         return self._merge_with_delta(long_postings, adds, removed, stats)
 
-    def _iter_long_postings(self, term: str, stats: QueryStats) -> Iterator[Posting]:
+    def _iter_long_postings(self, term: str,
+                            stats: QueryStats) -> "Iterator[tuple[int, float]]":
         handle = self._segments.get(term)
         if handle is None:
             return
@@ -171,30 +176,32 @@ class IDIndex(InvertedIndex):
             stats.postings_scanned += 1
             yield posting
 
-    def _load_delta(self, term: str) -> tuple[list[Posting], set[int]]:
-        adds: list[Posting] = []
+    def _load_delta(self, term: str) -> tuple[list[tuple[int, float]], set[int]]:
+        adds: list[tuple[int, float]] = []
         removed: set[int] = set()
         for (_term, doc_id), (operation, term_score) in self._delta.prefix_items((term,)):
             if operation == _ADD:
-                adds.append(Posting(doc_id=doc_id, term_score=term_score))
+                adds.append((doc_id, term_score))
             else:
                 removed.add(doc_id)
-        adds.sort(key=lambda posting: posting.doc_id)
+        adds.sort()
         return adds, removed
 
     @staticmethod
-    def _merge_with_delta(long_postings: Iterable[Posting], adds: list[Posting],
-                          removed: set[int], stats: QueryStats) -> Iterator[Posting]:
+    def _merge_with_delta(long_postings: "Iterable[tuple[int, float]]",
+                          adds: list[tuple[int, float]], removed: set[int],
+                          stats: QueryStats) -> "Iterator[tuple[int, float]]":
         add_index = 0
-        seen_add_ids = {posting.doc_id for posting in adds}
+        seen_add_ids = {doc_id for doc_id, _ts in adds}
         for posting in long_postings:
-            while add_index < len(adds) and adds[add_index].doc_id < posting.doc_id:
+            doc_id = posting[0]
+            while add_index < len(adds) and adds[add_index][0] < doc_id:
                 stats.postings_scanned += 1
                 yield adds[add_index]
                 add_index += 1
-            if posting.doc_id in removed:
+            if doc_id in removed:
                 continue
-            if posting.doc_id in seen_add_ids:
+            if doc_id in seen_add_ids:
                 # The delta posting supersedes the long-list posting (content update).
                 continue
             yield posting

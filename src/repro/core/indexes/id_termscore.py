@@ -45,6 +45,6 @@ class IDTermScoreIndex(IDIndex):
         return self._normalized_tf(doc_id, term)
 
     def _result_score(self, doc_id: int, svr_score: float,
-                      found: dict[int, Posting], terms: list[str]) -> float:
-        term_sum = sum(posting.term_score for posting in found.values())
+                      found: dict[int, tuple[int, float]], terms: list[str]) -> float:
+        term_sum = sum(term_score for _doc_id, term_score in found.values())
         return svr_score + self.term_weight * term_sum

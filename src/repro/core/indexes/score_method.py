@@ -49,7 +49,11 @@ class ScoreIndex(InvertedIndex):
         return self._lists.size_bytes()
 
     def drop_long_list_cache(self) -> None:
-        self.env.pool.drop(self._lists.page_ids())
+        # The enumeration is charged (accounted=True): establishing the
+        # paper's cold cache walks the clustered list tree exactly like
+        # BerkeleyDB would, and that walk is part of the modelled I/O the
+        # experiments start from.
+        self.env.pool.drop(self._lists.page_ids(accounted=True))
 
     # -- updates ----------------------------------------------------------------
 

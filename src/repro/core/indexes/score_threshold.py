@@ -212,14 +212,16 @@ class ScoreThresholdIndex(InvertedIndex):
                 yield -list_score, doc_id, term_index, True
 
         def long_iter() -> Iterator[tuple[float, int, int, bool]]:
-            for posting in long_postings:
-                if posting.doc_id in removed:
+            for doc_id, score, _term_score in long_postings:
+                if doc_id in removed:
                     continue
-                yield -posting.score, posting.doc_id, term_index, False
+                yield -score, doc_id, term_index, False
 
         return heapq.merge(short_iter(), long_iter())
 
-    def _iter_long(self, term: str, stats: QueryStats) -> Iterator[ScoredPosting]:
+    def _iter_long(self, term: str,
+                   stats: QueryStats) -> "Iterator[tuple[int, float, float]]":
+        """Stream ``(doc_id, score, term_score)`` tuples from the long list."""
         handle = self._segments.get(term)
         if handle is None:
             return

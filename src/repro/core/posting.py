@@ -267,6 +267,10 @@ def decode_chunk_runs(data: bytes) -> list[ChunkRun]:
 # Lazy, page-at-a-time decoding
 # ---------------------------------------------------------------------------
 
+_FLOAT = struct.Struct("<f")
+_SCORED = struct.Struct("<dI")
+_SCORED_TS = struct.Struct("<dIf")
+
 
 class LazyBytesReader:
     """Sequential byte reader over a page iterator.
@@ -276,85 +280,228 @@ class LazyBytesReader:
     point must never be fetched or they would distort the I/O accounting.  This
     reader pulls pages from the underlying iterator only when the decoder
     actually needs more bytes.
+
+    The reader keeps the current page fragment as-is and serves reads straight
+    out of it (the previous implementation re-concatenated a rolling buffer —
+    ``buffer[pos:] + fragment`` — on every page fetch, copying bytes it had
+    already copied before).  Batch decoders in this module reach into
+    ``_buf``/``_pos`` directly to decode whole runs of postings from the
+    buffered fragment without per-byte method calls; they never trigger a page
+    fetch the byte-at-a-time path would not have triggered at the same point.
     """
+
+    __slots__ = ("_pages", "_buf", "_pos")
 
     def __init__(self, pages: Iterator[bytes]) -> None:
         self._pages = pages
-        self._buffer = b""
-        self._position = 0
+        self._buf = b""
+        self._pos = 0
 
-    def _ensure(self, count: int) -> bool:
-        while len(self._buffer) - self._position < count:
-            try:
-                fragment = next(self._pages)
-            except StopIteration:
-                return False
-            self._buffer = self._buffer[self._position:] + fragment
-            self._position = 0
-        return True
+    def _advance(self) -> bool:
+        """Step to the next non-empty page fragment; ``False`` at end of list."""
+        for fragment in self._pages:
+            self._buf = fragment
+            self._pos = 0
+            if fragment:
+                return True
+        return False
 
     @property
     def exhausted(self) -> bool:
         """Whether no more bytes can be read."""
-        if self._position < len(self._buffer):
+        if self._pos < len(self._buf):
             return False
-        return not self._ensure(1)
+        return not self._advance()
 
     def read_bytes(self, count: int) -> bytes:
         """Read exactly ``count`` bytes (raises on truncation)."""
-        if not self._ensure(count):
-            raise InvertedIndexError("truncated posting list")
-        start = self._position
-        self._position += count
-        return self._buffer[start:self._position]
+        buf = self._buf
+        pos = self._pos
+        end = pos + count
+        if end <= len(buf):
+            self._pos = end
+            return buf[pos:end]
+        parts = []
+        needed = count
+        while True:
+            available = len(buf) - pos
+            if available:
+                take = available if available < needed else needed
+                parts.append(buf[pos:pos + take])
+                pos += take
+                needed -= take
+            if not needed:
+                break
+            if not self._advance():
+                self._pos = pos
+                raise InvertedIndexError("truncated posting list")
+            buf = self._buf
+            pos = 0
+        self._buf = buf
+        self._pos = pos
+        return b"".join(parts)
 
     def read_varint(self) -> int:
         """Read one LEB128 varint."""
+        buf = self._buf
+        pos = self._pos
+        size = len(buf)
         result = 0
         shift = 0
         while True:
-            byte = self.read_bytes(1)[0]
+            if pos >= size:
+                if not self._advance():
+                    raise InvertedIndexError("truncated posting list")
+                buf = self._buf
+                pos = 0
+                size = len(buf)
+            byte = buf[pos]
+            pos += 1
             result |= (byte & 0x7F) << shift
             if not byte & 0x80:
+                self._buf = buf
+                self._pos = pos
                 return result
             shift += 7
 
     def read_struct(self, fmt: str) -> tuple:
         """Read and unpack one fixed-size struct."""
-        return struct.unpack(fmt, self.read_bytes(struct.calcsize(fmt)))
+        size = struct.calcsize(fmt)
+        buf = self._buf
+        pos = self._pos
+        if len(buf) - pos >= size:
+            self._pos = pos + size
+            return struct.unpack_from(fmt, buf, pos)
+        return struct.unpack(fmt, self.read_bytes(size))
 
 
-def iter_id_postings_lazy(reader: LazyBytesReader) -> Iterator[Posting]:
-    """Stream ID-ordered postings from a lazy reader (pages fetched on demand)."""
+def _decode_delta_run(reader: LazyBytesReader, doc_id: int, remaining: int,
+                      with_term_scores: bool, tag: int | None) -> tuple[list, int, int]:
+    """Batch-decode delta-encoded postings wholly contained in the buffered fragment.
+
+    Returns ``(batch, doc_id, remaining)`` where ``batch`` holds
+    ``(doc_id, term_score)`` tuples — or ``(tag, doc_id, term_score)`` when a
+    ``tag`` (the chunk id) is given.  Decoding stops at the fragment edge: a
+    posting that might straddle it is left for the caller's byte-at-a-time
+    fallback, so no page is ever fetched earlier than the scalar decoder would
+    have fetched it.
+    """
+    buf = reader._buf
+    pos = reader._pos
+    size = len(buf)
+    # A delta varint realistically spans <= 10 bytes (2**70); postings whose
+    # bytes could reach past the fragment edge take the fallback path instead.
+    safe = size - 14 if with_term_scores else size - 10
+    unpack_from = _FLOAT.unpack_from
+    batch: list = []
+    append = batch.append
+    while remaining and pos <= safe:
+        entry = pos
+        byte = buf[pos]
+        pos += 1
+        if byte < 0x80:
+            doc_id += byte
+        else:
+            delta = byte & 0x7F
+            shift = 7
+            while True:
+                if pos >= size:
+                    pos = -1
+                    break
+                byte = buf[pos]
+                pos += 1
+                delta |= (byte & 0x7F) << shift
+                if not byte & 0x80:
+                    break
+                shift += 7
+            if pos < 0 or (with_term_scores and pos + 4 > size):
+                # Varint longer than the safety margin assumed; re-decode this
+                # posting through the reader, which handles fragment crossing.
+                pos = entry
+                break
+            doc_id += delta
+        if with_term_scores:
+            term_score = unpack_from(buf, pos)[0]
+            pos += 4
+        else:
+            term_score = 0.0
+        if tag is None:
+            append((doc_id, term_score))
+        else:
+            append((tag, doc_id, term_score))
+        remaining -= 1
+    reader._pos = pos
+    return batch, doc_id, remaining
+
+
+def iter_id_postings_lazy(reader: LazyBytesReader) -> Iterator[tuple[int, float]]:
+    """Stream ID-ordered postings as ``(doc_id, term_score)`` pairs.
+
+    Pages are fetched on demand only; postings are batch-decoded per buffered
+    page fragment (see :func:`_decode_delta_run`), which is what makes long
+    scans cheap without changing when each page is read.
+    """
     if reader.exhausted:
         return
     count = reader.read_varint()
     with_term_scores = bool(reader.read_bytes(1)[0])
     doc_id = 0
-    for _ in range(count):
-        doc_id += reader.read_varint()
-        term_score = 0.0
-        if with_term_scores:
-            term_score = reader.read_struct("<f")[0]
-        yield Posting(doc_id=doc_id, term_score=term_score)
+    remaining = count
+    while remaining:
+        batch, doc_id, remaining = _decode_delta_run(
+            reader, doc_id, remaining, with_term_scores, tag=None
+        )
+        if batch:
+            yield from batch
+        if remaining:
+            # One posting at the fragment edge, decoded byte-at-a-time (this
+            # is the only path that may pull the next page).
+            doc_id += reader.read_varint()
+            term_score = reader.read_struct("<f")[0] if with_term_scores else 0.0
+            remaining -= 1
+            yield (doc_id, term_score)
 
 
-def iter_scored_postings_lazy(reader: LazyBytesReader) -> Iterator[ScoredPosting]:
-    """Stream score-ordered postings from a lazy reader."""
+def iter_scored_postings_lazy(reader: LazyBytesReader) -> Iterator[tuple[int, float, float]]:
+    """Stream score-ordered postings as ``(doc_id, score, term_score)`` tuples.
+
+    Records are fixed-width, so whole runs are decoded with
+    ``Struct.iter_unpack`` over a zero-copy view of the buffered fragment.
+    """
     if reader.exhausted:
         return
     count = reader.read_varint()
     with_term_scores = bool(reader.read_bytes(1)[0])
-    for _ in range(count):
-        score, doc_id = reader.read_struct("<dI")
-        term_score = 0.0
-        if with_term_scores:
-            term_score = reader.read_struct("<f")[0]
-        yield ScoredPosting(doc_id=doc_id, score=score, term_score=term_score)
+    record = _SCORED_TS if with_term_scores else _SCORED
+    width = record.size
+    remaining = count
+    while remaining:
+        buf = reader._buf
+        pos = reader._pos
+        available = (len(buf) - pos) // width
+        if available:
+            take = available if available < remaining else remaining
+            end = pos + take * width
+            reader._pos = end
+            remaining -= take
+            if with_term_scores:
+                for score, doc_id, term_score in record.iter_unpack(
+                    memoryview(buf)[pos:end]
+                ):
+                    yield (doc_id, score, term_score)
+            else:
+                for score, doc_id in record.iter_unpack(memoryview(buf)[pos:end]):
+                    yield (doc_id, score, 0.0)
+        if remaining and len(reader._buf) - reader._pos < width:
+            # One record straddling the fragment edge (or the next fetch).
+            score, doc_id = reader.read_struct("<dI")
+            term_score = reader.read_struct("<f")[0] if with_term_scores else 0.0
+            remaining -= 1
+            yield (doc_id, score, term_score)
 
 
-def iter_chunk_postings_lazy(reader: LazyBytesReader) -> Iterator[tuple[int, Posting]]:
-    """Stream ``(chunk_id, posting)`` pairs from a lazily read chunked list.
+def iter_chunk_postings_lazy(reader: LazyBytesReader) -> Iterator[tuple[int, int, float]]:
+    """Stream ``(chunk_id, doc_id, term_score)`` triples from a chunked list.
 
     Runs are yielded in decreasing chunk-id order and postings within a run in
     increasing document-id order, exactly as stored.
@@ -367,12 +514,18 @@ def iter_chunk_postings_lazy(reader: LazyBytesReader) -> Iterator[tuple[int, Pos
         chunk_id = reader.read_varint()
         posting_count = reader.read_varint()
         doc_id = 0
-        for _ in range(posting_count):
-            doc_id += reader.read_varint()
-            term_score = 0.0
-            if with_term_scores:
-                term_score = reader.read_struct("<f")[0]
-            yield chunk_id, Posting(doc_id=doc_id, term_score=term_score)
+        remaining = posting_count
+        while remaining:
+            batch, doc_id, remaining = _decode_delta_run(
+                reader, doc_id, remaining, with_term_scores, tag=chunk_id
+            )
+            if batch:
+                yield from batch
+            if remaining:
+                doc_id += reader.read_varint()
+                term_score = reader.read_struct("<f")[0] if with_term_scores else 0.0
+                remaining -= 1
+                yield (chunk_id, doc_id, term_score)
 
 
 # ---------------------------------------------------------------------------

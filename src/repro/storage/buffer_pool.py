@@ -146,6 +146,29 @@ class BufferPool:
             self.flush_page(page_id)
             self._frames.pop(page_id, None)
 
+    def peek(self, page_id: int) -> Page:
+        """Accounting-free page access for maintenance traversals.
+
+        Returns the cached frame when resident (without touching hit counters
+        or LRU order) and otherwise reads the disk copy without charging disk
+        statistics or admitting the page.  Statistics reporting and cache-drop
+        bookkeeping use this path so that *measuring* the storage never changes
+        what the measured workload would have read.
+        """
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            return frame
+        return self.disk.peek(page_id)
+
+    def frame(self, page_id: int) -> "Page | None":
+        """The resident frame for a page, or ``None`` — no accounting, no LRU.
+
+        Used by the B+-tree's split path to manage a frame's decoded slot
+        in place (see ``BPlusTree._split``); regular reads go through
+        :meth:`get`.
+        """
+        return self._frames.get(page_id)
+
     def contains(self, page_id: int) -> bool:
         """Whether the page is currently cached (does not update LRU order)."""
         return page_id in self._frames

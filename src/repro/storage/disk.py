@@ -145,8 +145,20 @@ class SimulatedDisk:
         self._last_accessed = page_id
         return page.copy()
 
+    def peek(self, page_id: int) -> Page:
+        """Read a page without charging any I/O accounting.
+
+        Maintenance traversals (size reporting, page-id enumeration) use this
+        path so they neither perturb the access counters nor the sequential/
+        random classification of the measured workload.
+        """
+        page = self._pages.get(page_id)
+        if page is None:
+            raise PageNotFoundError(f"page {page_id} does not exist")
+        return page.copy()
+
     def write(self, page: Page) -> None:
-        """Write a page back to disk."""
+        """Write a page back to disk (serialising any dirty decoded object)."""
         if page.page_id not in self._pages:
             raise PageNotFoundError(f"page {page.page_id} does not exist")
         stored = page.copy()

@@ -17,6 +17,44 @@ from repro.storage.btree import BPlusTree
 from repro.storage.buffer_pool import BufferPool
 
 
+class _KeyUpperBound:
+    """Sentinel that compares greater than every ordinary key component.
+
+    Appending it to a tuple prefix produces the exclusive upper bound of the
+    prefix range: every tuple key starting with the prefix compares smaller,
+    every key past the prefix compares greater, so a prefix scan can be handed
+    to the B+-tree as a bounded range and stop reading leaves at the range end
+    instead of filtering past it client-side.
+    """
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __le__(self, other: Any) -> bool:
+        return isinstance(other, _KeyUpperBound)
+
+    def __gt__(self, other: Any) -> bool:
+        return not isinstance(other, _KeyUpperBound)
+
+    def __ge__(self, other: Any) -> bool:
+        return True
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, _KeyUpperBound)
+
+    def __hash__(self) -> int:
+        return 0x5EB1
+
+    def __repr__(self) -> str:
+        return "<key upper bound>"
+
+
+#: Singleton upper-bound sentinel used by :meth:`KVStore.prefix_items`.
+KEY_UPPER_BOUND = _KeyUpperBound()
+
+
 class Cursor:
     """Forward iterator over a key range of a :class:`KVStore`."""
 
@@ -148,13 +186,15 @@ class KVStore:
         Keys must be tuples; ``prefix`` is matched against the first
         ``len(prefix)`` components.  This is the duplicate-key idiom used for
         short inverted lists, whose keys are ``(term, doc_id)``.
+
+        The scan runs as a bounded range ``[prefix, prefix + (MAX,))`` so the
+        underlying tree stops reading leaves at the end of the prefix range
+        rather than scanning on and discarding keys client-side.
         """
         self._check_open()
         prefix = tuple(prefix)
-        for key, value in self.tree.items(low=prefix):
-            if not isinstance(key, tuple) or key[: len(prefix)] != prefix:
-                return
-            yield key, value
+        high = prefix + (KEY_UPPER_BOUND,)
+        return self.tree.items(low=prefix, high=high, inclusive=(True, False))
 
     # -- statistics ----------------------------------------------------------------
 
@@ -163,7 +203,11 @@ class KVStore:
         self._check_open()
         return self.tree.size_bytes()
 
-    def page_ids(self) -> set[int]:
-        """Page ids owned by the underlying tree."""
+    def page_ids(self, accounted: bool = False) -> set[int]:
+        """Page ids owned by the underlying tree.
+
+        ``accounted=True`` charges the traversal like a normal read sequence
+        (see :meth:`~repro.storage.btree.BPlusTree.page_ids`).
+        """
         self._check_open()
-        return self.tree.page_ids()
+        return self.tree.page_ids(accounted=accounted)

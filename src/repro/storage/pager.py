@@ -6,11 +6,20 @@ instead, components serialise their payloads (posting runs, B+-tree nodes)
 into pages and the disk/buffer-pool layers count how many pages an operation
 touches.  That page count is the quantity the paper's performance arguments
 are about, so keeping it explicit is the whole point of this module.
+
+Pages additionally carry a *decoded-object slot*: a cached, already-decoded
+view of the page payload (for B+-tree pages, the node) together with the
+encoder that can serialise it back.  The slot lets the tree decode a page once
+per buffer-pool residency instead of once per access; serialisation happens
+only when the page must become bytes again (disk write-back on eviction or
+flush).  The slot is pure CPU-side caching — it never changes which pages are
+read or written, so the simulated I/O accounting is unaffected.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro.errors import PageError
 
@@ -37,6 +46,15 @@ class Page:
     capacity: int = PAGE_SIZE
     data: bytes = b""
     dirty: bool = field(default=False, compare=False)
+    #: Cached decoded view of ``data`` (e.g. a B+-tree node).  ``None`` when the
+    #: page has only been handled as raw bytes.
+    decoded: Any = field(default=None, compare=False, repr=False)
+    #: Whether ``decoded`` has changed since ``data`` was last produced from it.
+    #: While true, ``data`` is stale and :meth:`materialize` must run before the
+    #: payload bytes are used (the disk layer does this on every write).
+    decoded_dirty: bool = field(default=False, compare=False, repr=False)
+    #: Serialiser turning ``decoded`` back into payload bytes.
+    encoder: Callable[[Any], bytes] | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -51,6 +69,40 @@ class Page:
     def size(self) -> int:
         """Number of payload bytes currently stored in the page."""
         return len(self.data)
+
+    # -- decoded-object slot -------------------------------------------------
+
+    def attach_decoded(self, decoded: Any, encoder: Callable[[Any], bytes],
+                       dirty: bool = False) -> None:
+        """Install a decoded view of the payload (with its serialiser).
+
+        With ``dirty=True`` the decoded object is the authority and ``data`` is
+        stale until :meth:`materialize` runs; with ``dirty=False`` the object is
+        a pure read cache of the current ``data``.
+        """
+        self.decoded = decoded
+        self.encoder = encoder
+        if dirty:
+            self.decoded_dirty = True
+
+    def materialize(self) -> None:
+        """Serialise a dirty decoded object back into ``data``.
+
+        No-op when the payload bytes are already current.  Raises
+        :class:`~repro.errors.PageError` when the serialised form no longer
+        fits — callers that mutate decoded objects are expected to split them
+        (B+-tree nodes) before this can trigger.
+        """
+        if not self.decoded_dirty:
+            return
+        payload = self.encoder(self.decoded)
+        if len(payload) > self.capacity:
+            raise PageError(
+                f"page {self.page_id}: decoded payload of {len(payload)} bytes "
+                f"exceeds capacity {self.capacity}"
+            )
+        self.data = bytes(payload)
+        self.decoded_dirty = False
 
     @property
     def free_space(self) -> int:
@@ -72,6 +124,9 @@ class Page:
             )
         self.data = bytes(payload)
         self.dirty = True
+        self.decoded = None
+        self.decoded_dirty = False
+        self.encoder = None
 
     def append(self, payload: bytes) -> None:
         """Append bytes to the page payload, marking the page dirty.
@@ -88,14 +143,25 @@ class Page:
             )
         self.data = self.data + bytes(payload)
         self.dirty = True
+        self.decoded = None
+        self.decoded_dirty = False
+        self.encoder = None
 
     def clear(self) -> None:
         """Drop the payload, marking the page dirty."""
         self.data = b""
         self.dirty = True
+        self.decoded = None
+        self.decoded_dirty = False
+        self.encoder = None
 
     def copy(self) -> "Page":
-        """Return an independent copy of the page (used by the disk layer)."""
+        """Return an independent byte-level copy of the page (disk layer).
+
+        The decoded slot deliberately does not survive a copy: disk-resident
+        pages are bytes, and a fresh read decodes on first use.
+        """
+        self.materialize()
         return Page(page_id=self.page_id, capacity=self.capacity, data=self.data)
 
 

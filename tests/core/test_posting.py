@@ -19,6 +19,7 @@ from repro.core.posting import (
     encode_varint,
     iter_chunk_postings_lazy,
     iter_id_postings_lazy,
+    iter_scored_postings_lazy,
 )
 
 
@@ -126,15 +127,20 @@ class TestLazyDecoding:
         data = encode_id_postings(postings)
         pages = [data[i:i + 16] for i in range(0, len(data), 16)]
         reader = LazyBytesReader(iter(pages))
-        assert list(iter_id_postings_lazy(reader)) == postings
+        assert list(iter_id_postings_lazy(reader)) == [
+            (posting.doc_id, posting.term_score) for posting in postings
+        ]
 
     def test_lazy_chunk_decoding_matches_eager(self):
         runs = build_chunk_runs([(doc, doc % 4 + 1, 0.0) for doc in range(100)])
         data = encode_chunk_runs(runs)
         pages = [data[i:i + 7] for i in range(0, len(data), 7)]
-        pairs = list(iter_chunk_postings_lazy(LazyBytesReader(iter(pages))))
-        expected = [(run.chunk_id, posting) for run in runs for posting in run.postings]
-        assert pairs == expected
+        triples = list(iter_chunk_postings_lazy(LazyBytesReader(iter(pages))))
+        expected = [
+            (run.chunk_id, posting.doc_id, posting.term_score)
+            for run in runs for posting in run.postings
+        ]
+        assert triples == expected
 
     def test_lazy_reader_consumes_pages_on_demand(self):
         postings = [Posting(doc_id=i) for i in range(1000)]
@@ -157,3 +163,11 @@ class TestLazyDecoding:
         reader = LazyBytesReader(iter([data[:10]]))
         with pytest.raises(InvertedIndexError):
             list(iter_id_postings_lazy(reader))
+
+    def test_truncated_scored_stream_raises(self):
+        postings = [ScoredPosting(doc_id=i, score=100.0 - i) for i in range(40)]
+        for with_term_scores in (False, True):
+            data = encode_scored_postings(postings, with_term_scores=with_term_scores)
+            reader = LazyBytesReader(iter([data[:len(data) - 3]]))
+            with pytest.raises(InvertedIndexError):
+                list(iter_scored_postings_lazy(reader))

@@ -152,6 +152,227 @@ class TestStructure:
         assert tree.size_bytes() > empty_size
 
 
+class TestSizeEstimateInvariant:
+    def test_upper_bound_never_underestimates(self):
+        """The incremental size bound must never report less than the true size.
+
+        The bound is what makes the lazy split check exact: estimate <= limit
+        implies true size <= limit only while the bound stays an upper bound.
+        """
+        import random
+
+        tree = make_tree(order=32, page_size=512, cache_pages=256)
+        rng = random.Random(11)
+        for step in range(600):
+            key = (f"t{rng.randrange(40):03d}", rng.randrange(200))
+            action = rng.random()
+            if action < 0.6:
+                tree.insert(key, rng.random() * 100)
+            elif action < 0.8:
+                tree.insert(key, "payload-" + "x" * rng.randrange(30))
+            else:
+                try:
+                    tree.delete(key)
+                except Exception:
+                    pass
+        checked = 0
+        for page_id in tree.page_ids():
+            node = tree._peek_node(page_id)
+            estimate = node.estimated_size()
+            exact = len(node.to_bytes())
+            if estimate is not None:
+                assert estimate >= exact
+            assert exact <= tree.pool.disk.page_size
+            checked += 1
+        assert checked == tree.node_count()
+
+    def test_split_check_and_write_guard_share_one_threshold(self):
+        """A node passing the split check can always be written to its page.
+
+        Randomized value sizes below the per-entry maximum must never trip the
+        oversized-node error: the split threshold (capacity minus slack) keeps
+        every non-splittable node within page capacity.
+        """
+        import random
+
+        from repro.storage.btree import NODE_SPLIT_SLACK, split_threshold
+
+        page_size = 512
+        assert split_threshold(page_size) == page_size - NODE_SPLIT_SLACK
+        tree = make_tree(order=64, page_size=page_size, cache_pages=128)
+        rng = random.Random(5)
+        for key in range(300):
+            tree.insert(key, "v" * rng.randrange(0, 120))
+        assert len(tree) == 300
+        # Exercise the boundary: values sized right around the slack.
+        boundary = make_tree(order=64, page_size=page_size, cache_pages=128)
+        for key in range(64):
+            boundary.insert(key, "w" * (NODE_SPLIT_SLACK + key))
+        assert len(boundary) == 64
+
+
+class TestMaintenanceAccounting:
+    def make_loaded(self, cache_pages=256):
+        pool = BufferPool(SimulatedDisk(page_size=512), capacity_pages=cache_pages)
+        tree = BPlusTree(pool, order=8, name="maint")
+        for key in range(400):
+            tree.insert(key, key)
+        return pool, tree
+
+    def test_size_and_page_enumeration_charge_nothing(self):
+        pool, tree = self.make_loaded()
+        before_pool = pool.stats.snapshot()
+        before_disk = pool.disk.stats.snapshot()
+        tree.size_bytes()
+        tree.page_ids()
+        tree.node_count()
+        tree.height()
+        assert pool.stats.diff(before_pool).hits == 0
+        assert pool.stats.diff(before_pool).misses == 0
+        delta = pool.disk.stats.diff(before_disk)
+        assert delta.reads == 0 and delta.writes == 0
+
+    def test_maintenance_does_not_touch_lru_order(self):
+        pool, tree = self.make_loaded(cache_pages=8)
+        resident_before = sorted(
+            page_id for page_id in tree.page_ids() if pool.contains(page_id)
+        )
+        tree.size_bytes()
+        resident_after = sorted(
+            page_id for page_id in tree.page_ids() if pool.contains(page_id)
+        )
+        assert resident_before == resident_after
+
+    def test_accounted_page_ids_charges_reads(self):
+        pool, tree = self.make_loaded()
+        before = pool.stats.snapshot()
+        ids = tree.page_ids(accounted=True)
+        assert len(ids) == tree.node_count()
+        assert pool.stats.diff(before).accesses >= len(ids)
+
+    def test_last_reads_only_one_root_to_leaf_path(self):
+        pool, tree = self.make_loaded()
+        before = pool.stats.snapshot()
+        assert tree.last() == (399, 399)
+        accesses = pool.stats.diff(before).hits + pool.stats.diff(before).misses
+        assert accesses <= tree.height() + 1
+
+    def test_bounded_reverse_scan_stops_reading_leaves(self):
+        from itertools import islice
+
+        pool, tree = self.make_loaded()
+        before = pool.stats.snapshot()
+        top = [key for key, _ in islice(tree.items(reverse=True), 5)]
+        assert top == [399, 398, 397, 396, 395]
+        accesses = pool.stats.diff(before).accesses
+        # A materialising implementation reads every leaf (~dozens of pages).
+        assert accesses <= tree.height() + 3
+
+    def test_reverse_iteration_with_bounds(self):
+        _pool, tree = self.make_loaded()
+        assert [k for k, _ in tree.items(low=10, high=15, reverse=True)] == [
+            15, 14, 13, 12, 11, 10,
+        ]
+        assert [k for k, _ in tree.items(low=10, high=15, reverse=True,
+                                         inclusive=(False, False))] == [14, 13, 12, 11]
+        assert [k for k, _ in tree.items(high=3, reverse=True)] == [3, 2, 1, 0]
+        assert [k for k, _ in tree.items(low=396, reverse=True)] == [399, 398, 397, 396]
+
+    def test_reverse_iteration_after_deletes(self):
+        _pool, tree = self.make_loaded()
+        for key in range(350, 400):
+            tree.delete(key)
+        assert [k for k, _ in tree.items(reverse=True)][:3] == [349, 348, 347]
+        assert tree.last() == (349, 349)
+
+
+class TestSharedNodeIterationSafety:
+    def test_forward_scan_is_stable_under_mid_iteration_splits(self):
+        """A split under the cursor must not re-deliver already-yielded keys.
+
+        Cached decoded nodes are shared; the scan snapshots each leaf
+        (entries *and* successor pointer) when it reaches it.
+        """
+        tree = make_tree(order=4)
+        for key in range(0, 80, 10):
+            tree.insert(key, None)
+        seen = []
+        iterator = tree.items()
+        seen.append(next(iterator)[0])
+        for key in (1, 2, 3, 4):  # splits the leaf under the cursor
+            tree.insert(key, None)
+        seen.extend(key for key, _ in iterator)
+        assert seen == sorted(seen), f"out-of-order or duplicated keys: {seen}"
+        assert len(seen) == len(set(seen))
+
+    def test_reverse_scan_survives_split_ahead_of_the_cursor(self):
+        """A split below the reverse cursor must not hide committed keys.
+
+        The reverse walk re-descends from the current root for every leaf
+        step, so pages created by mid-iteration splits are still found.
+        """
+        tree = make_tree(order=4)
+        original = list(range(0, 80, 10))
+        for key in original:
+            tree.insert(key, None)
+        iterator = tree.items(reverse=True)
+        seen = [next(iterator)[0]]
+        for key in (1, 2, 3, 4):  # splits the leftmost leaf, ahead of the cursor
+            tree.insert(key, None)
+        seen.extend(key for key, _ in iterator)
+        assert seen == sorted(seen, reverse=True)
+        missing = set(original) - set(seen)
+        assert not missing, f"committed keys dropped by reverse scan: {missing}"
+
+    def test_split_survives_eviction_of_the_overfull_node(self):
+        """Sibling allocation may evict the splitting node's own frame.
+
+        The write-back must not try to serialise the not-yet-split node (which
+        no longer fits in a page); the split detaches it first.  With values
+        that split into fitting halves, the whole cascade of splits works even
+        when every allocation evicts the node being split.
+        """
+        pool = BufferPool(SimulatedDisk(page_size=512), capacity_pages=1)
+        tree = BPlusTree(pool, order=64, name="tiny-pool")
+        for key in range(12):
+            tree.insert(key, "x" * 120)
+        assert len(tree) == 12
+        assert [key for key, _ in tree.items()] == list(range(12))
+        assert tree.get(11) == "x" * 120
+
+    def test_oversized_split_fails_cleanly_and_atomically(self):
+        """A value too big to share a page raises StorageError, not corruption.
+
+        The failing insert must unwind completely: every previously committed
+        entry survives (the committed state is checkpointed before the split),
+        the size counter is rolled back, and reads and write-back agree.
+        """
+        pool = BufferPool(SimulatedDisk(page_size=512), capacity_pages=1)
+        tree = BPlusTree(pool, order=64, name="tiny-pool")
+        for key in range(3):
+            tree.insert(key, "x" * 100)
+        with pytest.raises(StorageError, match="HeapFile"):
+            tree.insert(3, "y" * 400)
+        assert len(tree) == 3
+        assert [key for key, _ in tree.items()] == [0, 1, 2]
+        assert tree.get(1) == "x" * 100
+
+    def test_oversized_split_after_flush_leaves_no_split_brain(self):
+        """After a flush, a failed split must not leave reads serving a
+        mutated decoded node while the disk holds the committed bytes."""
+        pool = BufferPool(SimulatedDisk(page_size=512), capacity_pages=4)
+        tree = BPlusTree(pool, order=64, name="flush-pool")
+        for key in (5, 6, 7):
+            tree.insert(key, "x" * 100)
+        pool.flush()
+        with pytest.raises(StorageError, match="HeapFile"):
+            tree.insert(1, "y" * 400)
+        assert [key for key, _ in tree.items()] == [5, 6, 7]
+        pool.drop()  # force re-read from disk: views must agree
+        assert [key for key, _ in tree.items()] == [5, 6, 7]
+        assert len(tree) == 3
+
+
 class TestIOBehaviour:
     def test_lookups_touch_pages_through_the_pool(self):
         pool = BufferPool(SimulatedDisk(page_size=4096), capacity_pages=128)
