@@ -4,9 +4,14 @@ Paper result: the Score method's update cost is orders of magnitude above
 everything else (≈17 s vs ≈0.01 ms); the ID method has the cheapest updates but
 flat, expensive queries; Score-Threshold and Chunk combine near-ID update cost
 with near-Score query cost, Chunk slightly ahead on queries.
+
+``test_fig7_batched_storm`` is the batched mode measured against this
+per-update baseline: the same storm applied through ``apply_score_updates``
+windows must be at least 2x faster overall while answering the query workload
+identically.
 """
 
-from repro.bench.experiments import fig7_varying_updates
+from repro.bench.experiments import fig7_batched_storm, fig7_varying_updates
 
 
 def test_fig7_varying_updates(benchmark, bench_scale, report):
@@ -28,3 +33,29 @@ def test_fig7_varying_updates(benchmark, bench_scale, report):
     # The ID method scans everything: it must read at least as many pages per
     # query as the Chunk method, which stops early.
     assert final["id"]["query_pages"] >= final["chunk"]["query_pages"]
+
+
+def test_fig7_batched_storm(benchmark, bench_scale, report):
+    rows = benchmark.pedantic(
+        lambda: fig7_batched_storm(bench_scale), rounds=1, iterations=1
+    )
+    report(
+        "fig7_batched_storm",
+        "Figure 7 companion: per-update vs batched application of the storm",
+        rows,
+        columns=[
+            "method", "updates", "batch_size", "avg_update_ms_single",
+            "avg_update_ms_batched", "speedup", "update_pages_single",
+            "update_pages_batched", "results_match",
+        ],
+    )
+    # The batched write path must leave the read path answer-equivalent.
+    assert all(row["results_match"] for row in rows)
+    by_method = {row["method"]: row for row in rows}
+    # The Score method is where batching pays: its per-update tree probes
+    # collapse into sorted leaf-run passes.
+    assert by_method["score"]["speedup"] >= 2.0
+    # The storm as a whole (dominated by the Score method) must be >= 2x faster.
+    single_total = sum(row["avg_update_ms_single"] * row["updates"] for row in rows)
+    batched_total = sum(row["avg_update_ms_batched"] * row["updates"] for row in rows)
+    assert single_total >= 2.0 * batched_total

@@ -39,6 +39,7 @@ from repro.core.posting import (  # noqa: E402
     ChunkRun,
     LazyBytesReader,
     Posting,
+    build_rekey_operations,
     encode_chunk_runs,
     encode_id_postings,
     iter_chunk_postings_lazy,
@@ -115,6 +116,54 @@ def bench_btree_score_update(docs: int, terms: int, updates: int, **_: object) -
     return {"seconds": elapsed, "operations": operations}
 
 
+def bench_btree_batch_update(docs: int, terms: int, updates: int, **_: object) -> dict:
+    """The batched Score-method update path: bulk re-keying via sorted passes.
+
+    Applies the same update stream as :func:`bench_btree_score_update` but in
+    windows: each window's delete and insert keys are coalesced per document,
+    sorted, and applied through ``delete_many``/``insert_many``, which descend
+    once per leaf run instead of once per key.  ``operations`` counts the same
+    logical delete+insert pairs as the per-update bench, so the ops/s ratio of
+    the two entries is the batching speedup the trajectory tracks.
+    """
+    env = StorageEnvironment(cache_pages=8192, page_size=4096)
+    store = env.create_kvstore("bench.scorelists")
+    rng = random.Random(11)
+    scores = [rng.uniform(0.0, 1000.0) for _ in range(docs)]
+    doc_terms = {
+        doc_id: [f"t{(doc_id + k) % terms:04d}" for k in range(terms // 8)]
+        for doc_id in range(docs)
+    }
+    for doc_id in range(docs):
+        for term in doc_terms[doc_id]:
+            store.put((term, -scores[doc_id], doc_id), None)
+    window = 1000
+    operations = 0
+    start = time.perf_counter()
+    for base in range(0, updates, window):
+        first_old: dict[int, float] = {}
+        final: dict[int, float] = {}
+        for _ in range(min(window, updates - base)):
+            doc_id = rng.randrange(docs)
+            old_score = scores[doc_id]
+            new_score = max(0.0, old_score + rng.uniform(-50.0, 50.0))
+            scores[doc_id] = new_score
+            first_old.setdefault(doc_id, old_score)
+            final[doc_id] = new_score
+            operations += 2 * len(doc_terms[doc_id])
+        coalesced = [
+            (doc_id, first_old[doc_id], new_score)
+            for doc_id, new_score in final.items()
+        ]
+        deletes, inserts = build_rekey_operations(
+            coalesced, lambda doc_id: doc_terms[doc_id]
+        )
+        store.delete_many(deletes, ignore_missing=True)
+        store.put_many((key, None) for key in inserts)
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "operations": operations}
+
+
 def bench_decode_id_list(decode_postings: int, **_: object) -> dict:
     """Full lazy scan of one long ID-ordered inverted list, term scores included.
 
@@ -183,6 +232,7 @@ def bench_prefix_scan(docs: int, terms: int, **_: object) -> dict:
 BENCHES = {
     "btree_insert": bench_btree_insert,
     "btree_score_update": bench_btree_score_update,
+    "btree_batch_update": bench_btree_batch_update,
     "decode_id_list": bench_decode_id_list,
     "decode_chunk_list": bench_decode_chunk_list,
     "prefix_scan": bench_prefix_scan,

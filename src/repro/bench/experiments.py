@@ -176,6 +176,67 @@ def fig7_varying_updates(scale: BenchScale | None = None,
     return rows
 
 
+def fig7_batched_storm(scale: BenchScale | None = None,
+                       methods: Sequence[MethodSetup] | None = None,
+                       batch_size: int = 1000,
+                       score_method_update_cap: int = 1000) -> list[Row]:
+    """Figure 7 companion: the same update storm applied per-update vs batched.
+
+    Each method's index is built twice over the shared corpus; one copy
+    receives the update stream through :meth:`~repro.bench.runner.ExperimentRunner.apply_updates`
+    (one ``update_score`` call per update — the Figure 7 baseline), the other
+    through windows of ``batch_size`` updates via ``apply_score_updates``.
+    The Score method's stream is capped (like Figure 7 caps it) identically
+    for both modes, so the comparison is over the same updates.  Each row also
+    records whether the two indexes answer the query workload identically
+    after the storm — the batched write path must leave the read path
+    bit-for-bit equivalent.
+    """
+    runner = ExperimentRunner(scale)
+    effective_scale = runner.scale
+    if methods is None:
+        methods = svr_methods(effective_scale)
+    all_updates = runner.make_updates()
+    queries = runner.make_queries()
+    rows: list[Row] = []
+    for setup in methods:
+        stream = all_updates
+        if setup.method == "score" and len(stream) > score_method_update_cap:
+            stream = stream[:score_method_update_cap]
+        single_index, _build = runner.build_index(setup)
+        single_metrics = runner.apply_updates(single_index, stream)
+        batched_index, _build = runner.build_index(setup)
+        batched_metrics = runner.apply_updates_batched(
+            batched_index, stream, batch_size=batch_size
+        )
+        results_match = all(
+            _query_fingerprint(single_index, query) == _query_fingerprint(batched_index, query)
+            for query in queries
+        )
+        single_ms = single_metrics.avg_wall_ms
+        batched_ms = batched_metrics.avg_wall_ms
+        rows.append(
+            {
+                "method": setup.display_name,
+                "updates": len(stream),
+                "batch_size": batch_size,
+                "avg_update_ms_single": round(single_ms, 4),
+                "avg_update_ms_batched": round(batched_ms, 4),
+                "speedup": round(single_ms / batched_ms, 2) if batched_ms else 0.0,
+                "update_pages_single": round(single_metrics.avg_pages_read, 2),
+                "update_pages_batched": round(batched_metrics.avg_pages_read, 2),
+                "results_match": results_match,
+            }
+        )
+    return rows
+
+
+def _query_fingerprint(index, query) -> tuple:
+    """The (doc_id, score) results of one query — the read-path fingerprint."""
+    response = index.search(query.keywords, k=query.k, conjunctive=query.conjunctive)
+    return tuple((result.doc_id, result.score) for result in response.results)
+
+
 # ---------------------------------------------------------------------------
 # Figure 8 — varying the number of desired results k
 # ---------------------------------------------------------------------------
@@ -292,7 +353,9 @@ def fig10_disjunctive(scale: BenchScale | None = None,
 
 def table3_insertions(scale: BenchScale | None = None,
                       insertion_counts: Sequence[int] | None = None,
-                      score_update_sample: int = 300) -> list[Row]:
+                      score_update_sample: int = 300,
+                      batched_score_updates: bool = False,
+                      batch_size: int = 256) -> list[Row]:
     """Table 3: Chunk-method query / score-update / insertion cost vs #insertions.
 
     Documents are inserted incrementally after the bulk build; after each level
@@ -300,6 +363,11 @@ def table3_insertions(scale: BenchScale | None = None,
     right after the insertions, as in the paper).  The default insertion counts
     are 1/2/5/10% of the corpus, matching the paper's 1,000-10,000 insertions
     over its 100,000-document collection.
+
+    With ``batched_score_updates=True`` the score-update sample is applied in
+    windows of ``batch_size`` through the batched pipeline instead of one
+    ``update_score`` call at a time — the batched mode measured against the
+    per-update baseline by ``benchmarks/bench_table3_insertions.py``.
     """
     runner = ExperimentRunner(scale)
     effective_scale = runner.scale
@@ -328,11 +396,17 @@ def table3_insertions(scale: BenchScale | None = None,
             with meter.measure(insertion_metrics):
                 index.insert_document_terms(document.doc_id, document.terms, document.score)
         inserted = target
-        update_metrics = runner.apply_updates(index, updates)
+        if batched_score_updates:
+            update_metrics = runner.apply_updates_batched(
+                index, updates, batch_size=batch_size
+            )
+        else:
+            update_metrics = runner.apply_updates(index, updates)
         query_metrics = runner.run_queries(index, queries)
         rows.append(
             {
                 "inserted_docs": target,
+                "update_mode": "batched" if batched_score_updates else "single",
                 "avg_query_ms": round(query_metrics.avg_wall_ms, 4),
                 "avg_score_update_ms": round(update_metrics.avg_wall_ms, 4),
                 "avg_insertion_ms": round(insertion_metrics.avg_wall_ms, 4),

@@ -66,6 +66,16 @@ class OperationMetrics:
         self.pool_hits += other.pool_hits
         self.estimated_io_ms += other.estimated_io_ms
 
+    def record_spread(self, measured: "OperationMetrics", operations: int) -> None:
+        """Fold in a measurement that covered ``operations`` logical operations.
+
+        Batched application measures one window at a time; spreading the
+        window's totals over its constituent updates keeps the per-operation
+        averages comparable with one-measurement-per-update collection.
+        """
+        self.merge(measured)
+        self.operations += operations - measured.operations
+
     def as_row(self) -> dict[str, float | int | str]:
         """Flattened representation used by the reporting module."""
         return {

@@ -201,6 +201,42 @@ class InvertedIndex(abc.ABC):
         self.update_stats.score_updates += 1
         self._after_score_update(doc_id, old_score, new_score)
 
+    def apply_batch(self, updates: Iterable[tuple[int, float]]) -> int:
+        """Apply a window of score updates as one batch (bulk Algorithm 1).
+
+        ``updates`` yields ``(doc_id, new_score)`` pairs in arrival order.  The
+        batch is semantically equivalent to calling :meth:`update_score` for
+        each pair in sequence — the final Score table, short lists and
+        bookkeeping tables are identical — but the write work is grouped: the
+        Score table receives one sorted bulk pass over the touched documents,
+        and each method's :meth:`_after_score_batch` groups its list
+        maintenance per term so the underlying B+-trees descend once per leaf
+        run instead of once per key.
+
+        Returns the number of updates applied.  Like a sequential loop, a
+        validation failure (negative score, unknown document) raises before
+        any update in the batch is applied — the batch is pre-validated, which
+        is strictly safer than the sequential loop's fail-midway behaviour.
+        """
+        self._check_finalized("apply_batch")
+        changes: list[tuple[int, float, float]] = []
+        pending: dict[int, float] = {}
+        for doc_id, new_score in updates:
+            new_score = self._validate_score(new_score)
+            old_score = pending.get(doc_id)
+            if old_score is None:
+                old_score = self.score_table.get(doc_id, default=None)
+                if old_score is None:
+                    raise DocumentNotFoundError(f"document {doc_id} is not indexed")
+            changes.append((doc_id, old_score, new_score))
+            pending[doc_id] = new_score
+        if not changes:
+            return 0
+        self.score_table.put_many(sorted(pending.items()))
+        self.update_stats.score_updates += len(changes)
+        self._after_score_batch(changes)
+        return len(changes)
+
     def insert_document(self, doc_id: int, terms: Iterable[str], score: float) -> None:
         """Insert a new document after the index has been built (Appendix A.2)."""
         self._check_finalized("insert_document")
@@ -301,6 +337,19 @@ class InvertedIndex(abc.ABC):
     def _after_score_update(self, doc_id: int, old_score: float, new_score: float) -> None:
         """Method-specific reaction to a score update (default: Score table only)."""
 
+    def _after_score_batch(self, changes: list[tuple[int, float, float]]) -> None:
+        """Method-specific reaction to a batch of score updates.
+
+        ``changes`` holds ``(doc_id, old_score, new_score)`` triples in arrival
+        order; ``old_score`` is the score the document had just before that
+        update (including earlier updates in the same batch), so replaying the
+        triples through :meth:`_after_score_update` is exactly the sequential
+        behaviour.  That replay is the default; methods with per-term list
+        maintenance override this to group the writes into sorted bulk passes.
+        """
+        for doc_id, old_score, new_score in changes:
+            self._after_score_update(doc_id, old_score, new_score)
+
     def _after_insert(self, doc_id: int, score: float) -> None:
         """Method-specific reaction to a document insertion."""
         raise InvertedIndexError(
@@ -325,6 +374,69 @@ class InvertedIndex(abc.ABC):
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
+
+    def _batch_promote_short_lists(self, changes: list[tuple[int, float, float]],
+                                   bookkeeping, short_store,
+                                   state_of, payload_of) -> None:
+        """Shared batch replay for the threshold-style methods.
+
+        Score-Threshold and Chunk share one update algorithm: a bookkeeping
+        table maps ``doc_id -> (list_state, in_short_list)``, and an update
+        promotes the document's postings into the short lists only when its
+        new state exceeds ``threshold_value_of(list_state)`` (the caller must
+        define that method).  Whether an update crosses the threshold depends
+        on the state left by earlier updates in the batch, so decisions replay
+        sequentially against an in-memory overlay of the bookkeeping table;
+        the short-list operations coalesce to the last operation per key and
+        flush as sorted bulk passes together with the dirtied rows.
+
+        ``state_of`` maps a score to the method's list state (identity for
+        Score-Threshold, ``chunk_of`` for Chunk); ``payload_of(doc_id, term)``
+        builds the short-list value for a promoted posting.
+        """
+        state: dict[int, tuple] = {}
+        dirty: set[int] = set()
+        short_ops: dict[tuple, tuple | None] = {}
+        for doc_id, old_score, new_score in changes:
+            entry = state.get(doc_id)
+            if entry is None:
+                entry = bookkeeping.get(doc_id, default=None)
+                if entry is None:
+                    entry = (state_of(old_score), False)
+                    dirty.add(doc_id)
+                state[doc_id] = entry
+            list_state, in_short_list = entry
+            new_state = state_of(new_score)
+            if new_state <= self.threshold_value_of(list_state):
+                continue
+            for term in self._content_terms(doc_id):
+                if in_short_list:
+                    short_ops[(term, -list_state, doc_id)] = None
+                short_ops[(term, -new_state, doc_id)] = payload_of(doc_id, term)
+                self.update_stats.short_list_postings_written += 1
+            state[doc_id] = (new_state, True)
+            dirty.add(doc_id)
+            self.update_stats.short_list_updates += 1
+        self._flush_coalesced_ops(short_store, short_ops)
+        bookkeeping.put_many(sorted((doc_id, state[doc_id]) for doc_id in dirty))
+
+    @staticmethod
+    def _flush_coalesced_ops(store, ops: "dict[tuple, tuple | None]") -> None:
+        """Apply coalesced per-key store operations (``None`` = delete) in bulk.
+
+        ``ops`` maps a key to the *last* operation a sequential replay would
+        have performed on it; deletes run before puts, each as one sorted
+        bulk pass.  The ordering is safe because coalescing already resolved
+        any within-batch delete/put sequence on the same key to its final
+        outcome.
+        """
+        deletes = sorted(key for key, op in ops.items() if op is None)
+        puts = sorted(
+            ((key, op) for key, op in ops.items() if op is not None),
+            key=lambda item: item[0],
+        )
+        store.delete_many(deletes, ignore_missing=True)
+        store.put_many(puts)
 
     def _validate_score(self, score: float) -> float:
         if not isinstance(score, (int, float)) or isinstance(score, bool):

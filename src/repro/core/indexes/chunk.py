@@ -147,6 +147,23 @@ class ChunkIndex(InvertedIndex):
         self._list_chunk.put(doc_id, (new_chunk, True))
         self.update_stats.short_list_updates += 1
 
+    def _after_score_batch(self, changes: list[tuple[int, float, float]]) -> None:
+        """Replay the chunk-threshold decisions in order, flush writes in bulk.
+
+        The list state is the chunk id of the score; see
+        :meth:`InvertedIndex._batch_promote_short_lists` for the shared
+        overlay-replay algorithm.  Chunk-TermScore inherits this unchanged
+        (its per-posting term score comes through :meth:`_current_term_score`).
+        """
+        assert self.chunk_map is not None
+        self._batch_promote_short_lists(
+            changes, self._list_chunk, self._short,
+            state_of=self.chunk_map.chunk_of,
+            payload_of=lambda doc_id, term: (
+                _ADD, self._current_term_score(doc_id, term)
+            ),
+        )
+
     def _current_term_score(self, doc_id: int, term: str) -> float:
         """Term score stored with short-list postings (0.0 for the plain Chunk method)."""
         del doc_id, term

@@ -109,7 +109,13 @@ def ratio_chunks(scores: Sequence[float], ratio: float,
     boundary = base * ratio
     while boundary <= maximum:
         boundaries.append(boundary)
-        boundary *= ratio
+        next_boundary = boundary * ratio
+        if next_boundary <= boundary:
+            # Float rounding can stall the geometric progression (a subnormal
+            # base times a small ratio rounds back to itself); without this
+            # guard the loop would never terminate.
+            break
+        boundary = next_boundary
     return _enforce_min_size(boundaries, sorted(scores), min_chunk_size)
 
 

@@ -108,6 +108,18 @@ class IDIndex(InvertedIndex):
     def drop_long_list_cache(self) -> None:
         self._long_lists.drop_from_cache()
 
+    # -- score updates -----------------------------------------------------------
+
+    def _after_score_batch(self, changes: "list[tuple[int, float, float]]") -> None:
+        """Score updates touch only the Score table for the ID layout.
+
+        The bulk Score-table pass in :meth:`InvertedIndex.apply_batch` is the
+        entire batched update; the ID-ordered long lists and the delta list
+        never key on scores, so there is nothing to re-key.  (This applies to
+        ID-TermScore as well: term scores are content-derived, not
+        score-derived.)
+        """
+
     # -- incremental document changes ----------------------------------------------
 
     def _after_insert(self, doc_id: int, score: float) -> None:

@@ -17,6 +17,7 @@ import heapq
 from typing import Iterator
 
 from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats, _StagedDocument
+from repro.core.posting import build_rekey_operations
 from repro.core.result_heap import ResultHeap
 from repro.storage.environment import StorageEnvironment
 from repro.text.documents import Document, DocumentStore
@@ -65,6 +66,44 @@ class ScoreIndex(InvertedIndex):
             self._lists.put((term, -new_score, doc_id), None)
             self.update_stats.short_list_postings_written += 1
         self.update_stats.short_list_updates += 1
+
+    def _after_score_batch(self, changes: list[tuple[int, float, float]]) -> None:
+        """Re-key every touched posting through two sorted bulk passes.
+
+        Updates are coalesced per document (first old score to final new
+        score): the intermediate delete+insert pairs a sequential replay would
+        perform cancel out, so the final clustered-list contents are identical
+        while only the surviving keys are touched.  The sorted delete and
+        insert batches then descend the list tree once per leaf run instead of
+        once per posting — the per-update tree-probe storm Figure 7 measures
+        becomes a pair of near-sequential passes.
+        """
+        terms_of: dict[int, set[str]] = {}
+
+        def cached_terms(doc_id: int) -> set[str]:
+            terms = terms_of.get(doc_id)
+            if terms is None:
+                terms = terms_of[doc_id] = self._content_terms(doc_id)
+            return terms
+
+        first_old: dict[int, float] = {}
+        final: dict[int, float] = {}
+        for doc_id, old_score, new_score in changes:
+            first_old.setdefault(doc_id, old_score)
+            final[doc_id] = new_score
+            # Stats count the *logical* per-update work, exactly as the
+            # sequential loop would, so the two modes report identically even
+            # though coalescing writes fewer physical postings.
+            if old_score != new_score:
+                self.update_stats.short_list_postings_written += len(cached_terms(doc_id))
+                self.update_stats.short_list_updates += 1
+        coalesced = [
+            (doc_id, first_old[doc_id], new_score)
+            for doc_id, new_score in final.items()
+        ]
+        deletes, inserts = build_rekey_operations(coalesced, cached_terms)
+        self._lists.delete_many(deletes, ignore_missing=True)
+        self._lists.put_many((key, None) for key in inserts)
 
     def _after_insert(self, doc_id: int, score: float) -> None:
         for term in self._content_terms(doc_id):

@@ -119,6 +119,19 @@ class ScoreThresholdIndex(InvertedIndex):
         self._list_score.put(doc_id, (new_score, True))
         self.update_stats.short_list_updates += 1
 
+    def _after_score_batch(self, changes: list[tuple[int, float, float]]) -> None:
+        """Replay the threshold decisions in order, flush the writes in bulk.
+
+        The list state is the (stale) list score itself; see
+        :meth:`InvertedIndex._batch_promote_short_lists` for the shared
+        overlay-replay algorithm.
+        """
+        self._batch_promote_short_lists(
+            changes, self._list_score, self._short,
+            state_of=lambda score: score,
+            payload_of=lambda doc_id, term: (_ADD, 0.0),
+        )
+
     # -- document changes (Appendix A applied to this layout) -----------------------------
 
     def _after_insert(self, doc_id: int, score: float) -> None:

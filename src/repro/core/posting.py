@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.errors import InvertedIndexError
 
@@ -531,6 +531,34 @@ def iter_chunk_postings_lazy(reader: LazyBytesReader) -> Iterator[tuple[int, int
 # ---------------------------------------------------------------------------
 # Helpers shared by the index builders
 # ---------------------------------------------------------------------------
+
+
+def build_rekey_operations(
+    changes: Iterable[tuple[int, float, float]],
+    terms_of: "Callable[[int], Iterable[str]]",
+) -> tuple[list[tuple[str, float, int]], list[tuple[str, float, int]]]:
+    """Turn coalesced score changes into sorted clustered-list re-key batches.
+
+    ``changes`` yields ``(doc_id, old_score, new_score)`` triples — one per
+    document, already coalesced from first-seen old score to final new score.
+    ``terms_of`` maps a document id to its distinct terms (``Content(id)``).
+    Returns ``(deletes, inserts)``: the old ``(term, -old_score, doc_id)`` keys
+    to remove from a score-clustered list and the new ``(term, -new_score,
+    doc_id)`` keys to add, each sorted so a bulk B+-tree pass can consume the
+    run without re-descending per key.  Documents whose score did not change
+    produce no operations (their postings are already keyed correctly).
+    """
+    deletes: list[tuple[str, float, int]] = []
+    inserts: list[tuple[str, float, int]] = []
+    for doc_id, old_score, new_score in changes:
+        if old_score == new_score:
+            continue
+        for term in terms_of(doc_id):
+            deletes.append((term, -old_score, doc_id))
+            inserts.append((term, -new_score, doc_id))
+    deletes.sort()
+    inserts.sort()
+    return deletes, inserts
 
 
 def build_chunk_runs(doc_chunks: Iterable[tuple[int, int, float]]) -> list[ChunkRun]:

@@ -108,6 +108,17 @@ class SVRTextIndex:
         """Record a new SVR score for a document."""
         self.index.update_score(doc_id, new_score)
 
+    def apply_score_updates(self, updates: "Iterable[tuple[int, float]]") -> int:
+        """Apply a window of ``(doc_id, new_score)`` updates as one batch.
+
+        Semantically identical to calling :meth:`update_score` per pair in
+        order, but the underlying index groups the write work per term and
+        applies it through bulk B+-tree passes (see
+        :meth:`repro.core.indexes.base.InvertedIndex.apply_batch`).  Returns
+        the number of updates applied.
+        """
+        return self.index.apply_batch(updates)
+
     def insert_document(self, doc_id: int, text: str, score: float) -> None:
         """Insert a new document after the index has been built."""
         self.insert_document_terms(doc_id, self.analyzer.analyze(text), score)

@@ -38,7 +38,7 @@ path: reporting on the tree does not perturb LRU order or hit-rate statistics.
 from __future__ import annotations
 
 import pickle
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import DuplicateKeyError, KeyNotFoundError, StorageError
 from repro.storage.buffer_pool import BufferPool
@@ -296,6 +296,150 @@ class BPlusTree:
         self._write_node(leaf)
         return value
 
+    def insert_many(self, items: "Iterable[tuple[Any, Any]]",
+                    overwrite: bool = True) -> int:
+        """Bulk insert: sort the entries and descend once per leaf run.
+
+        Equivalent to calling :meth:`insert` for every ``(key, value)`` pair in
+        key order, but all consecutive keys that land in the same leaf share a
+        single root-to-leaf descent and a single leaf write, so a batch of n
+        keys spread over m leaves charges O(m * height) accounted page reads
+        instead of O(n * height).  Split decisions are made after every entry
+        through the same incremental size bound as :meth:`insert`, so the split
+        sequence — and therefore the page layout — is identical to inserting
+        the sorted batch one key at a time.
+
+        Duplicate keys *within* the batch follow sequential semantics: the
+        later entry wins (or raises with ``overwrite=False``).  On a failure
+        (duplicate key, oversized value) every entry before the failing one is
+        already committed, exactly as a sequential loop would leave the tree.
+
+        Returns the number of keys that were newly inserted (overwrites of
+        existing keys are not counted).
+        """
+        entries = []
+        for key, value in items:
+            key, key_size = self._normalize(key)
+            value, value_size = self._normalize(value)
+            entries.append((key, value, key_size, value_size))
+        # Sort on the key alone (values may not be comparable); the sort is
+        # stable, so within-batch duplicates keep their sequential order.
+        entries.sort(key=lambda entry: entry[0])
+        inserted = 0
+        position = 0
+        total = len(entries)
+        while position < total:
+            path, upper = self._bounded_path_to_leaf(entries[position][0])
+            leaf = path[-1]
+            run_dirty = False
+            while position < total:
+                key, value, key_size, value_size = entries[position]
+                if upper is not _NO_SEPARATOR and not key < upper:
+                    break  # the key belongs to a leaf further right
+                idx = self._position(leaf.keys, key)
+                is_overwrite = idx < len(leaf.keys) and leaf.keys[idx] == key
+                if is_overwrite:
+                    if not overwrite:
+                        if run_dirty:
+                            self._write_node(leaf)
+                        raise DuplicateKeyError(
+                            f"{self.name}: duplicate key {key!r}"
+                        )
+                    old_value = leaf.values[idx]
+                    leaf.values[idx] = value
+                    leaf.note_bytes(value_size + _ENTRY_SLOP)
+                else:
+                    old_value = ...
+                    leaf.keys.insert(idx, key)
+                    leaf.values.insert(idx, value)
+                    leaf.note_bytes(key_size + value_size + _ENTRY_SLOP)
+                    self._size += 1
+                    inserted += 1
+                # Keep the frame's decoded slot marked dirty so write-back and
+                # the split checkpoint see the run's entries (accounting-free
+                # flag sync; the charged leaf write happens once per run).
+                self._mark_decoded_dirty(leaf)
+                position += 1
+                if self._needs_split(leaf):
+                    restore = ... if old_value is ... else old_value
+                    self._checkpoint_committed(leaf, idx, restore=restore)
+                    try:
+                        self._split(path)
+                    except StorageError:
+                        if old_value is ...:
+                            self._size -= 1
+                            inserted -= 1
+                        else:
+                            leaf.values[idx] = old_value
+                        self._reset_frame(leaf)
+                        raise
+                    run_dirty = False
+                    break  # the path is stale after a split; re-descend
+                try:
+                    # The same write guard a sequential insert applies: an
+                    # entry too big for a leaf that cannot split (e.g. fewer
+                    # than two keys) must fail here, at this entry, unwinding
+                    # only itself while the run's earlier entries commit.
+                    self._ensure_fits(leaf)
+                except StorageError:
+                    if old_value is ...:
+                        del leaf.keys[idx]
+                        del leaf.values[idx]
+                        self._size -= 1
+                        inserted -= 1
+                    else:
+                        leaf.values[idx] = old_value
+                    if run_dirty:
+                        self._write_node(leaf)
+                    raise
+                run_dirty = True
+            if run_dirty:
+                self._write_node(leaf)
+        return inserted
+
+    def delete_many(self, keys: "Iterable[Any]",
+                    ignore_missing: bool = False) -> int:
+        """Bulk delete: sort the keys and descend once per leaf run.
+
+        Equivalent to calling :meth:`delete` (or, with ``ignore_missing=True``,
+        a delete-if-present) for every key in sorted order, but consecutive
+        keys living in the same leaf share one descent and one leaf write.
+        Duplicate keys in the batch delete the entry once; with
+        ``ignore_missing=False`` the second occurrence raises.  On a missing
+        key every deletion before it is already committed, exactly as a
+        sequential loop would leave the tree.
+
+        Returns the number of entries removed.
+        """
+        sorted_keys = sorted(keys)
+        removed = 0
+        position = 0
+        total = len(sorted_keys)
+        while position < total:
+            path, upper = self._bounded_path_to_leaf(sorted_keys[position])
+            leaf = path[-1]
+            run_dirty = False
+            while position < total:
+                key = sorted_keys[position]
+                if upper is not _NO_SEPARATOR and not key < upper:
+                    break
+                idx = self._position(leaf.keys, key)
+                if idx < len(leaf.keys) and leaf.keys[idx] == key:
+                    leaf.keys.pop(idx)
+                    leaf.values.pop(idx)
+                    self._size -= 1
+                    removed += 1
+                    self._mark_decoded_dirty(leaf)
+                    run_dirty = True
+                elif not ignore_missing:
+                    if run_dirty:
+                        self._write_node(leaf)
+                    raise KeyNotFoundError(f"{self.name}: key {key!r} not found")
+                position += 1
+            if run_dirty:
+                self._write_node(leaf)
+        return removed
+
     def items(
         self,
         low: Any = None,
@@ -525,6 +669,42 @@ class BPlusTree:
             idx = self._child_index(node.keys, key)
             path.append(self._read_node(node.children[idx]))
         return path
+
+    def _bounded_path_to_leaf(self, key: Any) -> tuple[list[_Node], Any]:
+        """Root-to-leaf path plus the leaf's exclusive upper bound.
+
+        The bound is the nearest separator to the right of the descent path
+        (the deepest one is the tightest), or :data:`_NO_SEPARATOR` when the
+        descent stays on the rightmost spine.  Every key strictly below the
+        bound belongs to the returned leaf, which is what lets the bulk
+        operations consume a sorted run without re-descending per key.
+        """
+        path = [self._read_node(self._root_id)]
+        upper: Any = _NO_SEPARATOR
+        while not path[-1].is_leaf:
+            node = path[-1]
+            idx = self._child_index(node.keys, key)
+            if idx < len(node.keys):
+                upper = node.keys[idx]
+            path.append(self._read_node(node.children[idx]))
+        return path, upper
+
+    def _mark_decoded_dirty(self, node: _Node) -> None:
+        """Flag a resident node dirty without charging a write.
+
+        Bulk runs mutate the decoded node several times before the single
+        charged leaf write; flagging the frame keeps eviction write-back and
+        the split checkpoint coherent in between.  The page-level dirty flag
+        must be raised too: a sequential insert marks it on every ``put``, and
+        without it a flush between batches could skip writing back committed
+        run entries that a failed split checkpointed into the frame's bytes.
+        Like the split path's frame management, this is bookkeeping on an
+        already-resident frame, not a page access.
+        """
+        frame = self.pool.frame(node.page_id)
+        if frame is not None and frame.decoded is node:
+            frame.decoded_dirty = True
+            frame.dirty = True
 
     @staticmethod
     def _child_index(keys: list[Any], key: Any) -> int:

@@ -112,6 +112,15 @@ class StorageEnvironment:
         """Names of all stores (key-value stores and heap files)."""
         return sorted([*self._kvstores, *self._heapfiles])
 
+    def kvstore_names(self) -> list[str]:
+        """Names of the ordered key-value stores only.
+
+        The batch-equivalence harness snapshots every key-value store to
+        compare batched against sequential application; heap files (immutable
+        long lists) are excluded because score updates never rewrite them.
+        """
+        return sorted(self._kvstores)
+
     # -- statistics --------------------------------------------------------------
 
     def snapshot(self) -> IOSnapshot:

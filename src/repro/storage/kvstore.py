@@ -152,6 +152,31 @@ class KVStore:
             return False
         return True
 
+    # -- bulk operations -------------------------------------------------------
+
+    def put_many(self, items: "Iterable[tuple[Any, Any]]") -> int:
+        """Insert or overwrite a batch of entries through one sorted bulk pass.
+
+        Consecutive keys that land in the same B+-tree leaf share a single
+        descent and leaf write (see
+        :meth:`~repro.storage.btree.BPlusTree.insert_many`).  Returns the
+        number of keys that were newly inserted.
+        """
+        self._check_open()
+        return self.tree.insert_many(items, overwrite=True)
+
+    def delete_many(self, keys: "Iterable[Any]",
+                    ignore_missing: bool = False) -> int:
+        """Delete a batch of keys through one sorted bulk pass.
+
+        With ``ignore_missing=True`` absent keys are skipped (the bulk
+        equivalent of :meth:`delete_if_present`); otherwise the first missing
+        key raises after the deletions before it have been applied.  Returns
+        the number of entries removed.
+        """
+        self._check_open()
+        return self.tree.delete_many(keys, ignore_missing=ignore_missing)
+
     def contains(self, key: Any) -> bool:
         """Whether ``key`` is present."""
         self._check_open()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from repro.errors import WorkloadError
 from repro.workloads.zipf import ZipfSampler
@@ -148,3 +148,50 @@ def apply_updates(updates: Iterator[ScoreUpdate] | list[ScoreUpdate],
     for update in updates:
         scores[update.doc_id] = update.apply_to(scores[update.doc_id])
     return scores
+
+
+def window_updates(updates: Iterable[ScoreUpdate],
+                   window: int) -> Iterator[list[ScoreUpdate]]:
+    """Group an update stream into consecutive windows of at most ``window``.
+
+    The batched update pipeline applies one window at a time
+    (:meth:`repro.core.indexes.base.InvertedIndex.apply_batch`); windowing
+    bounds both the batching latency — an update is visible to queries as soon
+    as its window is applied — and the per-batch memory footprint.
+    """
+    if window <= 0:
+        raise WorkloadError(f"the batch window must be positive, got {window}")
+    batch: list[ScoreUpdate] = []
+    for update in updates:
+        batch.append(update)
+        if len(batch) >= window:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def resolve_batch(batch: Iterable[ScoreUpdate],
+                  current_scores: Mapping[int, float]) -> list[tuple[int, float]]:
+    """Turn one window of score *deltas* into absolute ``(doc_id, new_score)`` pairs.
+
+    Deltas are applied in arrival order against ``current_scores`` (documents
+    absent from it are skipped, matching how the experiment harness skips
+    updates for unknown documents).  The clamp at zero happens per step, so a
+    document driven below zero and back up resolves exactly as a sequential
+    application would.  Every intermediate score is emitted — coalescing to
+    the final score per document is the index's decision, not the workload's —
+    so ``apply_batch`` sees the same update sequence a per-update loop would.
+    """
+    running: dict[int, float] = {}
+    resolved: list[tuple[int, float]] = []
+    for update in batch:
+        current = running.get(update.doc_id)
+        if current is None:
+            current = current_scores.get(update.doc_id)
+            if current is None:
+                continue
+        new_score = update.apply_to(current)
+        running[update.doc_id] = new_score
+        resolved.append((update.doc_id, new_score))
+    return resolved

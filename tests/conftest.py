@@ -29,6 +29,11 @@ SVR_ONLY_METHODS = ("id", "score", "score_threshold", "chunk")
 #: Methods whose ranking combines SVR and term scores.
 TERMSCORE_METHODS = ("id_termscore", "chunk_termscore")
 
+#: Deterministic seeds for the randomized update storms of the batch
+#: equivalence harness (hypothesis-style explicit examples: each seed drives
+#: one reproducible storm through every index method).
+UPDATE_STORM_SEEDS = (11, 23, 57, 2026)
+
 
 @pytest.fixture
 def env() -> StorageEnvironment:

@@ -1,0 +1,279 @@
+"""Cross-method equivalence of the batched update pipeline.
+
+The batched write path (:meth:`InvertedIndex.apply_batch`) redesigns how score
+updates reach the stores, so these tests pin it to the sequential path from
+every angle: for randomized update storms, applying the stream one
+``update_score`` call at a time and applying it in batches must leave every
+index method with
+
+* **identical top-k answers** for conjunctive and disjunctive queries (and
+  both equal to the brute-force reference), and
+* **identical index contents** — every key-value store backing the method
+  (Score table, short lists, ListScore/ListChunk bookkeeping, clustered
+  lists) holds exactly the same entries.
+
+Storm seeds live in ``tests.conftest.UPDATE_STORM_SEEDS``; the
+hypothesis-driven property additionally varies the corpus, the storm length
+and the batch window.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DocumentNotFoundError, InvertedIndexError
+from repro.workloads.updates import (
+    ScoreUpdate,
+    UpdateWorkload,
+    UpdateWorkloadConfig,
+    resolve_batch,
+    window_updates,
+)
+from tests.conftest import (
+    METHOD_OPTIONS,
+    SVR_ONLY_METHODS,
+    TERMSCORE_METHODS,
+    UPDATE_STORM_SEEDS,
+    make_corpus,
+)
+from tests.helpers import build_index, query_doc_scores, reference_top_k
+
+ALL_METHODS = SVR_ONLY_METHODS + TERMSCORE_METHODS
+
+
+def _generate_storm(rng: random.Random, doc_ids: list[int],
+                    length: int) -> list[tuple[int, float]]:
+    """A randomized update storm: repeated docs, extreme jumps, no-op updates."""
+    storm: list[tuple[int, float]] = []
+    for _ in range(length):
+        doc_id = rng.choice(doc_ids)
+        roll = rng.random()
+        if roll < 0.1:
+            new_score = 0.0  # collapse to the bottom
+        elif roll < 0.2:
+            new_score = round(rng.uniform(5000, 50000), 2)  # flash-crowd jump
+        else:
+            new_score = round(rng.uniform(0, 2000), 2)
+        storm.append((doc_id, new_score))
+        if roll > 0.9:
+            # Burst: several updates to the same document inside one window.
+            for _ in range(rng.randrange(1, 4)):
+                storm.append((doc_id, round(rng.uniform(0, 2000), 2)))
+    return storm[:length]
+
+
+def _index_contents(index) -> dict[str, list]:
+    """Every key-value store of the index's environment, fully materialised."""
+    return {
+        name: list(index.env.kvstore(name).items())
+        for name in index.env.kvstore_names()
+    }
+
+
+def _assert_equivalent(single, batched, corpus, rng, trials=12):
+    assert _index_contents(single) == _index_contents(batched)
+    documents = {doc_id: set(terms) for doc_id, terms, _score in corpus}
+    vocabulary = sorted({term for terms in documents.values() for term in terms})
+    for _ in range(trials):
+        keywords = rng.sample(vocabulary, 2)
+        k = rng.choice([1, 3, 5, 10])
+        conjunctive = rng.random() < 0.5
+        assert (query_doc_scores(single, keywords, k, conjunctive)
+                == query_doc_scores(batched, keywords, k, conjunctive))
+
+
+@pytest.mark.parametrize("seed", UPDATE_STORM_SEEDS)
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_batched_storm_equals_one_at_a_time(method, seed):
+    """The core harness: same storm, two application modes, equal state."""
+    rng = random.Random(seed)
+    corpus = make_corpus(rng, num_docs=40, vocabulary=18, terms_per_doc=10)
+    single = build_index(method, corpus, **METHOD_OPTIONS[method])
+    batched = build_index(method, corpus, **METHOD_OPTIONS[method])
+    doc_ids = [doc_id for doc_id, _terms, _score in corpus]
+    storm = _generate_storm(rng, doc_ids, length=150)
+    for doc_id, new_score in storm:
+        single.update_score(doc_id, new_score)
+    window = rng.choice([1, 7, 32, len(storm)])
+    for start in range(0, len(storm), window):
+        batched.apply_batch(storm[start:start + window])
+    _assert_equivalent(single, batched, corpus, rng)
+    assert single.update_stats == batched.update_stats
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_batched_storm_matches_reference_top_k(method):
+    """Batched application must also match the brute-force ground truth."""
+    rng = random.Random(UPDATE_STORM_SEEDS[0])
+    corpus = make_corpus(rng, num_docs=35, vocabulary=15, terms_per_doc=8)
+    index = build_index(method, corpus, **METHOD_OPTIONS[method])
+    documents = {doc_id: set(terms) for doc_id, terms, _score in corpus}
+    scores = {doc_id: score for doc_id, _terms, score in corpus}
+    storm = _generate_storm(rng, list(scores), length=120)
+    for start in range(0, len(storm), 25):
+        index.apply_batch(storm[start:start + 25])
+    for doc_id, new_score in storm:
+        scores[doc_id] = new_score
+    if method in TERMSCORE_METHODS:
+        return  # combined scoring is pinned by the cross-mode test above
+    vocabulary = sorted({term for terms in documents.values() for term in terms})
+    for _ in range(12):
+        keywords = rng.sample(vocabulary, 2)
+        expected = reference_top_k(documents, scores, set(), keywords, 5, True)
+        assert query_doc_scores(index, keywords, 5) == expected
+
+
+@pytest.mark.parametrize("method", SVR_ONLY_METHODS)
+def test_batches_interleaved_with_other_mutations(method):
+    """Batches interleaved with inserts/deletes/content updates stay correct."""
+    seed = UPDATE_STORM_SEEDS[1]
+    rng_a, rng_b = random.Random(seed), random.Random(seed)
+    corpus = make_corpus(random.Random(seed), num_docs=30, vocabulary=12,
+                         terms_per_doc=8)
+    single = build_index(method, corpus, **METHOD_OPTIONS[method])
+    batched = build_index(method, corpus, **METHOD_OPTIONS[method])
+    vocabulary = [f"w{i:03d}" for i in range(12)]
+    live = [doc_id for doc_id, _t, _s in corpus]
+    next_id = 500
+    for _round in range(8):
+        storm = _generate_storm(rng_a, live, length=20)
+        for doc_id, new_score in storm:
+            single.update_score(doc_id, new_score)
+        batched.apply_batch(storm)
+        action = rng_a.random()
+        if action < 0.4:
+            next_id += 1
+            terms = [rng_a.choice(vocabulary) for _ in range(6)]
+            score = round(rng_a.uniform(0, 3000), 2)
+            for index in (single, batched):
+                index.insert_document(next_id, terms, score)
+            live.append(next_id)
+        elif action < 0.7 and len(live) > 5:
+            victim = rng_a.choice(live)
+            for index in (single, batched):
+                index.delete_document(victim)
+            live.remove(victim)
+        else:
+            target = rng_a.choice(live)
+            terms = [rng_a.choice(vocabulary) for _ in range(6)]
+            for index in (single, batched):
+                index.update_content(target, terms)
+    _assert_equivalent(single, batched, corpus, rng_b)
+
+
+class TestApplyBatchContract:
+    def test_unknown_document_fails_before_any_mutation(self):
+        rng = random.Random(3)
+        corpus = make_corpus(rng, num_docs=10)
+        index = build_index("chunk", corpus, **METHOD_OPTIONS["chunk"])
+        before = _index_contents(index)
+        with pytest.raises(DocumentNotFoundError):
+            index.apply_batch([(1, 50.0), (999, 10.0)])
+        assert _index_contents(index) == before
+        assert index.update_stats.score_updates == 0
+
+    def test_invalid_score_fails_before_any_mutation(self):
+        rng = random.Random(3)
+        corpus = make_corpus(rng, num_docs=10)
+        index = build_index("score", corpus)
+        before = _index_contents(index)
+        with pytest.raises(InvertedIndexError):
+            index.apply_batch([(1, 50.0), (2, -1.0)])
+        assert _index_contents(index) == before
+
+    def test_empty_batch_is_a_noop(self):
+        rng = random.Random(3)
+        corpus = make_corpus(rng, num_docs=10)
+        index = build_index("id", corpus)
+        assert index.apply_batch([]) == 0
+        assert index.update_stats.score_updates == 0
+
+    def test_requires_finalized_index(self, env):
+        from repro.core.indexes.registry import create_index
+        from repro.text.documents import DocumentStore
+
+        index = create_index("id", env, DocumentStore())
+        with pytest.raises(InvertedIndexError, match="finalize"):
+            index.apply_batch([(1, 2.0)])
+
+
+class TestWorkloadBatching:
+    def test_window_updates_partitions_the_stream(self):
+        updates = [ScoreUpdate(doc_id=i, delta=1.0) for i in range(10)]
+        windows = list(window_updates(updates, 4))
+        assert [len(w) for w in windows] == [4, 4, 2]
+        assert [u for w in windows for u in w] == updates
+
+    def test_window_updates_rejects_bad_window(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            list(window_updates([], 0))
+
+    def test_resolve_batch_applies_deltas_sequentially(self):
+        batch = [
+            ScoreUpdate(doc_id=1, delta=-200.0),  # clamps to 0
+            ScoreUpdate(doc_id=1, delta=30.0),    # from the clamped 0
+            ScoreUpdate(doc_id=2, delta=5.0),
+            ScoreUpdate(doc_id=3, delta=1.0),     # unknown doc: skipped
+        ]
+        resolved = resolve_batch(batch, {1: 100.0, 2: 10.0})
+        assert resolved == [(1, 0.0), (1, 30.0), (2, 15.0)]
+
+    def test_windowed_resolution_equals_sequential_application(self):
+        """The full workload pipeline: windows + resolution == per-update loop."""
+        rng = random.Random(UPDATE_STORM_SEEDS[2])
+        corpus = make_corpus(rng, num_docs=25, vocabulary=10, terms_per_doc=6)
+        scores = {doc_id: score for doc_id, _t, score in corpus}
+        workload = UpdateWorkload(
+            UpdateWorkloadConfig(num_updates=200, seed=9), scores
+        )
+        stream = workload.generate_list()
+        single = build_index("score_threshold", corpus,
+                            **METHOD_OPTIONS["score_threshold"])
+        batched = build_index("score_threshold", corpus,
+                              **METHOD_OPTIONS["score_threshold"])
+        running = dict(scores)
+        for update in stream:
+            new_score = update.apply_to(running[update.doc_id])
+            running[update.doc_id] = new_score
+            single.update_score(update.doc_id, new_score)
+        current = dict(scores)
+        for batch in window_updates(stream, 16):
+            resolved = resolve_batch(batch, current)
+            for doc_id, new_score in resolved:
+                current[doc_id] = new_score
+            batched.apply_batch(resolved)
+        _assert_equivalent(single, batched, corpus, rng)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_docs=st.integers(min_value=5, max_value=30),
+    storm_length=st.integers(min_value=0, max_value=80),
+    window=st.integers(min_value=1, max_value=50),
+)
+def test_property_batched_application_is_mode_invariant(seed, num_docs,
+                                                        storm_length, window):
+    """Property: for any storm and window size, batching never changes state.
+
+    Runs the two stateful-threshold methods (where batch decisions depend on
+    the order of earlier updates) — the ones most likely to diverge.
+    """
+    rng = random.Random(seed)
+    corpus = make_corpus(rng, num_docs=num_docs, vocabulary=8, terms_per_doc=5)
+    doc_ids = [doc_id for doc_id, _t, _s in corpus]
+    storm = _generate_storm(rng, doc_ids, length=storm_length)
+    for method in ("score_threshold", "chunk"):
+        single = build_index(method, corpus, **METHOD_OPTIONS[method])
+        batched = build_index(method, corpus, **METHOD_OPTIONS[method])
+        for doc_id, new_score in storm:
+            single.update_score(doc_id, new_score)
+        for start in range(0, len(storm), window):
+            batched.apply_batch(storm[start:start + window])
+        assert _index_contents(single) == _index_contents(batched)

@@ -80,6 +80,17 @@ class TestRatioChunks:
         with pytest.raises(InvertedIndexError):
             ratio_chunks([1.0], ratio=2.0, min_chunk_size=0)
 
+    def test_subnormal_scores_terminate(self):
+        """A subnormal smallest score must not stall the geometric progression.
+
+        ``5e-324 * 1.1`` rounds back to ``5e-324``, which used to spin the
+        boundary loop forever; the progression now bails out when a step makes
+        no progress and every score still lands in a chunk.
+        """
+        chunk_map = ratio_chunks([5e-324, 100.0], ratio=1.1, min_chunk_size=1)
+        for score in (5e-324, 100.0):
+            assert 1 <= chunk_map.chunk_of(score) <= chunk_map.num_chunks
+
     def test_every_score_is_assigned_to_some_chunk(self):
         rng = random.Random(2)
         scores = [rng.uniform(0, 5000) for _ in range(500)]

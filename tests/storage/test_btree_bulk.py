@@ -1,0 +1,283 @@
+"""Tests for the bulk B+-tree operations behind the batched update pipeline.
+
+``insert_many``/``delete_many`` must be observably equivalent to applying the
+same operations one key at a time in sorted order — same contents, same split
+sequence (and therefore the same page layout), same failure atomicity — while
+charging strictly fewer buffer-pool accesses.  The randomized interleavings
+run the bulk operations against a model dict through mid-run leaf splits and
+the oversized-split rollback path.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError, StorageError
+from repro.storage.btree import BPlusTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+
+def make_tree(order=6, page_size=4096, cache_pages=64):
+    pool = BufferPool(SimulatedDisk(page_size=page_size), capacity_pages=cache_pages)
+    return BPlusTree(pool, order=order, name="bulk")
+
+
+def tree_layout(tree):
+    """Physical shape fingerprint: contents plus node structure and size."""
+    return (
+        list(tree.items()),
+        tree.height(),
+        tree.node_count(),
+        tree.size_bytes(),
+    )
+
+
+class TestBulkInsert:
+    def test_insert_many_matches_model(self):
+        tree = make_tree()
+        items = [(key, key * 3) for key in range(200)]
+        random.Random(5).shuffle(items)
+        inserted = tree.insert_many(items)
+        assert inserted == 200
+        assert len(tree) == 200
+        assert list(tree.items()) == [(key, key * 3) for key in range(200)]
+
+    def test_insert_many_overwrites_and_counts_only_new_keys(self):
+        tree = make_tree()
+        tree.insert_many([(key, "old") for key in range(10)])
+        inserted = tree.insert_many([(key, "new") for key in range(5, 15)])
+        assert inserted == 5
+        assert tree.get(7) == "new"
+        assert tree.get(2) == "old"
+        assert len(tree) == 15
+
+    def test_within_batch_duplicates_follow_sequential_order(self):
+        tree = make_tree()
+        tree.insert_many([(1, "first"), (2, "x"), (1, "second"), (1, "third")])
+        assert tree.get(1) == "third"
+        assert len(tree) == 2
+
+    def test_duplicate_raises_but_commits_prior_entries(self):
+        tree = make_tree()
+        tree.insert(5, "existing")
+        with pytest.raises(DuplicateKeyError):
+            tree.insert_many([(1, "a"), (5, "clash"), (9, "b")], overwrite=False)
+        # Keys sorted before application: 1 committed, 5 raised, 9 never ran.
+        assert tree.get(1) == "a"
+        assert tree.get(5) == "existing"
+        assert 9 not in tree
+
+    def test_bulk_layout_identical_to_sequential_sorted_inserts(self):
+        """Same split decisions per entry => bit-identical page layout."""
+        rng = random.Random(11)
+        items = [
+            ((f"t{rng.randrange(50):03d}", -rng.uniform(0, 1000), doc), None)
+            for doc in range(600)
+        ]
+        sequential = make_tree(order=8, page_size=512)
+        for key, value in sorted(items, key=lambda item: item[0]):
+            sequential.insert(key, value)
+        bulk = make_tree(order=8, page_size=512)
+        bulk.insert_many(items)
+        assert tree_layout(bulk) == tree_layout(sequential)
+
+    def test_mid_run_leaf_splits_keep_contents(self):
+        """A single sorted run long enough to split the same leaf repeatedly."""
+        tree = make_tree(order=64, page_size=512)
+        items = [(key, "v" * 40) for key in range(300)]
+        tree.insert_many(items)
+        assert tree.height() > 1
+        assert list(tree.keys()) == list(range(300))
+
+    def test_oversized_entry_fails_atomically_mid_batch(self):
+        """The oversized-split rollback path, hit from inside a bulk run.
+
+        Entries before the failing one are committed (sequential semantics);
+        the failing entry is fully unwound, including the size counter, and
+        reads agree with write-back afterwards.
+        """
+        pool = BufferPool(SimulatedDisk(page_size=512), capacity_pages=4)
+        tree = BPlusTree(pool, order=64, name="tiny")
+        tree.insert_many([(key, "x" * 100) for key in range(3)])
+        with pytest.raises(StorageError, match="HeapFile"):
+            tree.insert_many([(3, "x" * 100), (4, "y" * 400), (5, "z")])
+        assert len(tree) == 4  # keys 0-3 committed, 4 unwound, 5 never ran
+        assert [key for key, _ in tree.items()] == [0, 1, 2, 3]
+        pool.drop()  # force re-decode from disk: views must agree
+        assert [key for key, _ in tree.items()] == [0, 1, 2, 3]
+
+    def test_oversized_entry_on_unsplittable_leaf_unwinds_cleanly(self):
+        """An entry too big for a leaf that cannot split (fewer than two keys)
+        must fail at that entry without corrupting the tree or leaving a
+        frame whose write-back crashes every later flush."""
+        pool = BufferPool(SimulatedDisk(page_size=512), capacity_pages=4)
+        tree = BPlusTree(pool, order=64, name="tiny")
+        with pytest.raises(StorageError, match="HeapFile"):
+            tree.insert_many([(1, "x" * 1000)])
+        assert len(tree) == 0
+        assert 1 not in tree
+        pool.flush()  # the frame must serialise (i.e. hold committed state)
+        # Prior entries of the same batch still commit (sequential semantics).
+        with pytest.raises(StorageError, match="HeapFile"):
+            tree.insert_many([(0, "ok"), (1, "y" * 1000), (2, "never")])
+        assert list(tree.items()) == [(0, "ok")]
+        assert 2 not in tree
+        pool.flush()
+        pool.drop()
+        assert list(tree.items()) == [(0, "ok")]
+
+    def test_empty_batch_is_a_noop(self):
+        tree = make_tree()
+        before = tree.pool.stats.snapshot()
+        assert tree.insert_many([]) == 0
+        assert tree.delete_many([]) == 0
+        delta = tree.pool.stats.diff(before)
+        assert delta.hits == 0 and delta.misses == 0
+
+
+class TestBulkDelete:
+    def test_delete_many_matches_model(self):
+        tree = make_tree()
+        tree.insert_many([(key, key) for key in range(100)])
+        removed = tree.delete_many(range(0, 100, 3))
+        assert removed == len(range(0, 100, 3))
+        expected = [key for key in range(100) if key % 3 != 0]
+        assert list(tree.keys()) == expected
+        assert len(tree) == len(expected)
+
+    def test_missing_key_raises_after_committing_prior_deletes(self):
+        tree = make_tree()
+        tree.insert_many([(key, key) for key in range(10)])
+        with pytest.raises(KeyNotFoundError):
+            # Applied in sorted order: 3 commits, 4.5 raises, 7 is never reached.
+            tree.delete_many([7, 4.5, 3])
+        assert 3 not in tree
+        assert 7 in tree
+
+    def test_ignore_missing_skips_absent_keys(self):
+        tree = make_tree()
+        tree.insert_many([(key, key) for key in range(10)])
+        assert tree.delete_many([5, 50, 7, 70], ignore_missing=True) == 2
+        assert 5 not in tree and 7 not in tree
+
+    def test_duplicate_keys_in_batch_delete_once(self):
+        tree = make_tree()
+        tree.insert_many([(key, key) for key in range(5)])
+        assert tree.delete_many([3, 3, 3], ignore_missing=True) == 1
+        assert len(tree) == 4
+
+
+class TestRandomizedInterleavings:
+    @pytest.mark.parametrize("seed", [1, 17, 404])
+    def test_bulk_and_single_ops_against_model(self, seed):
+        """Random mix of single and bulk operations stays equal to a dict."""
+        rng = random.Random(seed)
+        tree = make_tree(order=8, page_size=512, cache_pages=16)
+        model = {}
+        key_space = [
+            (f"t{term:02d}", round(-rng.uniform(0, 100), 3), doc)
+            for term in range(12)
+            for doc in range(40)
+        ]
+        for _ in range(30):
+            action = rng.random()
+            if action < 0.4:
+                batch = [(rng.choice(key_space), rng.randrange(1000))
+                         for _ in range(rng.randrange(1, 60))]
+                tree.insert_many(batch)
+                for key, value in batch:
+                    model[key] = value
+            elif action < 0.6 and model:
+                victims = rng.sample(sorted(model), min(len(model), rng.randrange(1, 25)))
+                extras = [rng.choice(key_space) for _ in range(3)]
+                targets = victims + [key for key in extras if key not in model]
+                removed = tree.delete_many(targets, ignore_missing=True)
+                assert removed == len(victims)
+                for key in victims:
+                    del model[key]
+            elif action < 0.8:
+                key = rng.choice(key_space)
+                value = rng.randrange(1000)
+                tree.insert(key, value)
+                model[key] = value
+            elif model:
+                key = rng.choice(sorted(model))
+                assert tree.delete(key) == model.pop(key)
+        assert dict(tree.items()) == model
+        assert len(tree) == len(model)
+        assert list(tree.keys()) == sorted(model)
+
+
+class TestBulkAccounting:
+    """The BufferPoolStats contract of the batch path.
+
+    Bulk descents must charge the same hit/miss/eviction/write-back
+    categories as single-key operations — every node access goes through the
+    charging ``pool.get`` path, never through the accounting-free ``peek`` —
+    while sharing descents across a leaf run (strictly fewer accesses than
+    per-key application, never zero).
+    """
+
+    def test_bulk_ops_never_use_the_accounting_free_peek_path(self, monkeypatch):
+        tree = make_tree(order=8, page_size=512)
+        tree.insert_many([(key, key) for key in range(50)])
+
+        def forbidden(page_id):
+            raise AssertionError("bulk operations must charge every page access")
+
+        monkeypatch.setattr(tree.pool, "peek", forbidden)
+        monkeypatch.setattr(tree.pool.disk, "peek", forbidden)
+        tree.insert_many([(key, key) for key in range(50, 120)])
+        tree.delete_many(range(0, 120, 4))
+
+    def test_counter_fingerprint_is_deterministic(self):
+        """Two identical bulk runs produce identical counter fingerprints."""
+        fingerprints = []
+        for _ in range(2):
+            tree = make_tree(order=8, page_size=512, cache_pages=8)
+            tree.insert_many([(key, "v" * 30) for key in range(400)])
+            tree.delete_many(range(0, 400, 5))
+            stats = tree.pool.stats
+            fingerprints.append(
+                (stats.hits, stats.misses, stats.evictions, stats.dirty_writebacks)
+            )
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_bulk_charges_fewer_accesses_than_per_key_but_not_zero(self):
+        items = [(key, key) for key in range(500)]
+        single = make_tree(order=8, page_size=1024)
+        for key, value in items:
+            single.insert(key, value)
+        single_accesses = single.pool.stats.accesses
+
+        bulk = make_tree(order=8, page_size=1024)
+        bulk.insert_many(items)
+        bulk_accesses = bulk.pool.stats.accesses
+        assert 0 < bulk_accesses < single_accesses
+        # Same layout => the follow-up charges are identical too.
+        assert tree_layout(bulk) == tree_layout(single)
+
+    def test_warm_and_cold_runs_charge_the_right_categories(self):
+        tree = make_tree(order=8, page_size=1024, cache_pages=256)
+        tree.insert_many([(key, key) for key in range(300)])
+        tree.pool.stats.reset()
+        # Warm pool: a bulk delete touches only resident pages.
+        tree.delete_many(range(0, 300, 10))
+        warm = tree.pool.stats.snapshot()
+        assert warm.hits > 0 and warm.misses == 0
+        # Cold pool: the same kind of pass must charge misses.
+        tree.pool.drop()
+        tree.pool.stats.reset()
+        tree.delete_many(range(5, 300, 10))
+        cold = tree.pool.stats.snapshot()
+        assert cold.misses > 0
+
+    def test_evictions_and_writebacks_are_charged_under_pressure(self):
+        tree = make_tree(order=8, page_size=512, cache_pages=4)
+        tree.insert_many([(key, "v" * 40) for key in range(400)])
+        stats = tree.pool.stats
+        assert stats.evictions > 0
+        assert stats.dirty_writebacks > 0
+        assert stats.accesses == stats.hits + stats.misses
+        assert list(tree.keys()) == list(range(400))
