@@ -49,10 +49,13 @@ from repro.storage.environment import StorageEnvironment  # noqa: E402
 
 RESULTS_PATH = _REPO_ROOT / "BENCH_storage_micro.json"
 
-#: (num_postings_per_term, num_terms, num_updates, decode_postings)
+#: (num_postings_per_term, num_terms, num_updates, decode_postings,
+#:  macro_docs = corpus size of the query-path macrobenchmarks)
 SCALES = {
-    "smoke": dict(docs=2000, terms=40, updates=2000, decode_postings=120_000),
-    "full": dict(docs=8000, terms=120, updates=10_000, decode_postings=400_000),
+    "smoke": dict(docs=2000, terms=40, updates=2000, decode_postings=120_000,
+                  macro_docs=250),
+    "full": dict(docs=8000, terms=120, updates=10_000, decode_postings=400_000,
+                 macro_docs=1000),
 }
 
 
@@ -229,6 +232,95 @@ def bench_prefix_scan(docs: int, terms: int, **_: object) -> dict:
     return {"seconds": elapsed, "operations": operations}
 
 
+def _build_macro_index(shards: int, macro_docs: int):
+    """A Chunk-method text index over a synthetic corpus (the macrobench rig)."""
+    from repro.core.text_index import SVRTextIndex
+    from repro.workloads.synthetic import SyntheticCorpusConfig, generate_corpus
+
+    corpus = generate_corpus(
+        SyntheticCorpusConfig(
+            num_docs=macro_docs, terms_per_doc=40,
+            num_distinct_terms=macro_docs * 4, seed=7,
+        )
+    )
+    index = SVRTextIndex(
+        method="chunk", shards=shards, cache_pages=4096, page_size=512,
+        chunk_ratio=2.2, min_chunk_size=10,
+    )
+    for document in corpus.iter_documents():
+        index.add_document_terms(document.doc_id, document.terms, document.score)
+    index.finalize()
+    return index, corpus
+
+
+def _macro_queries(corpus, count: int = 24):
+    from repro.workloads.queries import QueryWorkload, QueryWorkloadConfig
+
+    config = QueryWorkloadConfig(num_queries=count, selectivity="unselective",
+                                 k=10, seed=23)
+    frequent = corpus.frequent_terms(
+        max(config.candidate_pool_size(corpus.config.num_distinct_terms), 2)
+    )
+    return QueryWorkload(config, frequent,
+                         vocabulary_size=corpus.config.num_distinct_terms).generate()
+
+
+def bench_query_macro(macro_docs: int, **_: object) -> dict:
+    """End-to-end cold-cache top-k queries through the single-pool engine.
+
+    The paper's §5.2 query path in one number: drop the long-list pages, run a
+    conjunctive top-10 query, repeat over an unselective workload.  This is
+    the macrobench the ROADMAP asked for to keep codec/engine wins honest at
+    the query level, not just in isolated decode loops.
+    """
+    index, corpus = _build_macro_index(shards=1, macro_docs=macro_docs)
+    queries = _macro_queries(corpus)
+    for query in queries:  # warm the Score table / short lists
+        index.search(query.keywords, k=query.k, conjunctive=query.conjunctive)
+    rounds = 3
+    operations = 0
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for query in queries:
+            index.drop_long_list_cache()
+            index.search(query.keywords, k=query.k, conjunctive=query.conjunctive)
+            operations += 1
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "operations": operations}
+
+
+def bench_sharded_query_throughput(macro_docs: int, **_: object) -> dict:
+    """Mixed multi-client traffic against the 4-shard term-partitioned engine.
+
+    Four simulated clients interleave top-k queries with batched score-update
+    windows through ``MultiClientDriver`` — the sharded engine's intended
+    workload.  ``operations`` counts queries + updates, so the entry tracks
+    end-to-end mixed-traffic throughput across PRs.
+    """
+    from repro.workloads.multiclient import MultiClientConfig, MultiClientDriver
+    from repro.workloads.updates import UpdateWorkload, UpdateWorkloadConfig
+
+    index, corpus = _build_macro_index(shards=4, macro_docs=macro_docs)
+    queries = _macro_queries(corpus)
+    updates = UpdateWorkload(
+        UpdateWorkloadConfig(num_updates=40 * len(queries), seed=11),
+        corpus.scores(),
+    ).generate_list()
+    driver = MultiClientDriver(
+        MultiClientConfig(num_clients=4, query_fraction=0.5, batch_window=64,
+                          seed=31),
+        queries, updates,
+    )
+    start = time.perf_counter()
+    result = driver.run(index)
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "operations": result.queries_run + result.updates_applied,
+        "checksum": round(result.shard_skew, 4),
+    }
+
+
 BENCHES = {
     "btree_insert": bench_btree_insert,
     "btree_score_update": bench_btree_score_update,
@@ -236,6 +328,8 @@ BENCHES = {
     "decode_id_list": bench_decode_id_list,
     "decode_chunk_list": bench_decode_chunk_list,
     "prefix_scan": bench_prefix_scan,
+    "query_macro": bench_query_macro,
+    "sharded_query_throughput": bench_sharded_query_throughput,
 }
 
 

@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.storage.environment import IOSnapshot, StorageEnvironment
+from repro.storage.sharding import ShardedEnvironment, ShardLoad, shard_load
 
 
 @dataclass
@@ -87,8 +88,27 @@ class OperationMetrics:
         }
 
 
+def record_shard_load(metrics: OperationMetrics,
+                      env: "StorageEnvironment | ShardedEnvironment") -> ShardLoad:
+    """Attach an environment's per-shard load summary to a metrics object.
+
+    Stores the shard count and the max/mean access skew in ``metrics.extra``
+    (a plain environment reports one shard with skew 1.0) and returns the full
+    :class:`ShardLoad` for callers that want the per-shard vectors.  Reads
+    lifetime counters only — measuring the load is accounting-free.
+    """
+    load = shard_load(env)
+    metrics.extra["shards"] = float(load.shard_count)
+    metrics.extra["shard_skew"] = round(load.skew, 4)
+    return load
+
+
 class MeteredEnvironment:
     """Helper pairing a storage environment with wall-clock timing.
+
+    Works with a plain environment or a sharded one — in the sharded case the
+    recorded I/O deltas are the per-category sums over every shard, so the
+    per-operation averages stay comparable across shard counts.
 
     Usage::
 
@@ -97,7 +117,7 @@ class MeteredEnvironment:
             index.update_score(doc, new_score)
     """
 
-    def __init__(self, env: StorageEnvironment) -> None:
+    def __init__(self, env: "StorageEnvironment | ShardedEnvironment") -> None:
         self.env = env
 
     @contextmanager

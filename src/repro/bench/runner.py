@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Sequence
 
-from repro.bench.metrics import MeteredEnvironment, OperationMetrics
+from repro.bench.metrics import MeteredEnvironment, OperationMetrics, record_shard_load
 from repro.core.text_index import SVRTextIndex
 from repro.workloads.queries import KeywordQuery, QueryWorkload, QueryWorkloadConfig
 from repro.workloads.synthetic import (
@@ -142,12 +142,20 @@ class MethodRun:
 
 
 class ExperimentRunner:
-    """Builds indexes over a shared corpus and measures update/query workloads."""
+    """Builds indexes over a shared corpus and measures update/query workloads.
+
+    ``shards`` selects the storage engine: 1 (the default) is the paper's
+    single-environment layout, larger counts partition the term space across
+    that many environments (the total ``cache_pages`` budget is split across
+    their buffer pools) and experiment metrics additionally record per-shard
+    load skew.
+    """
 
     def __init__(self, scale: BenchScale | None = None,
-                 corpus: SyntheticCorpus | None = None) -> None:
+                 corpus: SyntheticCorpus | None = None, shards: int = 1) -> None:
         self.scale = scale if scale is not None else BenchScale.small()
         self.corpus = corpus if corpus is not None else generate_corpus(self.scale.corpus)
+        self.shards = shards
 
     # -- building --------------------------------------------------------------
 
@@ -158,7 +166,7 @@ class ExperimentRunner:
             options.setdefault("min_chunk_size", self.scale.min_chunk_size)
         index = SVRTextIndex(
             method=setup.method, cache_pages=self.scale.cache_pages,
-            page_size=self.scale.page_size, **options
+            page_size=self.scale.page_size, shards=self.shards, **options
         )
         start = time.perf_counter()
         for document in self.corpus.iter_documents():
@@ -267,7 +275,28 @@ class ExperimentRunner:
                 index.drop_long_list_cache()
             with meter.measure(metrics):
                 index.search(query.keywords, k=query.k, conjunctive=query.conjunctive)
+        record_shard_load(metrics, index.env)
         return metrics
+
+    def run_multiclient(self, index: SVRTextIndex,
+                        config: "MultiClientConfig | None" = None,
+                        num_queries: int | None = None,
+                        num_updates: int | None = None):
+        """Replay interleaved multi-client traffic against a built index.
+
+        Deals the runner's query and update workloads across the configured
+        clients and replays them round-robin (see
+        :class:`repro.workloads.multiclient.MultiClientDriver`); returns the
+        driver's :class:`MultiClientResult`, whose ``shard_load`` reports how
+        evenly the traffic spread across the index's storage shards.
+        """
+        from repro.workloads.multiclient import MultiClientConfig, MultiClientDriver
+
+        config = config if config is not None else MultiClientConfig()
+        queries = self.make_queries(num_queries=num_queries)
+        updates = self.make_updates(num_updates=num_updates)
+        driver = MultiClientDriver(config, queries, updates)
+        return driver.run(index)
 
     # -- one-stop measurement for a method --------------------------------------------------
 

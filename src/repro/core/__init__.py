@@ -11,6 +11,7 @@ This package contains the paper's actual contribution:
   text index together, the equivalent of Figure 2's architecture.
 """
 
+from repro.core.index_router import IndexRouter
 from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats
 from repro.core.indexes.registry import available_methods, create_index
 from repro.core.result_heap import ResultHeap
@@ -20,6 +21,7 @@ from repro.core.text_index import SVRTextIndex
 
 __all__ = [
     "ScoreSpec",
+    "IndexRouter",
     "InvertedIndex",
     "QueryResult",
     "QueryStats",

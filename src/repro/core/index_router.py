@@ -1,0 +1,147 @@
+"""The unified front door over a (possibly term-partitioned) index.
+
+:class:`IndexRouter` hides the sharding layer behind the exact
+:class:`~repro.core.indexes.base.InvertedIndex` operational API: callers
+insert/delete/update documents, apply batched score updates and run top-k
+queries without knowing how many :class:`StorageEnvironment` instances back
+the term space.  On top of the delegated API it exposes the shard-level
+observability the experiments need — the term→shard resolver, per-shard I/O
+snapshots/deltas, and the lifetime load/skew report.
+
+The router adds no storage behaviour of its own: every keyed operation is
+routed inside the store facades (:mod:`repro.storage.sharding`), so a router
+over a single-shard (or plain) environment is fingerprint-identical to the
+classic engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.indexes.base import InvertedIndex, QueryResponse, UpdateStats
+from repro.core.indexes.registry import create_index
+from repro.storage.environment import IOSnapshot, StorageEnvironment
+from repro.storage.sharding import (
+    ShardedEnvironment,
+    ShardLoad,
+    shard_load,
+    shard_of_term,
+)
+from repro.text.documents import DocumentStore
+
+
+class IndexRouter:
+    """Route the ``InvertedIndex`` API over N term-partitioned environments.
+
+    Wraps an existing index (``IndexRouter(index)``); use :meth:`build` to
+    construct the environment, document store and index method in one call.
+    """
+
+    def __init__(self, index: InvertedIndex) -> None:
+        self.index = index
+        self.env = index.env
+
+    @classmethod
+    def build(cls, method: str, shard_count: int = 1,
+              documents: DocumentStore | None = None, name: str = "svr",
+              cache_pages: int = 4096, page_size: int = 4096,
+              env: "StorageEnvironment | ShardedEnvironment | None" = None,
+              **options: Any) -> "IndexRouter":
+        """Create a sharded environment plus an index method routed over it."""
+        if env is None:
+            env = ShardedEnvironment(
+                shard_count=shard_count, cache_pages=cache_pages, page_size=page_size
+            )
+        if documents is None:
+            documents = DocumentStore()
+        return cls(create_index(method, env, documents, name=name, **options))
+
+    # -- shard observability -----------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        """Number of term-space partitions (1 for a plain environment)."""
+        if isinstance(self.env, ShardedEnvironment):
+            return self.env.shard_count
+        return 1
+
+    def shard_of_term(self, term: str) -> int:
+        """The shard owning a term's inverted lists."""
+        return shard_of_term(term, self.shard_count)
+
+    def shard_snapshots(self) -> list[IOSnapshot]:
+        """Per-shard I/O snapshots (a single-element list for a plain env)."""
+        if isinstance(self.env, ShardedEnvironment):
+            return self.env.shard_snapshots()
+        return [self.env.snapshot()]
+
+    def shard_deltas(self, earlier: list[IOSnapshot]):
+        """Per-shard deltas since :meth:`shard_snapshots`."""
+        if isinstance(self.env, ShardedEnvironment):
+            return self.env.shard_deltas(earlier)
+        if len(earlier) != 1:
+            raise ValueError(f"expected 1 shard snapshot, got {len(earlier)}")
+        return [self.env.delta_since(earlier[0])]
+
+    def shard_load(self) -> ShardLoad:
+        """Lifetime per-shard buffer-pool load and the max/mean skew."""
+        return shard_load(self.env)
+
+    # -- delegated InvertedIndex API ----------------------------------------------
+
+    @property
+    def method_name(self) -> str:
+        return self.index.method_name
+
+    @property
+    def documents(self) -> DocumentStore:
+        return self.index.documents
+
+    @property
+    def update_stats(self) -> UpdateStats:
+        return self.index.update_stats
+
+    @property
+    def finalized(self) -> bool:
+        return self.index.finalized
+
+    def add_document(self, doc_id: int, score: float,
+                     terms: Iterable[str] | None = None) -> None:
+        self.index.add_document(doc_id, score, terms=terms)
+
+    def finalize(self) -> None:
+        self.index.finalize()
+
+    def current_score(self, doc_id: int) -> float | None:
+        return self.index.current_score(doc_id)
+
+    def document_count(self) -> int:
+        return self.index.document_count()
+
+    def update_score(self, doc_id: int, new_score: float) -> None:
+        self.index.update_score(doc_id, new_score)
+
+    def apply_batch(self, updates: Iterable[tuple[int, float]]) -> int:
+        return self.index.apply_batch(updates)
+
+    def insert_document(self, doc_id: int, terms: Iterable[str], score: float) -> None:
+        self.index.insert_document(doc_id, terms, score)
+
+    def delete_document(self, doc_id: int) -> None:
+        self.index.delete_document(doc_id)
+
+    def update_content(self, doc_id: int, new_terms: Iterable[str]) -> None:
+        self.index.update_content(doc_id, new_terms)
+
+    def query(self, keywords: Iterable[str], k: int,
+              conjunctive: bool = True) -> QueryResponse:
+        return self.index.query(keywords, k=k, conjunctive=conjunctive)
+
+    def long_list_size_bytes(self) -> int:
+        return self.index.long_list_size_bytes()
+
+    def short_list_size_bytes(self) -> int:
+        return self.index.short_list_size_bytes()
+
+    def drop_long_list_cache(self) -> None:
+        self.index.drop_long_list_cache()

@@ -25,6 +25,7 @@ from typing import Iterable, Mapping
 
 from repro.errors import DocumentNotFoundError, InvertedIndexError, QueryError
 from repro.storage.environment import StorageEnvironment
+from repro.storage.sharding import ShardedEnvironment, ShardedKVStore
 from repro.text.documents import Document, DocumentStore
 
 
@@ -97,7 +98,12 @@ class InvertedIndex(abc.ABC):
     Parameters
     ----------
     env:
-        Storage environment holding the Score table, short lists and long lists.
+        Storage environment holding the Score table, short lists and long
+        lists.  A plain :class:`StorageEnvironment` gives the paper's
+        single-pool layout; a :class:`ShardedEnvironment` partitions the term
+        space, in which case every per-term store routes its keys through the
+        environment's shard resolver (and the degenerate shard count 1 is
+        fingerprint-identical to the plain layout).
     documents:
         Forward index.  Documents must be added to it before (or while) they
         are staged into the index; the update algorithms read ``Content(id)``
@@ -111,16 +117,45 @@ class InvertedIndex(abc.ABC):
     #: Whether long-list postings carry a per-term score.
     stores_term_scores = False
 
-    def __init__(self, env: StorageEnvironment, documents: DocumentStore,
-                 name: str = "svr") -> None:
+    def __init__(self, env: "StorageEnvironment | ShardedEnvironment",
+                 documents: DocumentStore, name: str = "svr") -> None:
         self.env = env
         self.documents = documents
         self.name = name
-        self.score_table = env.create_kvstore(f"{name}.score")
-        self.deleted_table = env.create_kvstore(f"{name}.deleted")
+        self.score_table = self._create_kvstore(f"{name}.score", key_shard="doc")
+        self.deleted_table = self._create_kvstore(f"{name}.deleted", key_shard="doc")
         self.update_stats = UpdateStats()
         self._staged: list[_StagedDocument] = []
         self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Store creation (shard-aware)
+    # ------------------------------------------------------------------
+
+    def _create_kvstore(self, name: str, key_shard: str):
+        """Create a kv store, routed by ``key_shard`` when the env is sharded.
+
+        ``key_shard`` is ``"term"`` for stores keyed by ``(term, ...)`` tuples
+        (short lists, delta lists, clustered score lists, fancy lists) and
+        ``"doc"`` for stores keyed by document id (Score, deleted,
+        ListScore/ListChunk bookkeeping).
+        """
+        if isinstance(self.env, ShardedEnvironment):
+            return self.env.create_kvstore(name, key_shard=key_shard)
+        return self.env.create_kvstore(name)
+
+    def _create_heapfile(self, name: str, key_shard: str = "term"):
+        """Create a heap file, with per-term segment routing when sharded."""
+        if isinstance(self.env, ShardedEnvironment):
+            return self.env.create_heapfile(name, key_shard=key_shard)
+        return self.env.create_heapfile(name)
+
+    def _drop_store_pages(self, store, accounted: bool = False) -> None:
+        """Evict a kv store's pages from whichever pool(s) hold them."""
+        if isinstance(store, ShardedKVStore):
+            store.drop_from_cache(accounted=accounted)
+        else:
+            self.env.pool.drop(store.page_ids(accounted=accounted))
 
     # ------------------------------------------------------------------
     # Build

@@ -69,12 +69,12 @@ class ChunkIndex(InvertedIndex):
         self.min_chunk_size = int(min_chunk_size)
         self._chunk_strategy = chunk_strategy
         self.chunk_map: ChunkMap | None = None
-        self._long_lists = env.create_heapfile(f"{name}.long")
+        self._long_lists = self._create_heapfile(f"{name}.long")
         self._segments: dict[str, SegmentHandle] = {}
         # Short list key: (term, -chunk_id, doc_id) -> (operation, term_score).
-        self._short = env.create_kvstore(f"{name}.short")
+        self._short = self._create_kvstore(f"{name}.short", key_shard="term")
         # ListChunk table: doc_id -> (list_chunk, in_short_list).
-        self._list_chunk = env.create_kvstore(f"{name}.listchunk")
+        self._list_chunk = self._create_kvstore(f"{name}.listchunk", key_shard="doc")
 
     # -- threshold --------------------------------------------------------------
 
@@ -104,7 +104,7 @@ class ChunkIndex(InvertedIndex):
         for term, entries in term_docs.items():
             runs = build_chunk_runs(entries)
             payload = encode_chunk_runs(runs, with_term_scores=self.stores_term_scores)
-            self._segments[term] = self._long_lists.write(payload)
+            self._segments[term] = self._long_lists.write(payload, key=term)
             self.update_stats.long_list_postings_written += len(entries)
 
     def _build_term_score(self, doc_id: int, term: str) -> float:
@@ -174,11 +174,12 @@ class ChunkIndex(InvertedIndex):
     def _after_insert(self, doc_id: int, score: float) -> None:
         assert self.chunk_map is not None
         chunk_id = self.chunk_map.chunk_of(score)
-        for term in self._content_terms(doc_id):
-            self._short.put(
-                (term, -chunk_id, doc_id), (_ADD, self._current_term_score(doc_id, term))
-            )
-            self.update_stats.short_list_postings_written += 1
+        entries = sorted(
+            ((term, -chunk_id, doc_id), (_ADD, self._current_term_score(doc_id, term)))
+            for term in self._content_terms(doc_id)
+        )
+        self._short.put_many(entries)
+        self.update_stats.short_list_postings_written += len(entries)
         self._list_chunk.put(doc_id, (chunk_id, True))
 
     def _after_content_update(self, doc_id: int, old_document: Document,
@@ -189,14 +190,15 @@ class ChunkIndex(InvertedIndex):
             list_chunk = entry[0]
         else:
             list_chunk = self.chunk_map.chunk_of(self.score_table.get(doc_id))
-        for term in new_document.distinct_terms - old_document.distinct_terms:
-            self._short.put(
-                (term, -list_chunk, doc_id), (_ADD, self._current_term_score(doc_id, term))
-            )
-            self.update_stats.short_list_postings_written += 1
-        for term in old_document.distinct_terms - new_document.distinct_terms:
-            self._short.put((term, -list_chunk, doc_id), (_REM, 0.0))
-            self.update_stats.short_list_postings_written += 1
+        added = new_document.distinct_terms - old_document.distinct_terms
+        removed = old_document.distinct_terms - new_document.distinct_terms
+        entries = sorted(
+            [((term, -list_chunk, doc_id),
+              (_ADD, self._current_term_score(doc_id, term))) for term in added]
+            + [((term, -list_chunk, doc_id), (_REM, 0.0)) for term in removed]
+        )
+        self._short.put_many(entries)
+        self.update_stats.short_list_postings_written += len(entries)
 
     # -- query (Algorithm 2 with chunks) ----------------------------------------------------
 

@@ -56,7 +56,7 @@ class ChunkTermScoreIndex(ChunkIndex):
         # Entries are materialised only for terms with more than ``fancy_size``
         # postings — for rarer terms a fancy list cannot prune anything, so
         # only the per-term score ceiling below is kept.
-        self._fancy = env.create_kvstore(f"{name}.fancy")
+        self._fancy = self._create_kvstore(f"{name}.fancy", key_shard="term")
         # Per-term upper bound on the term score of any document *not* present
         # in the term's fancy list (the pruning bound of Algorithm 3).
         self._fancy_floor_by_term: dict[str, float] = {}
@@ -110,32 +110,38 @@ class ChunkTermScoreIndex(ChunkIndex):
             for (_term, doc_id), term_score in self._fancy.prefix_items((term,))
         }
 
-    def _maintain_fancy_on_add(self, doc_id: int, term: str) -> None:
-        """Keep the fancy-list invariant when a document gains ``term``.
+    def _fancy_additions(self, doc_id: int,
+                         terms: "set[str]") -> list[tuple[tuple[str, int], float]]:
+        """Fancy-list entries to add when ``doc_id`` gains ``terms``.
 
         The invariant the pruning bound relies on is: any document absent from
         the fancy list of ``term`` has term score at most ``_fancy_floor(term)``.
         Adding the new posting whenever its score exceeds the floor preserves
         it without ever raising the floor.
         """
-        term_score = self._normalized_tf(doc_id, term)
-        if term_score > self._fancy_floor(term):
-            self._fancy.put((term, doc_id), term_score)
+        additions: list[tuple[tuple[str, int], float]] = []
+        for term in terms:
+            term_score = self._normalized_tf(doc_id, term)
+            if term_score > self._fancy_floor(term):
+                additions.append(((term, doc_id), term_score))
+        additions.sort()
+        return additions
 
     # -- document changes ----------------------------------------------------------------
 
     def _after_insert(self, doc_id: int, score: float) -> None:
         super()._after_insert(doc_id, score)
-        for term in self._content_terms(doc_id):
-            self._maintain_fancy_on_add(doc_id, term)
+        self._fancy.put_many(self._fancy_additions(doc_id, self._content_terms(doc_id)))
 
     def _after_content_update(self, doc_id: int, old_document: Document,
                               new_document: Document) -> None:
         super()._after_content_update(doc_id, old_document, new_document)
-        for term in old_document.distinct_terms - new_document.distinct_terms:
-            self._fancy.delete_if_present((term, doc_id))
-        for term in new_document.distinct_terms - old_document.distinct_terms:
-            self._maintain_fancy_on_add(doc_id, term)
+        removed = old_document.distinct_terms - new_document.distinct_terms
+        added = new_document.distinct_terms - old_document.distinct_terms
+        self._fancy.delete_many(
+            sorted((term, doc_id) for term in removed), ignore_missing=True
+        )
+        self._fancy.put_many(self._fancy_additions(doc_id, added))
 
     # -- query (Algorithm 3) ----------------------------------------------------------------
 

@@ -73,9 +73,9 @@ class IDIndex(InvertedIndex):
     def __init__(self, env: StorageEnvironment, documents: DocumentStore,
                  name: str = "svr") -> None:
         super().__init__(env, documents, name=name)
-        self._long_lists = env.create_heapfile(f"{name}.long")
+        self._long_lists = self._create_heapfile(f"{name}.long")
         self._segments: dict[str, SegmentHandle] = {}
-        self._delta = env.create_kvstore(f"{name}.delta")
+        self._delta = self._create_kvstore(f"{name}.delta", key_shard="term")
 
     # -- build ---------------------------------------------------------------
 
@@ -89,7 +89,7 @@ class IDIndex(InvertedIndex):
                 self._make_posting(doc_id, term) for doc_id in sorted(set(doc_ids))
             ]
             payload = encode_id_postings(postings, with_term_scores=self.stores_term_scores)
-            self._segments[term] = self._long_lists.write(payload)
+            self._segments[term] = self._long_lists.write(payload, key=term)
             self.update_stats.long_list_postings_written += len(postings)
 
     def _make_posting(self, doc_id: int, term: str) -> Posting:
@@ -123,20 +123,24 @@ class IDIndex(InvertedIndex):
     # -- incremental document changes ----------------------------------------------
 
     def _after_insert(self, doc_id: int, score: float) -> None:
-        for term in self._content_terms(doc_id):
-            self._delta.put((term, doc_id), (_ADD, self._delta_term_score(doc_id, term)))
-            self.update_stats.short_list_postings_written += 1
+        entries = sorted(
+            ((term, doc_id), (_ADD, self._delta_term_score(doc_id, term)))
+            for term in self._content_terms(doc_id)
+        )
+        self._delta.put_many(entries)
+        self.update_stats.short_list_postings_written += len(entries)
 
     def _after_content_update(self, doc_id: int, old_document: Document,
                               new_document: Document) -> None:
         added = new_document.distinct_terms - old_document.distinct_terms
         removed = old_document.distinct_terms - new_document.distinct_terms
-        for term in added:
-            self._delta.put((term, doc_id), (_ADD, self._delta_term_score(doc_id, term)))
-            self.update_stats.short_list_postings_written += 1
-        for term in removed:
-            self._delta.put((term, doc_id), (_REM, 0.0))
-            self.update_stats.short_list_postings_written += 1
+        entries = sorted(
+            [((term, doc_id), (_ADD, self._delta_term_score(doc_id, term)))
+             for term in added]
+            + [((term, doc_id), (_REM, 0.0)) for term in removed]
+        )
+        self._delta.put_many(entries)
+        self.update_stats.short_list_postings_written += len(entries)
 
     def _delta_term_score(self, doc_id: int, term: str) -> float:
         """Per-term score stored with delta postings (0.0 for the plain ID method)."""

@@ -13,6 +13,7 @@ from repro.core.indexes.id_termscore import IDTermScoreIndex
 from repro.core.indexes.score_method import ScoreIndex
 from repro.core.indexes.score_threshold import ScoreThresholdIndex
 from repro.storage.environment import StorageEnvironment
+from repro.storage.sharding import ShardedEnvironment
 from repro.text.documents import DocumentStore
 
 _METHODS: dict[str, type[InvertedIndex]] = {
@@ -40,12 +41,15 @@ def index_class(method: str) -> type[InvertedIndex]:
     return cls
 
 
-def create_index(method: str, env: StorageEnvironment, documents: DocumentStore,
-                 name: str = "svr", **options: Any) -> InvertedIndex:
+def create_index(method: str, env: "StorageEnvironment | ShardedEnvironment",
+                 documents: DocumentStore, name: str = "svr",
+                 **options: Any) -> InvertedIndex:
     """Instantiate an index method by name.
 
     ``options`` are passed to the method's constructor (e.g. ``chunk_ratio`` for
     the Chunk methods, ``threshold_ratio`` for Score-Threshold, ``term_weight``
-    and ``fancy_size`` for the TermScore variants).
+    and ``fancy_size`` for the TermScore variants).  ``env`` may be a plain
+    single-pool environment or a term-partitioned
+    :class:`~repro.storage.sharding.ShardedEnvironment`.
     """
     return index_class(method)(env, documents, name=name, **options)

@@ -34,7 +34,7 @@ class ScoreIndex(InvertedIndex):
         super().__init__(env, documents, name=name)
         # Key: (term, -score, doc_id) -> None.  Negating the score makes the
         # B+-tree's ascending key order correspond to descending score order.
-        self._lists = env.create_kvstore(f"{name}.scorelists")
+        self._lists = self._create_kvstore(f"{name}.scorelists", key_shard="term")
 
     # -- build ---------------------------------------------------------------
 
@@ -53,8 +53,9 @@ class ScoreIndex(InvertedIndex):
         # The enumeration is charged (accounted=True): establishing the
         # paper's cold cache walks the clustered list tree exactly like
         # BerkeleyDB would, and that walk is part of the modelled I/O the
-        # experiments start from.
-        self.env.pool.drop(self._lists.page_ids(accounted=True))
+        # experiments start from.  Under sharding each shard's pool drops its
+        # own partition of the tree, with the same accounted walk.
+        self._drop_store_pages(self._lists, accounted=True)
 
     # -- updates ----------------------------------------------------------------
 
@@ -106,9 +107,9 @@ class ScoreIndex(InvertedIndex):
         self._lists.put_many((key, None) for key in inserts)
 
     def _after_insert(self, doc_id: int, score: float) -> None:
-        for term in self._content_terms(doc_id):
-            self._lists.put((term, -score, doc_id), None)
-            self.update_stats.long_list_postings_written += 1
+        keys = sorted((term, -score, doc_id) for term in self._content_terms(doc_id))
+        self._lists.put_many((key, None) for key in keys)
+        self.update_stats.long_list_postings_written += len(keys)
 
     def _after_delete(self, doc_id: int) -> None:
         # Deletions only flag the document; stale postings are filtered at
@@ -118,11 +119,17 @@ class ScoreIndex(InvertedIndex):
     def _after_content_update(self, doc_id: int, old_document: Document,
                               new_document: Document) -> None:
         score = self.score_table.get(doc_id)
-        for term in old_document.distinct_terms - new_document.distinct_terms:
-            self._lists.delete_if_present((term, -score, doc_id))
-        for term in new_document.distinct_terms - old_document.distinct_terms:
-            self._lists.put((term, -score, doc_id), None)
-            self.update_stats.long_list_postings_written += 1
+        removed = sorted(
+            (term, -score, doc_id)
+            for term in old_document.distinct_terms - new_document.distinct_terms
+        )
+        added = sorted(
+            (term, -score, doc_id)
+            for term in new_document.distinct_terms - old_document.distinct_terms
+        )
+        self._lists.delete_many(removed, ignore_missing=True)
+        self._lists.put_many((key, None) for key in added)
+        self.update_stats.long_list_postings_written += len(added)
 
     # -- query --------------------------------------------------------------------
 

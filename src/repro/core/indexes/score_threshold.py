@@ -59,12 +59,12 @@ class ScoreThresholdIndex(InvertedIndex):
                 f"threshold_ratio must be >= 1.0, got {threshold_ratio}"
             )
         self.threshold_ratio = float(threshold_ratio)
-        self._long_lists = env.create_heapfile(f"{name}.long")
+        self._long_lists = self._create_heapfile(f"{name}.long")
         self._segments: dict[str, SegmentHandle] = {}
         # Short list key: (term, -list_score, doc_id) -> (operation, unused term score).
-        self._short = env.create_kvstore(f"{name}.short")
+        self._short = self._create_kvstore(f"{name}.short", key_shard="term")
         # ListScore table: doc_id -> (list_score, in_short_list).
-        self._list_score = env.create_kvstore(f"{name}.listscore")
+        self._list_score = self._create_kvstore(f"{name}.listscore", key_shard="doc")
 
     # -- threshold ---------------------------------------------------------------
 
@@ -86,7 +86,7 @@ class ScoreThresholdIndex(InvertedIndex):
                 ScoredPosting(doc_id=doc_id, score=score) for score, doc_id in entries
             ]
             payload = encode_scored_postings(postings, with_term_scores=False)
-            self._segments[term] = self._long_lists.write(payload)
+            self._segments[term] = self._long_lists.write(payload, key=term)
             self.update_stats.long_list_postings_written += len(postings)
 
     # -- size / cache ----------------------------------------------------------------
@@ -135,21 +135,26 @@ class ScoreThresholdIndex(InvertedIndex):
     # -- document changes (Appendix A applied to this layout) -----------------------------
 
     def _after_insert(self, doc_id: int, score: float) -> None:
-        for term in self._content_terms(doc_id):
-            self._short.put((term, -score, doc_id), (_ADD, 0.0))
-            self.update_stats.short_list_postings_written += 1
+        entries = sorted(
+            ((term, -score, doc_id), (_ADD, 0.0))
+            for term in self._content_terms(doc_id)
+        )
+        self._short.put_many(entries)
+        self.update_stats.short_list_postings_written += len(entries)
         self._list_score.put(doc_id, (score, True))
 
     def _after_content_update(self, doc_id: int, old_document: Document,
                               new_document: Document) -> None:
         entry = self._list_score.get(doc_id, default=None)
         list_score = entry[0] if entry is not None else self.score_table.get(doc_id)
-        for term in new_document.distinct_terms - old_document.distinct_terms:
-            self._short.put((term, -list_score, doc_id), (_ADD, 0.0))
-            self.update_stats.short_list_postings_written += 1
-        for term in old_document.distinct_terms - new_document.distinct_terms:
-            self._short.put((term, -list_score, doc_id), (_REM, 0.0))
-            self.update_stats.short_list_postings_written += 1
+        added = new_document.distinct_terms - old_document.distinct_terms
+        removed = old_document.distinct_terms - new_document.distinct_terms
+        entries = sorted(
+            [((term, -list_score, doc_id), (_ADD, 0.0)) for term in added]
+            + [((term, -list_score, doc_id), (_REM, 0.0)) for term in removed]
+        )
+        self._short.put_many(entries)
+        self.update_stats.short_list_postings_written += len(entries)
 
     # -- query (Algorithm 2) ----------------------------------------------------------------
 

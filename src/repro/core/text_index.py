@@ -13,9 +13,11 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from repro.errors import QueryError
+from repro.core.index_router import IndexRouter
 from repro.core.indexes.base import InvertedIndex, QueryResponse
 from repro.core.indexes.registry import create_index
 from repro.storage.environment import StorageEnvironment
+from repro.storage.sharding import ShardedEnvironment, ShardLoad
 from repro.text.analyzer import Analyzer
 from repro.text.dictionary import TermDictionary
 from repro.text.documents import DocumentStore
@@ -40,20 +42,30 @@ class SVRTextIndex:
         Page size (bytes) used when a private environment is created.  The
         benchmark harness shrinks it together with the corpus so that long
         inverted lists still span many pages, as they do at the paper's scale.
+    shards:
+        Number of term-space partitions when a private environment is created
+        (ignored when ``env`` is passed).  ``1`` keeps the paper's
+        single-environment engine; larger counts build a
+        :class:`~repro.storage.sharding.ShardedEnvironment` whose total cache
+        budget is still ``cache_pages``.
     method_options:
         Extra keyword arguments forwarded to the index method's constructor
         (``chunk_ratio``, ``threshold_ratio``, ``term_weight``, ``fancy_size`` ...).
     """
 
-    def __init__(self, method: str = "chunk", env: StorageEnvironment | None = None,
+    def __init__(self, method: str = "chunk",
+                 env: "StorageEnvironment | ShardedEnvironment | None" = None,
                  analyzer: Analyzer | None = None, name: str = "svr",
                  cache_pages: int = 4096, page_size: int = 4096,
-                 **method_options: Any) -> None:
-        self.env = (
-            env
-            if env is not None
-            else StorageEnvironment(cache_pages=cache_pages, page_size=page_size)
-        )
+                 shards: int = 1, **method_options: Any) -> None:
+        if env is None:
+            if shards <= 1:
+                env = StorageEnvironment(cache_pages=cache_pages, page_size=page_size)
+            else:
+                env = ShardedEnvironment(
+                    shard_count=shards, cache_pages=cache_pages, page_size=page_size
+                )
+        self.env = env
         self.analyzer = analyzer if analyzer is not None else Analyzer()
         self.documents = DocumentStore()
         self.dictionary = TermDictionary()
@@ -61,26 +73,36 @@ class SVRTextIndex:
         self.index: InvertedIndex = create_index(
             method, self.env, self.documents, name=name, **method_options
         )
+        self.router = IndexRouter(self.index)
 
     # -- convenience properties ---------------------------------------------------
 
     @property
     def method(self) -> str:
         """Name of the underlying index method."""
-        return self.index.method_name
+        return self.router.method_name
+
+    @property
+    def shard_count(self) -> int:
+        """Number of storage shards backing the term space (1 = classic engine)."""
+        return self.router.shard_count
+
+    def shard_load(self) -> ShardLoad:
+        """Lifetime per-shard buffer-pool load and skew (see :class:`ShardLoad`)."""
+        return self.router.shard_load()
 
     @property
     def finalized(self) -> bool:
         """Whether the bulk build has been finalized."""
-        return self.index.finalized
+        return self.router.finalized
 
     def document_count(self) -> int:
         """Number of live documents."""
-        return self.index.document_count()
+        return self.router.document_count()
 
     def current_score(self, doc_id: int) -> float | None:
         """Latest SVR score of a document (``None`` when unknown or deleted)."""
-        return self.index.current_score(doc_id)
+        return self.router.current_score(doc_id)
 
     # -- build ----------------------------------------------------------------------
 
@@ -96,17 +118,17 @@ class SVRTextIndex:
         """
         self.documents.add_terms(doc_id, terms)
         self.dictionary.add_document_terms(self.documents.get(doc_id).distinct_terms)
-        self.index.add_document(doc_id, score)
+        self.router.add_document(doc_id, score)
 
     def finalize(self) -> None:
         """Build the long inverted lists; required before updates and queries."""
-        self.index.finalize()
+        self.router.finalize()
 
     # -- updates ----------------------------------------------------------------------
 
     def update_score(self, doc_id: int, new_score: float) -> None:
         """Record a new SVR score for a document."""
-        self.index.update_score(doc_id, new_score)
+        self.router.update_score(doc_id, new_score)
 
     def apply_score_updates(self, updates: "Iterable[tuple[int, float]]") -> int:
         """Apply a window of ``(doc_id, new_score)`` updates as one batch.
@@ -117,7 +139,7 @@ class SVRTextIndex:
         :meth:`repro.core.indexes.base.InvertedIndex.apply_batch`).  Returns
         the number of updates applied.
         """
-        return self.index.apply_batch(updates)
+        return self.router.apply_batch(updates)
 
     def insert_document(self, doc_id: int, text: str, score: float) -> None:
         """Insert a new document after the index has been built."""
@@ -125,20 +147,20 @@ class SVRTextIndex:
 
     def insert_document_terms(self, doc_id: int, terms: Iterable[str], score: float) -> None:
         """Insert a pre-analysed document after the index has been built."""
-        self.index.insert_document(doc_id, terms, score)
+        self.router.insert_document(doc_id, terms, score)
         self.dictionary.add_document_terms(self.documents.get(doc_id).distinct_terms)
 
     def delete_document(self, doc_id: int) -> None:
         """Delete a document (it stops appearing in query results immediately)."""
         old_terms = self.documents.get(doc_id).distinct_terms
-        self.index.delete_document(doc_id)
+        self.router.delete_document(doc_id)
         self.dictionary.remove_document_terms(old_terms)
 
     def update_content(self, doc_id: int, new_text: str) -> None:
         """Replace a document's text content."""
         old_terms = self.documents.get(doc_id).distinct_terms
         new_terms = self.analyzer.analyze(new_text)
-        self.index.update_content(doc_id, new_terms)
+        self.router.update_content(doc_id, new_terms)
         self.dictionary.update_document_terms(old_terms, self.documents.get(doc_id).distinct_terms)
 
     # -- queries -----------------------------------------------------------------------
@@ -156,7 +178,7 @@ class SVRTextIndex:
             keywords = self.analyzer.normalize_query_terms(query)
         if not keywords:
             raise QueryError("the query contains no indexable keywords")
-        return self.index.query(keywords, k=k, conjunctive=conjunctive)
+        return self.router.query(keywords, k=k, conjunctive=conjunctive)
 
     def tfidf_score(self, query: str | Iterable[str], doc_id: int) -> float:
         """Traditional TF-IDF score of a document for a query (the paper's baseline)."""
@@ -170,8 +192,8 @@ class SVRTextIndex:
 
     def long_list_size_bytes(self) -> int:
         """Serialized size of the long inverted lists (Table 1)."""
-        return self.index.long_list_size_bytes()
+        return self.router.long_list_size_bytes()
 
     def drop_long_list_cache(self) -> None:
         """Evict long-list pages to start the next query from a cold cache (§5.2)."""
-        self.index.drop_long_list_cache()
+        self.router.drop_long_list_cache()

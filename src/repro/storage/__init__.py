@@ -20,6 +20,10 @@ query/update trade-offs can be measured:
   over a B+-tree.
 * :class:`~repro.storage.environment.StorageEnvironment` — a named collection
   of stores sharing one disk + buffer pool, with global I/O statistics.
+* :class:`~repro.storage.sharding.ShardedEnvironment` — the term space
+  partitioned across N such environments (one buffer pool each) behind the
+  same API, with deterministic term→shard routing and per-category aggregated
+  statistics.
 """
 
 from repro.storage.buffer_pool import BufferPool, BufferPoolStats
@@ -29,6 +33,15 @@ from repro.storage.environment import StorageEnvironment
 from repro.storage.heap_file import HeapFile, SegmentHandle
 from repro.storage.kvstore import Cursor, KVStore
 from repro.storage.pager import PAGE_SIZE, Page
+from repro.storage.sharding import (
+    ShardedEnvironment,
+    ShardedHeapFile,
+    ShardedKVStore,
+    ShardLoad,
+    shard_load,
+    shard_of_doc,
+    shard_of_term,
+)
 
 __all__ = [
     "PAGE_SIZE",
@@ -44,4 +57,11 @@ __all__ = [
     "KVStore",
     "Cursor",
     "StorageEnvironment",
+    "ShardedEnvironment",
+    "ShardedKVStore",
+    "ShardedHeapFile",
+    "ShardLoad",
+    "shard_load",
+    "shard_of_term",
+    "shard_of_doc",
 ]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.errors import BufferPoolError
 from repro.storage.disk import SimulatedDisk
@@ -62,6 +63,22 @@ class BufferPoolStats:
         self.misses = 0
         self.evictions = 0
         self.dirty_writebacks = 0
+
+    @classmethod
+    def sum_of(cls, stats: "Iterable[BufferPoolStats]") -> "BufferPoolStats":
+        """Per-category sum of several counter sets (sharded-pool aggregation).
+
+        Each underlying pool charges every access to exactly one counter set,
+        so summing the categories is the aggregate fingerprint — nothing is
+        double-counted and nothing is lost.
+        """
+        total = cls()
+        for item in stats:
+            total.hits += item.hits
+            total.misses += item.misses
+            total.evictions += item.evictions
+            total.dirty_writebacks += item.dirty_writebacks
+        return total
 
 
 class BufferPool:

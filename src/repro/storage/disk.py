@@ -12,6 +12,7 @@ simple seek/transfer model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.errors import PageNotFoundError, StorageError
 from repro.storage.pager import PAGE_SIZE, Page
@@ -97,6 +98,19 @@ class DiskStats:
         self.sequential_reads = 0
         self.bytes_read = 0
         self.bytes_written = 0
+
+    @classmethod
+    def sum_of(cls, stats: "Iterable[DiskStats]") -> "DiskStats":
+        """Per-category sum of several counter sets (sharded-disk aggregation)."""
+        total = cls()
+        for item in stats:
+            total.reads += item.reads
+            total.writes += item.writes
+            total.random_reads += item.random_reads
+            total.sequential_reads += item.sequential_reads
+            total.bytes_read += item.bytes_read
+            total.bytes_written += item.bytes_written
+        return total
 
 
 @dataclass

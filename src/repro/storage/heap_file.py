@@ -60,8 +60,14 @@ class HeapFile:
     _segments: dict[int, SegmentHandle] = field(default_factory=dict)
     _next_segment_id: int = 0
 
-    def write(self, payload: bytes) -> SegmentHandle:
-        """Store ``payload`` as a new immutable segment and return its handle."""
+    def write(self, payload: bytes, key: object = None) -> SegmentHandle:
+        """Store ``payload`` as a new immutable segment and return its handle.
+
+        ``key`` is a routing hint accepted for signature compatibility with
+        :class:`~repro.storage.sharding.ShardedHeapFile` (one heap file is one
+        shard, so it is ignored here).
+        """
+        del key
         fragments = split_into_pages(payload, self.pool.disk.page_size)
         page_ids: list[int] = []
         for fragment in fragments:

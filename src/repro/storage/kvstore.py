@@ -56,16 +56,26 @@ KEY_UPPER_BOUND = _KeyUpperBound()
 
 
 class Cursor:
-    """Forward iterator over a key range of a :class:`KVStore`."""
+    """Forward iterator over a key range of a :class:`KVStore`.
+
+    ``iterator`` may be supplied instead of a store to wrap an arbitrary
+    pre-built ``(key, value)`` stream in the cursor protocol — the sharded
+    facade uses this to expose a key-ordered merge of several stores.
+    """
 
     def __init__(
         self,
-        store: "KVStore",
+        store: "KVStore | None" = None,
         low: Any = None,
         high: Any = None,
         inclusive: tuple[bool, bool] = (True, True),
+        iterator: "Iterator[tuple[Any, Any]] | None" = None,
     ) -> None:
-        self._iterator = store.tree.items(low=low, high=high, inclusive=inclusive)
+        if iterator is None:
+            if store is None:
+                raise TypeError("Cursor needs a store or an iterator")
+            iterator = store.tree.items(low=low, high=high, inclusive=inclusive)
+        self._iterator = iterator
         self._current: tuple[Any, Any] | None = None
         self._exhausted = False
 

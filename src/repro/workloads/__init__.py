@@ -10,9 +10,16 @@
   conjunctive/disjunctive, number of desired results).
 * :mod:`repro.workloads.archive` — an Internet-Archive-style relational data set
   (Movies / Reviews / Statistics) with the paper's example SVR specification.
+* :mod:`repro.workloads.multiclient` — deterministic interleaved multi-client
+  replay of mixed query/update traffic (the sharded-engine workload).
 """
 
 from repro.workloads.archive import ArchiveConfig, InternetArchiveDataset
+from repro.workloads.multiclient import (
+    MultiClientConfig,
+    MultiClientDriver,
+    MultiClientResult,
+)
 from repro.workloads.queries import KeywordQuery, QueryWorkload, QueryWorkloadConfig
 from repro.workloads.synthetic import (
     SyntheticCorpus,
@@ -38,4 +45,7 @@ __all__ = [
     "KeywordQuery",
     "ArchiveConfig",
     "InternetArchiveDataset",
+    "MultiClientConfig",
+    "MultiClientDriver",
+    "MultiClientResult",
 ]

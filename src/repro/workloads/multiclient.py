@@ -1,0 +1,211 @@
+"""Interleaved multi-client workload driver.
+
+The paper measures queries and updates as separate streams; a production
+deployment serves both at once, from many clients, against a term-partitioned
+storage engine.  This module models that traffic single-threadedly but
+faithfully: a query workload and an update workload are dealt across N
+simulated clients, each client decides (deterministically, from its own seed)
+whether its next operation is a top-k query or a window of score updates, and
+the driver replays the clients round-robin — so queries from one client
+interleave with update windows from another exactly as a fair scheduler would
+interleave them.
+
+Determinism is the point: the same configuration and input streams produce
+the same operation order regardless of how many storage shards serve them,
+which is what lets the shard-invariance tests assert that a sharded engine
+returns byte-identical answers under mixed traffic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import random
+
+from repro.errors import WorkloadError
+from repro.storage.sharding import ShardLoad, shard_load
+from repro.workloads.queries import KeywordQuery
+from repro.workloads.updates import ScoreUpdate, resolve_batch
+
+
+@dataclass(frozen=True)
+class MultiClientConfig:
+    """Parameters of the interleaved multi-client replay."""
+
+    num_clients: int = 4
+    query_fraction: float = 0.5   # probability a client's next op is a query
+    batch_window: int = 32        # score updates applied per update operation
+    seed: int = 31
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise WorkloadError("num_clients must be at least 1")
+        if not 0.0 <= self.query_fraction <= 1.0:
+            raise WorkloadError("query_fraction must be in [0, 1]")
+        if self.batch_window < 1:
+            raise WorkloadError("batch_window must be at least 1")
+
+
+@dataclass
+class ClientStats:
+    """Operations one simulated client performed."""
+
+    client_id: int
+    queries: int = 0
+    update_windows: int = 0
+    updates: int = 0
+
+
+@dataclass
+class MultiClientResult:
+    """Aggregate outcome of one multi-client replay."""
+
+    clients: list[ClientStats] = field(default_factory=list)
+    queries_run: int = 0
+    updates_applied: int = 0
+    update_windows: int = 0
+    query_wall_ms: float = 0.0
+    update_wall_ms: float = 0.0
+    pages_read: int = 0
+    pages_written: int = 0
+    pool_hits: int = 0
+    shard_load: ShardLoad | None = None
+
+    @property
+    def operations(self) -> int:
+        """Total client operations (queries + update windows)."""
+        return self.queries_run + self.update_windows
+
+    @property
+    def shard_skew(self) -> float:
+        """Max/mean per-shard access skew over the whole replay (1.0 = balanced)."""
+        return self.shard_load.skew if self.shard_load is not None else 1.0
+
+    def as_row(self) -> dict[str, float | int]:
+        """Flat representation for experiment tables."""
+        return {
+            "clients": len(self.clients),
+            "queries": self.queries_run,
+            "updates": self.updates_applied,
+            "query_wall_ms": round(self.query_wall_ms, 2),
+            "update_wall_ms": round(self.update_wall_ms, 2),
+            "pages_read": self.pages_read,
+            "shards": self.shard_load.shard_count if self.shard_load else 1,
+            "shard_skew": round(self.shard_skew, 4),
+        }
+
+
+#: One client operation: ("query", KeywordQuery) or ("updates", [ScoreUpdate, ...]).
+_Op = tuple[str, object]
+
+
+class MultiClientDriver:
+    """Replays mixed query/update traffic from N clients against one index.
+
+    Parameters
+    ----------
+    config:
+        Client count, query/update mix and update window size.
+    queries:
+        The shared query workload; dealt round-robin across clients.
+    updates:
+        The shared score-update stream; dealt round-robin across clients and
+        applied through the index's batched path one window at a time.
+    """
+
+    def __init__(self, config: MultiClientConfig,
+                 queries: Sequence[KeywordQuery],
+                 updates: Sequence[ScoreUpdate]) -> None:
+        self.config = config
+        self._client_ops = [
+            self._schedule_client(client_id,
+                                  list(queries[client_id::config.num_clients]),
+                                  list(updates[client_id::config.num_clients]))
+            for client_id in range(config.num_clients)
+        ]
+
+    def _schedule_client(self, client_id: int, queries: list[KeywordQuery],
+                         updates: list[ScoreUpdate]) -> list[_Op]:
+        """One client's deterministic operation sequence (its dealt streams,
+        shuffled into a query/update mix by a per-client RNG)."""
+        rng = random.Random(f"{self.config.seed}:{client_id}")
+        window = self.config.batch_window
+        ops: list[_Op] = []
+        query_pos = update_pos = 0
+        while query_pos < len(queries) or update_pos < len(updates):
+            want_query = rng.random() < self.config.query_fraction
+            if query_pos >= len(queries):
+                want_query = False
+            elif update_pos >= len(updates):
+                want_query = True
+            if want_query:
+                ops.append(("query", queries[query_pos]))
+                query_pos += 1
+            else:
+                ops.append(("updates", updates[update_pos:update_pos + window]))
+                update_pos += window
+        return ops
+
+    def client_schedules(self) -> list[list[_Op]]:
+        """The per-client operation sequences (inspection and tests)."""
+        return [list(ops) for ops in self._client_ops]
+
+    def _interleaved(self) -> Iterator[tuple[int, _Op]]:
+        """Round-robin interleaving of every client's next operation."""
+        cursors = [0] * len(self._client_ops)
+        remaining = sum(len(ops) for ops in self._client_ops)
+        while remaining:
+            for client_id, ops in enumerate(self._client_ops):
+                position = cursors[client_id]
+                if position >= len(ops):
+                    continue
+                cursors[client_id] += 1
+                remaining -= 1
+                yield client_id, ops[position]
+
+    def run(self, index) -> MultiClientResult:
+        """Replay the interleaved traffic against ``index`` (an ``SVRTextIndex``).
+
+        Queries go through ``index.search``; update windows are resolved
+        against the index's current scores and applied through
+        ``index.apply_score_updates`` (the batched write path).  Returns
+        aggregate wall/I-O metrics plus the per-shard load of the replay.
+        """
+        result = MultiClientResult(
+            clients=[ClientStats(client_id=i) for i in range(self.config.num_clients)]
+        )
+        before = index.env.snapshot()
+        load_before = shard_load(index.env)
+        for client_id, (kind, payload) in self._interleaved():
+            stats = result.clients[client_id]
+            if kind == "query":
+                query: KeywordQuery = payload  # type: ignore[assignment]
+                start = time.perf_counter()
+                index.search(query.keywords, k=query.k, conjunctive=query.conjunctive)
+                result.query_wall_ms += (time.perf_counter() - start) * 1000.0
+                stats.queries += 1
+                result.queries_run += 1
+            else:
+                window: list[ScoreUpdate] = payload  # type: ignore[assignment]
+                touched = {update.doc_id for update in window}
+                current = {
+                    doc_id: score
+                    for doc_id in touched
+                    if (score := index.current_score(doc_id)) is not None
+                }
+                resolved = resolve_batch(window, current)
+                start = time.perf_counter()
+                applied = index.apply_score_updates(resolved) if resolved else 0
+                result.update_wall_ms += (time.perf_counter() - start) * 1000.0
+                stats.update_windows += 1
+                stats.updates += applied
+                result.update_windows += 1
+                result.updates_applied += applied
+        delta = index.env.delta_since(before)
+        result.pages_read = delta.page_reads
+        result.pages_written = delta.page_writes
+        result.pool_hits = delta.pool_hits
+        result.shard_load = shard_load(index.env).diff(load_before)
+        return result

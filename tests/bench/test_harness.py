@@ -85,6 +85,30 @@ class TestRunner:
         assert BenchScale.smoke().corpus.num_docs < BenchScale.small().corpus.num_docs
         assert BenchScale.small().with_updates(7).num_updates == 7
 
+    def test_sharded_runner_records_shard_skew(self, scale):
+        sharded_runner = ExperimentRunner(scale, shards=3)
+        index, _build = sharded_runner.build_index(
+            MethodSetup("chunk", {"chunk_ratio": 2.0})
+        )
+        assert index.shard_count == 3
+        queries = sharded_runner.make_queries(num_queries=3)
+        metrics = sharded_runner.run_queries(index, queries)
+        assert metrics.extra["shards"] == 3.0
+        assert metrics.extra["shard_skew"] >= 1.0
+
+    def test_run_multiclient_replays_mixed_traffic(self, scale):
+        sharded_runner = ExperimentRunner(scale, shards=2)
+        index, _build = sharded_runner.build_index(
+            MethodSetup("chunk", {"chunk_ratio": 2.0})
+        )
+        result = sharded_runner.run_multiclient(
+            index, num_queries=4, num_updates=60
+        )
+        assert result.queries_run == 4
+        assert result.updates_applied > 0
+        assert result.shard_load is not None
+        assert result.shard_load.shard_count == 2
+
 
 class TestReporting:
     def test_format_rows_alignment_and_missing_values(self):

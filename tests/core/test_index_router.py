@@ -1,0 +1,93 @@
+"""The IndexRouter front door: delegation, construction, shard observability.
+
+``SVRTextIndex`` routes every document/query operation through a router, so
+most router behaviour is covered transitively by the text-index and
+shard-invariance suites; these tests pin the router-specific surface —
+``IndexRouter.build``, the delegated ``InvertedIndex`` API used directly, and
+the per-shard snapshot/delta/load accessors on both engine kinds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.index_router import IndexRouter
+from repro.errors import DocumentNotFoundError
+from repro.storage.environment import StorageEnvironment
+from repro.storage.sharding import ShardedEnvironment, shard_of_term
+from tests.conftest import make_corpus
+
+
+def _build_router(shard_count: int, method: str = "chunk") -> IndexRouter:
+    router = IndexRouter.build(
+        method, shard_count=shard_count, cache_pages=256, page_size=512,
+        chunk_ratio=2.0, min_chunk_size=2,
+    )
+    corpus = make_corpus(random.Random(17), num_docs=25, vocabulary=12,
+                         terms_per_doc=8)
+    for doc_id, terms, score in corpus:
+        router.add_document(doc_id, score, terms=terms)
+    router.finalize()
+    return router
+
+
+class TestDelegatedAPI:
+    def test_full_lifecycle_through_the_router(self):
+        router = _build_router(shard_count=3)
+        assert router.method_name == "chunk"
+        assert router.finalized
+        assert router.document_count() == 25
+        router.update_score(1, 999.5)
+        assert router.current_score(1) == 999.5
+        assert router.apply_batch([(2, 10.0), (2, 700.0)]) == 2
+        assert router.update_stats.score_updates == 3
+        router.insert_document(500, ["w001", "w002"], 1234.0)
+        router.update_content(500, ["w001", "w003"])
+        router.delete_document(3)
+        assert router.current_score(3) is None
+        with pytest.raises(DocumentNotFoundError):
+            router.update_score(9999, 1.0)
+        response = router.query(["w001"], k=5, conjunctive=False)
+        assert 500 in [result.doc_id for result in response.results]
+        assert router.long_list_size_bytes() > 0
+        router.drop_long_list_cache()
+
+    def test_router_over_plain_environment(self):
+        env = StorageEnvironment(cache_pages=128, page_size=512)
+        router = IndexRouter.build("id", env=env)
+        router.add_document(1, 10.0, terms=["a", "b"])
+        router.finalize()
+        assert router.shard_count == 1
+        assert router.env is env
+        snapshots = router.shard_snapshots()
+        assert len(snapshots) == 1
+        router.query(["a"], k=1)
+        deltas = router.shard_deltas(snapshots)
+        assert len(deltas) == 1
+        with pytest.raises(ValueError):
+            router.shard_deltas([])
+
+
+class TestShardObservability:
+    def test_shard_count_and_term_resolver(self):
+        router = _build_router(shard_count=4)
+        assert router.shard_count == 4
+        assert isinstance(router.env, ShardedEnvironment)
+        for term in ("w001", "w007", "zzz"):
+            assert router.shard_of_term(term) == shard_of_term(term, 4)
+
+    def test_per_shard_deltas_sum_to_aggregate(self):
+        router = _build_router(shard_count=3)
+        shard_before = router.shard_snapshots()
+        aggregate_before = router.env.snapshot()
+        router.query(["w001", "w002"], k=5, conjunctive=False)
+        router.apply_batch([(d, 50.0 * d) for d in range(1, 10)])
+        deltas = router.shard_deltas(shard_before)
+        aggregate = router.env.delta_since(aggregate_before)
+        assert aggregate.pool.accesses == sum(d.pool.accesses for d in deltas)
+        assert aggregate.disk.reads == sum(d.disk.reads for d in deltas)
+        load = router.shard_load()
+        assert load.shard_count == 3
+        assert load.total_accesses > 0

@@ -1,0 +1,210 @@
+"""Shard invariance: the partitioned engine answers exactly like the classic one.
+
+For every index method and every shard count in ``REPRO_SHARD_COUNTS``
+(default ``1,2,4``; CI pins ``1`` and ``4`` in separate matrix entries), an
+index built over a :class:`ShardedEnvironment` must, after a randomized mixed
+storm of score updates (sequential and batched), document inserts, deletes
+and content updates:
+
+* hold **identical logical contents** — every logical key-value store, merged
+  across shards in key order, equals the plain single-environment build;
+* return **identical top-k answers** (both semantics, several k values), and
+  match the brute-force reference for SVR-only methods;
+* report **identical update statistics** — the logical work counters must not
+  depend on the physical partitioning.
+
+Shard count 1 additionally gets the *physical* guarantee: per-category
+buffer-pool/disk counter fingerprints and the on-disk page bytes equal the
+plain engine's (run under ``PYTHONHASHSEED=0`` in CI, per the fidelity
+methodology of ARCHITECTURE.md).
+
+The storms follow the patterns of ``tests/core/test_batch_equivalence.py``;
+seeds come from ``tests.conftest.UPDATE_STORM_SEEDS``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indexes.registry import create_index
+from repro.storage.sharding import ShardedEnvironment
+from repro.text.documents import DocumentStore
+from tests.conftest import (
+    METHOD_OPTIONS,
+    SVR_ONLY_METHODS,
+    TERMSCORE_METHODS,
+    UPDATE_STORM_SEEDS,
+    make_corpus,
+)
+from tests.helpers import (
+    build_index,
+    category_fingerprint,
+    disk_page_bytes,
+    query_doc_scores,
+    reference_top_k,
+)
+
+ALL_METHODS = SVR_ONLY_METHODS + TERMSCORE_METHODS
+
+#: Shard counts under test; CI overrides via REPRO_SHARD_COUNTS ("1" / "4").
+SHARD_COUNTS = tuple(
+    int(count)
+    for count in os.environ.get("REPRO_SHARD_COUNTS", "1,2,4").split(",")
+    if count.strip()
+)
+
+
+def build_sharded_index(method, corpus, shard_count, cache_pages=512, **options):
+    """Like :func:`tests.helpers.build_index`, over a ShardedEnvironment."""
+    env = ShardedEnvironment(shard_count=shard_count, cache_pages=cache_pages)
+    index = create_index(method, env, DocumentStore(), **options)
+    for doc_id, terms, score in corpus:
+        index.add_document(doc_id, score, terms=terms)
+    index.finalize()
+    return index
+
+
+def _logical_contents(index) -> dict[str, list]:
+    """Every logical kv store of the index, merged across shards in key order."""
+    return {
+        name: list(index.env.kvstore(name).items())
+        for name in index.env.kvstore_names()
+    }
+
+
+def _mixed_storm(index, rng: random.Random, live: list[int],
+                 vocabulary: list[str], rounds: int = 6) -> None:
+    """Drive one index through a deterministic mixed workload.
+
+    ``rng`` must be freshly seeded per index so every copy sees the identical
+    operation sequence (the pattern of the batch-equivalence harness).
+    """
+    next_id = 900
+    for _round in range(rounds):
+        for _ in range(15):
+            doc_id = rng.choice(live)
+            index.update_score(doc_id, round(rng.uniform(0, 3000), 2))
+        batch = [
+            (rng.choice(live), round(rng.uniform(0, 3000), 2)) for _ in range(20)
+        ]
+        index.apply_batch(batch)
+        action = rng.random()
+        if action < 0.4:
+            next_id += 1
+            terms = [rng.choice(vocabulary) for _ in range(7)]
+            index.insert_document(next_id, terms, round(rng.uniform(0, 2000), 2))
+            live.append(next_id)
+        elif action < 0.7 and len(live) > 8:
+            victim = rng.choice(live)
+            index.delete_document(victim)
+            live.remove(victim)
+        else:
+            target = rng.choice(live)
+            terms = [rng.choice(vocabulary) for _ in range(7)]
+            index.update_content(target, terms)
+
+
+def _run_pair(method, seed, shard_count):
+    """Build (plain baseline, sharded) and push the same storm through both."""
+    corpus = make_corpus(random.Random(seed), num_docs=36, vocabulary=16,
+                         terms_per_doc=9)
+    vocabulary = [f"w{i:03d}" for i in range(16)]
+    baseline = build_index(method, corpus, **METHOD_OPTIONS[method])
+    sharded = build_sharded_index(method, corpus, shard_count,
+                                  **METHOD_OPTIONS[method])
+    for index in (baseline, sharded):
+        rng = random.Random(seed + 1)
+        live = [doc_id for doc_id, _t, _s in corpus]
+        _mixed_storm(index, rng, live, vocabulary)
+    return corpus, baseline, sharded
+
+
+@pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+@pytest.mark.parametrize("method", ALL_METHODS)
+@pytest.mark.parametrize("seed", UPDATE_STORM_SEEDS[:2])
+def test_contents_topk_and_stats_invariant(method, shard_count, seed):
+    """The core harness: same storm, N shards vs the classic engine."""
+    corpus, baseline, sharded = _run_pair(method, seed, shard_count)
+    assert _logical_contents(baseline) == _logical_contents(sharded)
+    assert baseline.update_stats == sharded.update_stats
+    rng = random.Random(seed + 2)
+    vocabulary = sorted({term for _d, terms, _s in corpus for term in terms})
+    for _ in range(10):
+        keywords = rng.sample(vocabulary, 2)
+        k = rng.choice([1, 3, 5, 10])
+        conjunctive = rng.random() < 0.5
+        assert (query_doc_scores(baseline, keywords, k, conjunctive)
+                == query_doc_scores(sharded, keywords, k, conjunctive))
+
+
+@pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+@pytest.mark.parametrize("method", SVR_ONLY_METHODS)
+def test_sharded_answers_match_reference(method, shard_count):
+    """Sharded top-k must also equal the brute-force ground truth."""
+    seed = UPDATE_STORM_SEEDS[2]
+    rng = random.Random(seed)
+    corpus = make_corpus(rng, num_docs=30, vocabulary=12, terms_per_doc=7)
+    index = build_sharded_index(method, corpus, shard_count,
+                                **METHOD_OPTIONS[method])
+    documents = {doc_id: set(terms) for doc_id, terms, _s in corpus}
+    scores = {doc_id: score for doc_id, _t, score in corpus}
+    for _ in range(120):
+        doc_id = rng.choice(list(scores))
+        new_score = round(rng.uniform(0, 4000), 2)
+        index.update_score(doc_id, new_score)
+        scores[doc_id] = new_score
+    vocabulary = sorted({term for terms in documents.values() for term in terms})
+    for _ in range(10):
+        keywords = rng.sample(vocabulary, 2)
+        expected = reference_top_k(documents, scores, set(), keywords, 5, True)
+        assert query_doc_scores(index, keywords, 5) == expected
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_shard_count_one_is_physically_identical(method):
+    """The fidelity guarantee: one shard == the classic engine, page for page.
+
+    Covers counters in every accounting category *and* the raw page bytes, so
+    the routing layer provably adds nothing — not even a reordered access.
+    """
+    if 1 not in SHARD_COUNTS:
+        pytest.skip("shard count 1 not selected via REPRO_SHARD_COUNTS")
+    seed = UPDATE_STORM_SEEDS[3]
+    _corpus, baseline, sharded = _run_pair(method, seed, shard_count=1)
+    single = sharded.env.shards[0]
+    assert category_fingerprint(baseline.env) == category_fingerprint(single)
+    assert disk_page_bytes(baseline.env) == disk_page_bytes(single)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_docs=st.integers(min_value=6, max_value=24),
+    shard_count=st.integers(min_value=1, max_value=5),
+    storm_length=st.integers(min_value=0, max_value=60),
+)
+def test_property_sharding_never_changes_state(seed, num_docs, shard_count,
+                                               storm_length):
+    """Property: for any corpus, storm and shard count, logical state is
+    invariant (run on the stateful-threshold methods, where bookkeeping
+    interacts with routing the most)."""
+    rng = random.Random(seed)
+    corpus = make_corpus(rng, num_docs=num_docs, vocabulary=8, terms_per_doc=5)
+    doc_ids = [doc_id for doc_id, _t, _s in corpus]
+    storm = [
+        (rng.choice(doc_ids), round(rng.uniform(0, 2500), 2))
+        for _ in range(storm_length)
+    ]
+    for method in ("score_threshold", "chunk"):
+        baseline = build_index(method, corpus, **METHOD_OPTIONS[method])
+        sharded = build_sharded_index(method, corpus, shard_count,
+                                      **METHOD_OPTIONS[method])
+        for index in (baseline, sharded):
+            for start in range(0, len(storm), 16):
+                index.apply_batch(storm[start:start + 16])
+        assert _logical_contents(baseline) == _logical_contents(sharded)

@@ -87,3 +87,32 @@ def query_doc_scores(index: InvertedIndex, keywords: Sequence[str], k: int,
     """Run a query and return (doc_id, score) pairs for comparison with the reference."""
     response = index.query(keywords, k=k, conjunctive=conjunctive)
     return [(result.doc_id, result.score) for result in response.results]
+
+
+def category_fingerprint(env: StorageEnvironment) -> dict:
+    """Every buffer-pool and disk accounting category of one environment.
+
+    Shared by the sharding fidelity tests: two engines are only
+    fingerprint-identical when every one of these counters matches.
+    """
+    pool, disk = env.pool.stats, env.disk.stats
+    return {
+        "hits": pool.hits, "misses": pool.misses, "evictions": pool.evictions,
+        "dirty_writebacks": pool.dirty_writebacks,
+        "reads": disk.reads, "writes": disk.writes,
+        "random_reads": disk.random_reads,
+        "sequential_reads": disk.sequential_reads,
+        "bytes_read": disk.bytes_read, "bytes_written": disk.bytes_written,
+    }
+
+
+def disk_page_bytes(env: StorageEnvironment) -> dict[int, bytes]:
+    """Every on-disk page's payload bytes (flushing frames first so dirty
+    decoded nodes materialise)."""
+    env.pool.flush()
+    disk = env.disk
+    return {
+        page_id: disk.peek(page_id).data
+        for page_id in range(disk._next_page_id)
+        if disk.contains(page_id)
+    }

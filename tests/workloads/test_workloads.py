@@ -6,11 +6,18 @@ from collections import Counter
 import pytest
 
 from repro.errors import WorkloadError
+from repro.core.text_index import SVRTextIndex
 from repro.relational.database import Database
 from repro.workloads.archive import ArchiveConfig, InternetArchiveDataset
-from repro.workloads.queries import QueryWorkload, QueryWorkloadConfig
+from repro.workloads.multiclient import MultiClientConfig, MultiClientDriver
+from repro.workloads.queries import KeywordQuery, QueryWorkload, QueryWorkloadConfig
 from repro.workloads.synthetic import SyntheticCorpusConfig, generate_corpus, term_name
-from repro.workloads.updates import UpdateWorkload, UpdateWorkloadConfig, apply_updates
+from repro.workloads.updates import (
+    ScoreUpdate,
+    UpdateWorkload,
+    UpdateWorkloadConfig,
+    apply_updates,
+)
 from repro.workloads.zipf import ZipfSampler, zipf_scores
 
 
@@ -206,3 +213,98 @@ class TestArchiveDataset:
     def test_validation(self):
         with pytest.raises(WorkloadError):
             ArchiveConfig(num_movies=0)
+
+
+class TestMultiClientDriver:
+    def _traffic(self, seed=3, num_queries=12, num_updates=120):
+        rng = random.Random(seed)
+        vocab = [f"w{i:03d}" for i in range(14)]
+        queries = [
+            KeywordQuery(
+                keywords=tuple(rng.sample(vocab, 2)),
+                k=rng.choice([3, 5]),
+                conjunctive=rng.random() < 0.5,
+            )
+            for _ in range(num_queries)
+        ]
+        updates = [
+            ScoreUpdate(doc_id=rng.randrange(1, 30), delta=rng.uniform(-80, 80))
+            for _ in range(num_updates)
+        ]
+        return vocab, queries, updates
+
+    def _index(self, vocab, shards, seed=21):
+        index = SVRTextIndex(method="chunk", shards=shards, cache_pages=256,
+                             page_size=512, chunk_ratio=2.0, min_chunk_size=2)
+        rng = random.Random(seed)
+        for doc_id in range(1, 31):
+            terms = [rng.choice(vocab) for _ in range(8)]
+            index.add_document_terms(doc_id, terms, round(rng.uniform(0, 1000), 2))
+        index.finalize()
+        return index
+
+    def test_config_validation(self):
+        with pytest.raises(WorkloadError):
+            MultiClientConfig(num_clients=0)
+        with pytest.raises(WorkloadError):
+            MultiClientConfig(query_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            MultiClientConfig(batch_window=0)
+
+    def test_schedules_are_deterministic_and_cover_all_work(self):
+        _vocab, queries, updates = self._traffic()
+        config = MultiClientConfig(num_clients=3, batch_window=16, seed=5)
+        first = MultiClientDriver(config, queries, updates).client_schedules()
+        second = MultiClientDriver(config, queries, updates).client_schedules()
+        assert first == second
+        dealt_queries = [
+            op for ops in first for kind, op in ops if kind == "query"
+        ]
+        dealt_updates = [
+            update for ops in first for kind, op in ops if kind == "updates"
+            for update in op
+        ]
+        assert dealt_queries
+        assert Counter(map(repr, dealt_queries)) == Counter(map(repr, queries))
+        assert Counter(map(repr, dealt_updates)) == Counter(map(repr, updates))
+
+    def test_replay_counts_and_shard_report(self):
+        vocab, queries, updates = self._traffic()
+        index = self._index(vocab, shards=3)
+        config = MultiClientConfig(num_clients=4, batch_window=16, seed=7)
+        result = MultiClientDriver(config, queries, updates).run(index)
+        assert result.queries_run == len(queries)
+        assert result.updates_applied == len(updates)
+        assert len(result.clients) == 4
+        assert sum(client.queries for client in result.clients) == len(queries)
+        assert result.shard_load is not None
+        assert result.shard_load.shard_count == 3
+        assert result.operations == result.queries_run + result.update_windows
+        row = result.as_row()
+        assert row["shards"] == 3 and row["queries"] == len(queries)
+
+    def test_final_state_is_shard_invariant_under_mixed_traffic(self):
+        """The same interleaved traffic leaves 1-shard and 4-shard engines in
+        identical logical state — the sharded engine's acceptance property."""
+        vocab, queries, updates = self._traffic()
+        config = MultiClientConfig(num_clients=3, batch_window=8, seed=11)
+        indexes = [self._index(vocab, shards=shards) for shards in (1, 4)]
+        for index in indexes:
+            MultiClientDriver(config, queries, updates).run(index)
+        contents = [
+            {
+                name: list(index.env.kvstore(name).items())
+                for name in index.env.kvstore_names()
+            }
+            for index in indexes
+        ]
+        assert contents[0] == contents[1]
+        for keywords in (["w001", "w002"], ["w004"], ["w010", "w011"]):
+            answers = [
+                [
+                    (r.doc_id, r.score)
+                    for r in index.search(keywords, k=5, conjunctive=False).results
+                ]
+                for index in indexes
+            ]
+            assert answers[0] == answers[1]
