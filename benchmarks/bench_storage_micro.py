@@ -232,7 +232,7 @@ def bench_prefix_scan(docs: int, terms: int, **_: object) -> dict:
     return {"seconds": elapsed, "operations": operations}
 
 
-def _build_macro_index(shards: int, macro_docs: int):
+def _build_macro_index(shards: int, macro_docs: int, path: "str | None" = None):
     """A Chunk-method text index over a synthetic corpus (the macrobench rig)."""
     from repro.core.text_index import SVRTextIndex
     from repro.workloads.synthetic import SyntheticCorpusConfig, generate_corpus
@@ -245,7 +245,7 @@ def _build_macro_index(shards: int, macro_docs: int):
     )
     index = SVRTextIndex(
         method="chunk", shards=shards, cache_pages=4096, page_size=512,
-        chunk_ratio=2.2, min_chunk_size=10,
+        chunk_ratio=2.2, min_chunk_size=10, path=path,
     )
     for document in corpus.iter_documents():
         index.add_document_terms(document.doc_id, document.terms, document.score)
@@ -289,6 +289,45 @@ def bench_query_macro(macro_docs: int, **_: object) -> dict:
     return {"seconds": elapsed, "operations": operations}
 
 
+def bench_file_backed_query_macro(macro_docs: int, **_: object) -> dict:
+    """Cold-cache top-k queries through the durable file-backed engine.
+
+    The same rig as :func:`bench_query_macro`, but the index lives on a
+    :class:`~repro.storage.persistence.file_disk.FileBackedDisk`: the build is
+    checkpointed so the long-list pages reside in ``pages.dat``, and every
+    cold-cache query pays real file reads through the buffer pool.  The ratio
+    of this entry to ``query_macro`` is the end-to-end durability tax the
+    trajectory tracks (the simulated I/O counters are identical by
+    construction — only wall-clock differs).
+    """
+    import shutil
+    import tempfile
+
+    storage_dir = tempfile.mkdtemp(prefix="repro-bench-file-")
+    try:
+        index, corpus = _build_macro_index(
+            shards=1, macro_docs=macro_docs, path=storage_dir + "/index"
+        )
+        index.checkpoint()  # long lists now live in pages.dat, not the WAL
+        queries = _macro_queries(corpus)
+        for query in queries:  # warm the Score table / short lists
+            index.search(query.keywords, k=query.k, conjunctive=query.conjunctive)
+        rounds = 3
+        operations = 0
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for query in queries:
+                index.drop_long_list_cache()
+                index.search(query.keywords, k=query.k,
+                             conjunctive=query.conjunctive)
+                operations += 1
+        elapsed = time.perf_counter() - start
+        index.close()
+    finally:
+        shutil.rmtree(storage_dir, ignore_errors=True)
+    return {"seconds": elapsed, "operations": operations}
+
+
 def bench_sharded_query_throughput(macro_docs: int, **_: object) -> dict:
     """Mixed multi-client traffic against the 4-shard term-partitioned engine.
 
@@ -329,6 +368,7 @@ BENCHES = {
     "decode_chunk_list": bench_decode_chunk_list,
     "prefix_scan": bench_prefix_scan,
     "query_macro": bench_query_macro,
+    "file_backed_query_macro": bench_file_backed_query_macro,
     "sharded_query_throughput": bench_sharded_query_throughput,
 }
 

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Durable SVR index: build, commit, crash, and recover.
+
+The paper's experiments ran on a disk-resident BerkeleyDB engine; with
+``path=`` the reproduction does too — pages live in one paged file behind a
+write-ahead log, and the index survives a process exit (or a crash).  This
+example builds a small durable index, commits an update batch, simulates a
+crash that loses an uncommitted update, and reopens the index to show that
+recovery lands exactly on the committed state.
+
+Run with:  python examples/persistent_index.py
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+from repro import SVRTextIndex
+
+
+def main() -> None:
+    directory = tempfile.mkdtemp(prefix="svr-durable-")
+    path = f"{directory}/index"
+    try:
+        # Build a durable index: identical API, identical I/O accounting —
+        # only the backing store changes.
+        index = SVRTextIndex(method="chunk", path=path,
+                             chunk_ratio=3.0, min_chunk_size=2)
+        movies = {
+            1: ("American Thrift, crossing the golden gate bridge", 870.0),
+            2: ("Amateur film about the golden gate and the fog", 12.0),
+            3: ("Golden sunset over the gate tower, restored footage", 95.0),
+        }
+        for doc_id, (description, popularity) in movies.items():
+            index.add_document(doc_id, description, score=popularity)
+        index.finalize()
+
+        # A batch of score updates, group-committed in one fsync.
+        index.apply_score_updates([(2, 990.0)])
+        index.commit()
+
+        # One more update that never commits — then the process "dies".
+        index.update_score(3, 5000.0)
+        index.crash()
+
+        # Recovery replays the write-ahead log to the last committed batch.
+        with SVRTextIndex.open(path) as recovered:
+            print("After crash recovery:")
+            print(f"  movie 2 score: {recovered.current_score(2)}  "
+                  "(committed update survived)")
+            print(f"  movie 3 score: {recovered.current_score(3)}  "
+                  "(uncommitted update rolled away)")
+            print("Ranking for 'golden gate':")
+            for result in recovered.search("golden gate", k=3).results:
+                print(f"  movie {result.doc_id}   score={result.score:8.1f}")
+        # close() checkpointed on the way out: the WAL is folded into the
+        # paged file and the next open needs no replay at all.
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

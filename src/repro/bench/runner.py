@@ -29,7 +29,6 @@ from repro.workloads.updates import (
     UpdateWorkload,
     UpdateWorkloadConfig,
     resolve_batch,
-    window_updates,
 )
 
 
@@ -149,13 +148,72 @@ class ExperimentRunner:
     that many environments (the total ``cache_pages`` budget is split across
     their buffer pools) and experiment metrics additionally record per-shard
     load skew.
+
+    ``backend`` selects where pages live: ``"memory"`` (the default) keeps
+    the seed engine; ``"file"`` builds every index on a
+    :class:`~repro.storage.persistence.file_disk.FileBackedDisk` under
+    ``storage_dir`` (a fresh temporary directory when omitted).  The two
+    backends share the accounting code, so experiment I/O numbers are
+    identical — the file backend exists so full-corpus runs fit in RAM and
+    restart workloads have something to restart.
     """
 
     def __init__(self, scale: BenchScale | None = None,
-                 corpus: SyntheticCorpus | None = None, shards: int = 1) -> None:
+                 corpus: SyntheticCorpus | None = None, shards: int = 1,
+                 backend: str = "memory", storage_dir: str | None = None) -> None:
+        if backend not in ("memory", "file"):
+            raise ValueError(f"backend must be 'memory' or 'file', got {backend!r}")
         self.scale = scale if scale is not None else BenchScale.small()
         self.corpus = corpus if corpus is not None else generate_corpus(self.scale.corpus)
         self.shards = shards
+        self.backend = backend
+        self.storage_dir = storage_dir
+        self._owns_storage_dir = False
+        self._build_counter = 0
+        self._built_indexes: list[SVRTextIndex] = []
+
+    def _next_index_path(self) -> str | None:
+        """A fresh directory for the next file-backed index build."""
+        if self.backend != "file":
+            return None
+        import os
+        import shutil
+        import tempfile
+        import weakref
+
+        if self.storage_dir is None:
+            self.storage_dir = tempfile.mkdtemp(prefix="repro-bench-")
+            self._owns_storage_dir = True
+            # GC fallback: a runner abandoned without cleanup() must not
+            # strand full index images under the temp root.
+            weakref.finalize(self, shutil.rmtree, self.storage_dir,
+                             ignore_errors=True)
+        self._build_counter += 1
+        return os.path.join(self.storage_dir, f"index-{self._build_counter:04d}")
+
+    def cleanup(self) -> None:
+        """Close every index this runner built and drop its own temp storage.
+
+        File-backed sweeps build one durable index per method; this releases
+        their page-file/WAL handles deterministically and removes the
+        runner-created directory (a caller-supplied ``storage_dir`` is left
+        alone).  Safe to call repeatedly; a no-op on the memory backend.
+        """
+        import shutil
+
+        for index in self._built_indexes:
+            index.close()
+        self._built_indexes.clear()
+        if self._owns_storage_dir and self.storage_dir is not None:
+            shutil.rmtree(self.storage_dir, ignore_errors=True)
+            self.storage_dir = None
+            self._owns_storage_dir = False
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cleanup()
 
     # -- building --------------------------------------------------------------
 
@@ -166,8 +224,11 @@ class ExperimentRunner:
             options.setdefault("min_chunk_size", self.scale.min_chunk_size)
         index = SVRTextIndex(
             method=setup.method, cache_pages=self.scale.cache_pages,
-            page_size=self.scale.page_size, shards=self.shards, **options
+            page_size=self.scale.page_size, shards=self.shards,
+            path=self._next_index_path(), **options
         )
+        if self.backend == "file":
+            self._built_indexes.append(index)
         start = time.perf_counter()
         for document in self.corpus.iter_documents():
             index.add_document_terms(document.doc_id, document.terms, document.score)
@@ -229,7 +290,12 @@ class ExperimentRunner:
     def apply_updates_batched(self, index: SVRTextIndex,
                               updates: Iterable[ScoreUpdate],
                               batch_size: int = 256,
-                              label: str = "batched-updates") -> OperationMetrics:
+                              label: str = "batched-updates",
+                              adaptive: bool = False,
+                              min_batch: int = 32,
+                              max_batch: int = 4096,
+                              grow_hit_rate: float = 0.85,
+                              shrink_hit_rate: float = 0.55) -> OperationMetrics:
         """Apply a score-update stream in windows through ``apply_score_updates``.
 
         Each window is resolved to absolute scores against the index's current
@@ -237,10 +303,27 @@ class ExperimentRunner:
         update* (the measured wall time and I/O of a window are spread over
         its updates), so ``avg_wall_ms`` is directly comparable with
         :meth:`apply_updates`.
+
+        With ``adaptive=True`` (off by default) the window size follows the
+        buffer pool's windowed hit rate — the signal
+        :meth:`repro.storage.buffer_pool.BufferPool.hit_rate` exposes for the
+        lifetime counters, computed here per window from the measured I/O
+        delta.  A window whose working set stayed cache-resident (hit rate >=
+        ``grow_hit_rate``) doubles the next window, amortising more descents
+        per leaf run; a window that thrashed (< ``shrink_hit_rate``) halves
+        it, bounding the write burst to what the cache absorbs.  The final
+        window lands in ``metrics.extra["batch_window"]``.
         """
+        from itertools import islice
+
         metrics = OperationMetrics(label=label)
         meter = MeteredEnvironment(index.env)
-        for batch in window_updates(updates, batch_size):
+        stream = iter(updates)
+        window = batch_size
+        while True:
+            batch = list(islice(stream, window))
+            if not batch:
+                break
             touched = {update.doc_id for update in batch}
             current = {
                 doc_id: score
@@ -254,6 +337,17 @@ class ExperimentRunner:
             with meter.measure(batch_metrics):
                 index.apply_score_updates(resolved)
             metrics.record_spread(batch_metrics, operations=len(resolved))
+            if adaptive:
+                # pages_read counts the window's pool misses; together with
+                # pool_hits this is the windowed form of BufferPool.hit_rate.
+                accesses = batch_metrics.pool_hits + batch_metrics.pages_read
+                if accesses:
+                    rate = batch_metrics.pool_hits / accesses
+                    if rate >= grow_hit_rate:
+                        window = min(max_batch, window * 2)
+                    elif rate < shrink_hit_rate:
+                        window = max(min_batch, window // 2)
+        metrics.extra["batch_window"] = float(window)
         return metrics
 
     def run_queries(self, index: SVRTextIndex, queries: Sequence[KeywordQuery],

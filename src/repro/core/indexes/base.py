@@ -23,7 +23,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
-from repro.errors import DocumentNotFoundError, InvertedIndexError, QueryError
+from repro.errors import DocumentNotFoundError, InvertedIndexError, QueryError, StorageError
 from repro.storage.environment import StorageEnvironment
 from repro.storage.sharding import ShardedEnvironment, ShardedKVStore
 from repro.text.documents import Document, DocumentStore
@@ -139,13 +139,31 @@ class InvertedIndex(abc.ABC):
         (short lists, delta lists, clustered score lists, fancy lists) and
         ``"doc"`` for stores keyed by document id (Score, deleted,
         ListScore/ListChunk bookkeeping).
+
+        On an environment rebuilt by crash recovery the store already exists
+        (restored from the durability catalog); the index attaches to it
+        instead of creating a fresh one.
         """
+        if getattr(self.env, "recovered", False):
+            try:
+                return self.env.kvstore(name)
+            except StorageError:
+                pass
         if isinstance(self.env, ShardedEnvironment):
             return self.env.create_kvstore(name, key_shard=key_shard)
         return self.env.create_kvstore(name)
 
     def _create_heapfile(self, name: str, key_shard: str = "term"):
-        """Create a heap file, with per-term segment routing when sharded."""
+        """Create a heap file, with per-term segment routing when sharded.
+
+        Attaches to the restored heap file on a recovered environment, like
+        :meth:`_create_kvstore`.
+        """
+        if getattr(self.env, "recovered", False):
+            try:
+                return self.env.heapfile(name)
+            except StorageError:
+                pass
         if isinstance(self.env, ShardedEnvironment):
             return self.env.create_heapfile(name, key_shard=key_shard)
         return self.env.create_heapfile(name)

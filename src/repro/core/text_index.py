@@ -12,16 +12,38 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
-from repro.errors import QueryError
+from repro.errors import QueryError, StorageError
 from repro.core.index_router import IndexRouter
 from repro.core.indexes.base import InvertedIndex, QueryResponse
 from repro.core.indexes.registry import create_index
 from repro.storage.environment import StorageEnvironment
-from repro.storage.sharding import ShardedEnvironment, ShardLoad
+from repro.storage.heap_file import HeapFile
+from repro.storage.kvstore import KVStore
+from repro.storage.sharding import ShardedEnvironment, ShardedHeapFile, ShardedKVStore, ShardLoad
 from repro.text.analyzer import Analyzer
 from repro.text.dictionary import TermDictionary
 from repro.text.documents import DocumentStore
 from repro.text.termscore import TermScorer
+
+#: Attribute types excluded from the durability blob: stores are restored from
+#: the storage catalog, not pickled through the application state.
+_STORE_TYPES = (KVStore, HeapFile, ShardedKVStore, ShardedHeapFile)
+
+
+def _capture_index_state(index: InvertedIndex) -> dict[str, Any]:
+    """The method object's picklable, non-storage attributes.
+
+    Everything an index method keeps outside the storage engine — segment
+    handle maps, chunk maps, thresholds, update statistics, the finalized
+    flag — rides in the commit record's application blob and is restored
+    with ``setattr`` after the method is re-instantiated over the recovered
+    stores.
+    """
+    return {
+        key: value
+        for key, value in vars(index).items()
+        if key not in ("env", "documents") and not isinstance(value, _STORE_TYPES)
+    }
 
 
 class SVRTextIndex:
@@ -48,6 +70,12 @@ class SVRTextIndex:
         single-environment engine; larger counts build a
         :class:`~repro.storage.sharding.ShardedEnvironment` whose total cache
         budget is still ``cache_pages``.
+    path:
+        Optional directory for a durable index: pages live in one file-backed
+        environment (or one per shard) with a write-ahead log, and
+        :meth:`commit`/:meth:`checkpoint`/:meth:`close` provide the durability
+        boundaries.  Use :meth:`open` to recover an existing directory — the
+        constructor refuses one that already holds an index.
     method_options:
         Extra keyword arguments forwarded to the index method's constructor
         (``chunk_ratio``, ``threshold_ratio``, ``term_weight``, ``fancy_size`` ...).
@@ -57,23 +85,134 @@ class SVRTextIndex:
                  env: "StorageEnvironment | ShardedEnvironment | None" = None,
                  analyzer: Analyzer | None = None, name: str = "svr",
                  cache_pages: int = 4096, page_size: int = 4096,
-                 shards: int = 1, **method_options: Any) -> None:
+                 shards: int = 1, path: str | None = None,
+                 **method_options: Any) -> None:
         if env is None:
+            if path is not None:
+                from repro.storage.persistence import is_environment_dir
+                import os
+
+                if os.path.isdir(path) and is_environment_dir(path):
+                    raise StorageError(
+                        f"{path!r} already holds a persistent index; "
+                        "use SVRTextIndex.open() to recover it"
+                    )
             if shards <= 1:
-                env = StorageEnvironment(cache_pages=cache_pages, page_size=page_size)
+                env = StorageEnvironment(
+                    cache_pages=cache_pages, page_size=page_size, path=path
+                )
             else:
                 env = ShardedEnvironment(
-                    shard_count=shards, cache_pages=cache_pages, page_size=page_size
+                    shard_count=shards, cache_pages=cache_pages,
+                    page_size=page_size, path=path,
                 )
+        elif path is not None:
+            raise StorageError("pass either env= or path=, not both")
         self.env = env
         self.analyzer = analyzer if analyzer is not None else Analyzer()
         self.documents = DocumentStore()
         self.dictionary = TermDictionary()
         self.term_scorer = TermScorer(self.documents, self.dictionary)
+        self._method_options = dict(method_options)
+        self._name = name
         self.index: InvertedIndex = create_index(
             method, self.env, self.documents, name=name, **method_options
         )
         self.router = IndexRouter(self.index)
+
+    # -- durability ---------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str, cache_pages: int | None = None) -> "SVRTextIndex":
+        """Recover a durable index to its last committed batch boundary.
+
+        Replays each environment's write-ahead log onto its paged file,
+        restores the stores from the storage catalog and the text-layer state
+        (documents, dictionary, analyzer, method bookkeeping) from the
+        application blob committed with that batch.  Contents and top-k
+        answers equal exactly the state at the last :meth:`commit` (or
+        :meth:`checkpoint`/:meth:`close`) — uncommitted work is gone.
+        """
+        from repro.storage.persistence import open_any_environment
+
+        env = open_any_environment(path, cache_pages=cache_pages)
+        blob = env.recovered_app_state
+        if not isinstance(blob, dict) or blob.get("kind") != "svr-text-index":
+            raise StorageError(
+                f"{path!r} holds no SVRTextIndex application state; "
+                "was the environment committed through the index facade?"
+            )
+        self = cls.__new__(cls)
+        self.env = env
+        self.analyzer = blob["analyzer"]
+        self.documents = blob["documents"]
+        self.dictionary = blob["dictionary"]
+        self.term_scorer = TermScorer(self.documents, self.dictionary)
+        self._method_options = dict(blob["options"])
+        self._name = blob["name"]
+        self.index = create_index(
+            blob["method"], env, self.documents, name=blob["name"],
+            **blob["options"]
+        )
+        for key, value in blob["index_state"].items():
+            setattr(self.index, key, value)
+        self.router = IndexRouter(self.index)
+        return self
+
+    @property
+    def durable(self) -> bool:
+        """Whether the index persists to files."""
+        return getattr(self.env, "durable", False)
+
+    def _app_blob(self) -> dict[str, Any]:
+        return {
+            "kind": "svr-text-index",
+            "version": 1,
+            "method": self.index.method_name,
+            "options": self._method_options,
+            "name": self._name,
+            "analyzer": self.analyzer,
+            "documents": self.documents,
+            "dictionary": self.dictionary,
+            "index_state": _capture_index_state(self.index),
+        }
+
+    def commit(self) -> int:
+        """Group-commit everything since the last durability boundary.
+
+        On a memory-backed index this only flushes the buffer pool (charged
+        identically on every backend, keeping I/O fingerprints comparable).
+        Returns the committed batch id.
+        """
+        app = self._app_blob() if self.durable else None
+        return self.env.commit(app_state=app)
+
+    def checkpoint(self) -> int:
+        """Commit, then fold the write-ahead log into the paged file(s)."""
+        app = self._app_blob() if self.durable else None
+        return self.env.checkpoint(app_state=app)
+
+    def close(self) -> None:
+        """Checkpoint (when durable) and release all file handles, idempotently."""
+        app = self._app_blob() if self.durable and not self.env.closed else None
+        self.env.close(app_state=app)
+
+    def crash(self) -> None:
+        """Simulate a crash: drop file handles, committing nothing.
+
+        Everything since the last :meth:`commit` is lost; :meth:`open`
+        recovers the committed prefix.
+        """
+        self.env.crash()
+
+    def __enter__(self) -> "SVRTextIndex":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None and self.durable:
+            self.crash()
+        else:
+            self.close()
 
     # -- convenience properties ---------------------------------------------------
 

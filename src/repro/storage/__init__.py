@@ -33,6 +33,13 @@ from repro.storage.environment import StorageEnvironment
 from repro.storage.heap_file import HeapFile, SegmentHandle
 from repro.storage.kvstore import Cursor, KVStore
 from repro.storage.pager import PAGE_SIZE, Page
+from repro.storage.persistence import (
+    FileBackedDisk,
+    WriteAheadLog,
+    open_any_environment,
+    open_environment,
+    open_sharded_environment,
+)
 from repro.storage.sharding import (
     ShardedEnvironment,
     ShardedHeapFile,
@@ -57,6 +64,11 @@ __all__ = [
     "KVStore",
     "Cursor",
     "StorageEnvironment",
+    "FileBackedDisk",
+    "WriteAheadLog",
+    "open_environment",
+    "open_sharded_environment",
+    "open_any_environment",
     "ShardedEnvironment",
     "ShardedKVStore",
     "ShardedHeapFile",

@@ -200,6 +200,40 @@ class BPlusTree:
         self._root_id = root.page_id
         self._write_node(root)
 
+    # -- persistence ---------------------------------------------------------
+
+    def state(self) -> dict:
+        """The tree's non-page state, as stored in a durability catalog.
+
+        Everything else a tree is lives in its pages; this dict plus the page
+        contents is enough for :meth:`attach` to rebuild an equivalent tree.
+        """
+        return {
+            "order": self.order,
+            "unique": self.unique,
+            "root_id": self._root_id,
+            "size": self._size,
+        }
+
+    @classmethod
+    def attach(cls, buffer_pool: BufferPool, state: dict,
+               name: str = "btree") -> "BPlusTree":
+        """Rebuild a tree around existing pages (checkpoint/WAL recovery).
+
+        Unlike the constructor, no root page is allocated — the tree adopts
+        the root recorded in ``state`` and reads its nodes from the buffer
+        pool on demand.
+        """
+        tree = cls.__new__(cls)
+        tree.pool = buffer_pool
+        tree.order = state["order"]
+        tree.name = name
+        tree.unique = state["unique"]
+        tree._size = state["size"]
+        tree._split_threshold = split_threshold(buffer_pool.disk.page_size)
+        tree._root_id = state["root_id"]
+        return tree
+
     # -- public API ----------------------------------------------------------
 
     def __len__(self) -> int:

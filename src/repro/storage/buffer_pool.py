@@ -190,6 +190,15 @@ class BufferPool:
         """Whether the page is currently cached (does not update LRU order)."""
         return page_id in self._frames
 
+    def hit_rate(self) -> float:
+        """Lifetime fraction of requests served from the cache (0.0 when unused).
+
+        The adaptive batch-window sizing in the experiment runner reads this
+        (or a windowed delta of the same counters) to decide whether the
+        working set of a batch still fits the cache.
+        """
+        return self.stats.hit_rate
+
     @property
     def cached_pages(self) -> int:
         """Number of pages currently resident."""

@@ -122,6 +122,14 @@ class SimulatedDisk:
     previously accessed page id is counted as sequential, everything else as
     random.  Higher layers (buffer pool, heap files, B+-trees) never bypass
     this interface, so the counters capture all simulated I/O.
+
+    The *accounting* logic lives entirely in the public methods; where the
+    page payloads actually reside is delegated to the ``_backend_*`` hooks.
+    The default hooks keep pages in a dict;
+    :class:`~repro.storage.persistence.file_disk.FileBackedDisk` overrides
+    them to store pages in a single paged file behind a write-ahead log.
+    Because every backend shares this class's accounting code, the per-category
+    counters of a workload are identical whichever backend runs it.
     """
 
     page_size: int = PAGE_SIZE
@@ -130,11 +138,44 @@ class SimulatedDisk:
     _next_page_id: int = 0
     _last_accessed: int | None = field(default=None)
 
+    # -- storage backend hooks ------------------------------------------------
+
+    def _backend_create(self, page_id: int) -> None:
+        """Register a freshly allocated empty page with the backend."""
+        self._pages[page_id] = Page(page_id=page_id, capacity=self.page_size)
+
+    def _backend_fetch(self, page_id: int) -> "Page | None":
+        """Return an independent copy of a page, or ``None`` when absent."""
+        page = self._pages.get(page_id)
+        return page.copy() if page is not None else None
+
+    def _backend_store(self, page: Page) -> None:
+        """Persist an already-detached, materialized page copy."""
+        self._pages[page.page_id] = page
+
+    def _backend_discard(self, page_id: int) -> None:
+        """Drop a page from the backend (missing ids are ignored)."""
+        self._pages.pop(page_id, None)
+
+    def _backend_contains(self, page_id: int) -> bool:
+        """Whether the backend holds the given page id."""
+        return page_id in self._pages
+
+    def _backend_page_count(self) -> int:
+        """Number of live pages in the backend."""
+        return len(self._pages)
+
+    def _backend_used_bytes(self) -> int:
+        """Total payload bytes stored across all live pages."""
+        return sum(page.size for page in self._pages.values())
+
+    # -- public API -----------------------------------------------------------
+
     def allocate(self) -> int:
         """Allocate a new empty page and return its id (counts as a write)."""
         page_id = self._next_page_id
         self._next_page_id += 1
-        self._pages[page_id] = Page(page_id=page_id, capacity=self.page_size)
+        self._backend_create(page_id)
         self.stats.writes += 1
         self._last_accessed = page_id
         return page_id
@@ -147,7 +188,7 @@ class SimulatedDisk:
 
     def read(self, page_id: int) -> Page:
         """Read a page, returning a copy so callers cannot mutate disk state."""
-        page = self._pages.get(page_id)
+        page = self._backend_fetch(page_id)
         if page is None:
             raise PageNotFoundError(f"page {page_id} does not exist")
         self.stats.reads += 1
@@ -157,7 +198,7 @@ class SimulatedDisk:
         else:
             self.stats.random_reads += 1
         self._last_accessed = page_id
-        return page.copy()
+        return page
 
     def peek(self, page_id: int) -> Page:
         """Read a page without charging any I/O accounting.
@@ -166,43 +207,43 @@ class SimulatedDisk:
         path so they neither perturb the access counters nor the sequential/
         random classification of the measured workload.
         """
-        page = self._pages.get(page_id)
+        page = self._backend_fetch(page_id)
         if page is None:
             raise PageNotFoundError(f"page {page_id} does not exist")
-        return page.copy()
+        return page
 
     def write(self, page: Page) -> None:
         """Write a page back to disk (serialising any dirty decoded object)."""
-        if page.page_id not in self._pages:
+        if not self._backend_contains(page.page_id):
             raise PageNotFoundError(f"page {page.page_id} does not exist")
         stored = page.copy()
         stored.dirty = False
-        self._pages[page.page_id] = stored
+        self._backend_store(stored)
         self.stats.writes += 1
         self.stats.bytes_written += self.page_size
         self._last_accessed = page.page_id
 
     def free(self, page_id: int) -> None:
         """Remove a page from the disk (no accounting cost)."""
-        self._pages.pop(page_id, None)
+        self._backend_discard(page_id)
 
     def contains(self, page_id: int) -> bool:
         """Whether the given page id exists."""
-        return page_id in self._pages
+        return self._backend_contains(page_id)
 
     @property
     def page_count(self) -> int:
         """Number of pages currently allocated."""
-        return len(self._pages)
+        return self._backend_page_count()
 
     @property
     def size_bytes(self) -> int:
         """Total allocated capacity in bytes."""
-        return len(self._pages) * self.page_size
+        return self._backend_page_count() * self.page_size
 
     def used_bytes(self) -> int:
         """Total payload bytes actually stored across all pages."""
-        return sum(page.size for page in self._pages.values())
+        return self._backend_used_bytes()
 
     def estimated_cost_ms(self, model: DiskCostModel | None = None) -> float:
         """Estimated elapsed milliseconds for all activity so far."""

@@ -4,13 +4,27 @@ A :class:`StorageEnvironment` plays the role of a BerkeleyDB environment in
 the paper's implementation: one page cache shared by every table and index,
 plus a catalogue of named stores.  Experiments grab I/O snapshots from here to
 attribute page reads/writes to individual operations.
+
+With ``path=`` the environment becomes durable: pages live in a
+:class:`~repro.storage.persistence.file_disk.FileBackedDisk` (one paged file
+plus a write-ahead log) with **identical accounting**, :meth:`commit` group-
+commits a batch of work, :meth:`checkpoint` folds the log into the paged file,
+and :func:`repro.storage.persistence.open_environment` recovers the
+environment — stores included — to the last committed batch boundary after a
+crash.  Setting ``REPRO_BACKEND=file`` in the process environment routes
+every ``path``-less environment onto a fresh file-backed directory (under
+``REPRO_BACKEND_DIR`` when set), which is how CI runs the whole test suite
+against the durable engine.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass
+from typing import Any
 
-from repro.errors import StorageError
+from repro.errors import StorageError, StoreClosedError
 from repro.storage.buffer_pool import BufferPool, BufferPoolStats
 from repro.storage.disk import DiskCostModel, DiskStats, SimulatedDisk
 from repro.storage.heap_file import HeapFile
@@ -57,6 +71,16 @@ class IODelta:
         return (model or DiskCostModel()).cost_ms(self.disk)
 
 
+def _backend_path_from_environ() -> str | None:
+    """A fresh file-backend directory when ``REPRO_BACKEND=file`` is set."""
+    if os.environ.get("REPRO_BACKEND", "").lower() != "file":
+        return None
+    root = os.environ.get("REPRO_BACKEND_DIR") or None
+    if root is not None:
+        os.makedirs(root, exist_ok=True)
+    return tempfile.mkdtemp(prefix="repro-env-", dir=root)
+
+
 class StorageEnvironment:
     """One simulated disk + buffer pool and a catalogue of named stores.
 
@@ -68,18 +92,186 @@ class StorageEnvironment:
         corpus.
     page_size:
         Page size in bytes.
+    path:
+        Optional directory for a durable, file-backed environment.  ``None``
+        keeps the memory-backed engine (unless ``REPRO_BACKEND=file`` routes
+        it onto a temporary file-backed directory).  Accounting is identical
+        either way.
     """
 
-    def __init__(self, cache_pages: int = 4096, page_size: int = PAGE_SIZE) -> None:
-        self.disk = SimulatedDisk(page_size=page_size)
+    def __init__(self, cache_pages: int = 4096, page_size: int = PAGE_SIZE,
+                 path: str | None = None) -> None:
+        if path is None:
+            path = _backend_path_from_environ()
+        if path is None:
+            self.disk: SimulatedDisk = SimulatedDisk(page_size=page_size)
+        else:
+            from repro.storage.persistence.file_disk import FileBackedDisk
+
+            self.disk = FileBackedDisk(path, page_size=page_size)
+        self.path = path
+        self.cache_pages = cache_pages
         self.pool = BufferPool(self.disk, capacity_pages=cache_pages)
         self._kvstores: dict[str, KVStore] = {}
         self._heapfiles: dict[str, HeapFile] = {}
+        self._closed = False
+        self._app_state: Any = None
+        #: True when this environment was rebuilt by ``open_environment``;
+        #: index constructors attach to the restored stores instead of
+        #: creating fresh ones.
+        self.recovered = False
+        if self.durable:
+            # An initial checkpoint makes the directory recoverable from the
+            # very first group commit (meta.pkl anchors the WAL replay).
+            self.checkpoint()
+
+    @classmethod
+    def from_recovery(cls, disk: Any, catalog: dict, path: str,
+                      cache_pages: int | None = None) -> "StorageEnvironment":
+        """Rebuild an environment around a recovered disk and its catalog.
+
+        Used by :func:`repro.storage.persistence.open_environment`; the page
+        cache starts cold and all statistics start at zero — counters describe
+        a process lifetime, not the lifetime of the data.
+        """
+        env = cls.__new__(cls)
+        env.disk = disk
+        env.path = path
+        env.cache_pages = cache_pages if cache_pages is not None else catalog["cache_pages"]
+        env.pool = BufferPool(disk, capacity_pages=env.cache_pages)
+        env._kvstores = {}
+        env._heapfiles = {}
+        env._closed = False
+        env._app_state = catalog.get("app")
+        env.recovered = True
+        env._restore_stores(catalog.get("stores", {}))
+        return env
+
+    # -- durability ---------------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """Whether this environment persists pages to files."""
+        return self.path is not None
+
+    @property
+    def recovered_app_state(self) -> Any:
+        """Application blob of the commit this environment was recovered to."""
+        return self._app_state
+
+    @property
+    def committed_batches(self) -> int:
+        """Number of group commits so far (0 for a memory environment)."""
+        return getattr(self.disk, "committed_batches", 0)
+
+    def _store_catalog(self) -> dict:
+        return {
+            "kv": {name: store.state() for name, store in self._kvstores.items()},
+            "heap": {name: heap.state() for name, heap in self._heapfiles.items()},
+        }
+
+    def _restore_stores(self, catalog: dict) -> None:
+        for name, state in catalog.get("kv", {}).items():
+            self._kvstores[name] = KVStore.attach(self.pool, name, state)
+        for name, state in catalog.get("heap", {}).items():
+            self._heapfiles[name] = HeapFile.attach(self.pool, name, state)
+
+    def _commit_payload(self, app_state: Any) -> dict:
+        return {
+            "stores": self._store_catalog(),
+            "app": app_state,
+            "cache_pages": self.cache_pages,
+            "page_size": self.disk.page_size,
+        }
+
+    def commit(self, app_state: Any = None) -> int:
+        """Group-commit the current batch of work (a durability boundary).
+
+        Flushes the buffer pool — which is charged identically on every
+        backend — and, on a durable environment, appends the batch's page
+        images plus a ``COMMIT`` record (carrying the store catalog and the
+        optional ``app_state`` blob) to the write-ahead log in one fsync.
+        After a crash, recovery lands exactly on the last committed boundary.
+
+        Returns the committed batch id (0 on a memory environment).
+        """
+        self._check_open()
+        if app_state is not None:
+            self._app_state = app_state
+        self.pool.flush()
+        if not self.durable:
+            return 0
+        return self.disk.commit_batch(self._commit_payload(self._app_state))
+
+    def checkpoint(self, app_state: Any = None) -> int:
+        """Commit, then fold the WAL into the paged file and truncate it.
+
+        A checkpoint bounds recovery time and the WAL's disk footprint; the
+        store catalog and application blob are rewritten atomically alongside.
+        No-op beyond the flush on a memory environment.
+        """
+        batch = self.commit(app_state=app_state)
+        if self.durable:
+            self.disk.checkpoint(self._commit_payload(self._app_state))
+        return batch
+
+    def close(self, app_state: Any = None) -> None:
+        """Checkpoint (when durable) and release every handle, idempotently.
+
+        Closing twice is fine; operations on a closed environment raise
+        :class:`~repro.errors.StoreClosedError`.
+        """
+        if self._closed:
+            return
+        if self.durable and not self.disk.closed:
+            self.checkpoint(app_state=app_state)
+            self.disk.close()
+        for store in self._kvstores.values():
+            store.close()
+        self._closed = True
+
+    def __enter__(self) -> "StorageEnvironment":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # After an exception the in-memory state may be mid-operation; a
+        # checkpoint would persist it as if committed.  Crash-close instead:
+        # the WAL guarantees recovery to the last commit.
+        if exc_type is not None and self.durable:
+            self.crash()
+        else:
+            self.close()
+
+    def crash(self) -> None:
+        """Simulate a crash: drop file handles without committing anything.
+
+        Work since the last :meth:`commit` is lost; recovery through
+        :func:`repro.storage.persistence.open_environment` replays the WAL to
+        the last committed batch boundary.  On a memory environment this just
+        marks the environment closed.
+        """
+        if self._closed:
+            return
+        if self.durable and not self.disk.closed:
+            self.disk.close()
+        for store in self._kvstores.values():
+            store.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` (or :meth:`crash`) has been called."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("the storage environment is closed")
 
     # -- store management -------------------------------------------------------
 
     def create_kvstore(self, name: str, order: int | None = None) -> KVStore:
         """Create (or raise if it exists) a named ordered key-value store."""
+        self._check_open()
         if name in self._kvstores or name in self._heapfiles:
             raise StorageError(f"store {name!r} already exists")
         store = KVStore(self.pool, name=name, order=order)
@@ -88,6 +280,7 @@ class StorageEnvironment:
 
     def create_heapfile(self, name: str) -> HeapFile:
         """Create (or raise if it exists) a named heap file."""
+        self._check_open()
         if name in self._kvstores or name in self._heapfiles:
             raise StorageError(f"store {name!r} already exists")
         heap = HeapFile(self.pool, name=name)

@@ -60,6 +60,30 @@ class HeapFile:
     _segments: dict[int, SegmentHandle] = field(default_factory=dict)
     _next_segment_id: int = 0
 
+    # -- persistence ---------------------------------------------------------
+
+    def state(self) -> dict:
+        """The heap file's non-page state for a durability catalog."""
+        return {
+            "segments": {
+                segment_id: (handle.page_ids, handle.length)
+                for segment_id, handle in self._segments.items()
+            },
+            "next_segment_id": self._next_segment_id,
+        }
+
+    @classmethod
+    def attach(cls, pool: BufferPool, name: str, state: dict) -> "HeapFile":
+        """Rebuild a heap file around existing pages (checkpoint/WAL recovery)."""
+        segments = {
+            segment_id: SegmentHandle(
+                segment_id=segment_id, page_ids=tuple(page_ids), length=length
+            )
+            for segment_id, (page_ids, length) in state["segments"].items()
+        }
+        return cls(pool, name=name, _segments=segments,
+                   _next_segment_id=state["next_segment_id"])
+
     def write(self, payload: bytes, key: object = None) -> SegmentHandle:
         """Store ``payload`` as a new immutable segment and return its handle.
 

@@ -121,6 +121,21 @@ class KVStore:
         self.tree = BPlusTree(buffer_pool, order=order, name=name)
         self._closed = False
 
+    # -- persistence ---------------------------------------------------------
+
+    def state(self) -> dict:
+        """The store's non-page state for a durability catalog."""
+        return self.tree.state()
+
+    @classmethod
+    def attach(cls, buffer_pool: BufferPool, name: str, state: dict) -> "KVStore":
+        """Rebuild a store around an existing tree (checkpoint/WAL recovery)."""
+        store = cls.__new__(cls)
+        store.name = name
+        store.tree = BPlusTree.attach(buffer_pool, state, name=name)
+        store._closed = False
+        return store
+
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:

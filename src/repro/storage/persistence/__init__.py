@@ -1,0 +1,53 @@
+"""Durable storage: file-backed paging, write-ahead logging, crash recovery.
+
+This package turns the memory-backed simulated storage engine into a real
+disk-resident one without changing a single accounting counter:
+
+* :class:`~repro.storage.persistence.file_disk.FileBackedDisk` — the exact
+  ``SimulatedDisk`` page API and per-category I/O accounting over one paged
+  file with a free-page bitmap.
+* :class:`~repro.storage.persistence.wal.WriteAheadLog` — page-granular redo
+  log with group-commit batching; the paged file always holds the last
+  checkpoint, everything since lives in the log.
+* :func:`~repro.storage.persistence.recovery.open_environment` /
+  :func:`~repro.storage.persistence.recovery.open_sharded_environment` —
+  replay the log's committed prefix and rebuild the environment (stores,
+  catalog, application blob) at the last committed batch boundary.
+
+See ARCHITECTURE.md § Persistence for the file layout, record format and the
+accounting-fidelity guarantee.
+"""
+
+from repro.storage.persistence.file_disk import (
+    DEFAULT_WAL_BUFFER_BYTES,
+    FileBackedDisk,
+    PageBitmap,
+)
+from repro.storage.persistence.recovery import (
+    is_environment_dir,
+    open_any_environment,
+    open_environment,
+    open_sharded_environment,
+)
+from repro.storage.persistence.wal import (
+    ReplayResult,
+    WalSlot,
+    WalStats,
+    WriteAheadLog,
+    replay,
+)
+
+__all__ = [
+    "DEFAULT_WAL_BUFFER_BYTES",
+    "FileBackedDisk",
+    "PageBitmap",
+    "ReplayResult",
+    "WalSlot",
+    "WalStats",
+    "WriteAheadLog",
+    "is_environment_dir",
+    "open_any_environment",
+    "open_environment",
+    "open_sharded_environment",
+    "replay",
+]

@@ -33,6 +33,8 @@ fingerprint-identical to the classic single-environment layout (pinned by
 from __future__ import annotations
 
 import heapq
+import os
+import pickle
 import zlib
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
@@ -76,6 +78,17 @@ _KEY_SHARD_POLICIES: dict[str, Callable[[Any, int], int]] = {
     "term": lambda key, count: shard_of_term(_first_component(key), count),
     "doc": lambda key, count: shard_of_doc(_first_component(key), count),
 }
+
+
+#: Root-level metadata file of a durable sharded environment.
+_REGISTRY_FILE = "sharded.pkl"
+
+
+def _shard_path(path: "str | None", index: int) -> "str | None":
+    """Per-shard directory inside a durable sharded environment's root."""
+    if path is None:
+        return None
+    return os.path.join(path, f"shard-{index:04d}")
 
 
 def _resolve_policy(key_shard: str) -> Callable[[Any, int], int]:
@@ -414,22 +427,146 @@ class ShardedEnvironment:
     """
 
     def __init__(self, shard_count: int = 1, cache_pages: int = 4096,
-                 page_size: int = PAGE_SIZE) -> None:
+                 page_size: int = PAGE_SIZE, path: str | None = None) -> None:
         if shard_count < 1:
             raise StorageError(f"shard_count must be at least 1, got {shard_count}")
         self.shard_count = shard_count
         self.cache_pages = cache_pages
         self.page_size = page_size
+        self.path = path
+        self.recovered = False
+        self._closed = False
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
         base, remainder = divmod(cache_pages, shard_count)
         self.shards = [
             StorageEnvironment(
                 cache_pages=max(1, base + (1 if index < remainder else 0)),
                 page_size=page_size,
+                path=_shard_path(path, index),
             )
             for index in range(shard_count)
         ]
         self._kvstores: dict[str, ShardedKVStore] = {}
         self._heapfiles: dict[str, ShardedHeapFile] = {}
+        #: Logical store registry: name -> (kind, key_shard, order).  Persisted
+        #: so recovery can rebuild the routing facades around the per-shard
+        #: stores each shard's own catalog restores.
+        self._store_policies: dict[str, tuple[str, str, "int | None"]] = {}
+        if path is not None:
+            self._write_registry()
+
+    # -- durability ---------------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """Whether the shards persist pages to files (one directory each)."""
+        return self.path is not None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def committed_batches(self) -> int:
+        """Group commits so far (shard 0 carries the commit point)."""
+        return self.shards[0].committed_batches
+
+    @property
+    def recovered_app_state(self) -> Any:
+        """Application blob recovered with shard 0's last commit."""
+        return self.shards[0].recovered_app_state
+
+    def _write_registry(self) -> None:
+        registry = {
+            "shard_count": self.shard_count,
+            "cache_pages": self.cache_pages,
+            "page_size": self.page_size,
+            "stores": {
+                name: {"kind": kind, "key_shard": key_shard, "order": order}
+                for name, (kind, key_shard, order) in self._store_policies.items()
+            },
+        }
+        tmp = os.path.join(self.path, _REGISTRY_FILE + ".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(registry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, os.path.join(self.path, _REGISTRY_FILE))
+
+    def commit(self, app_state: Any = None) -> int:
+        """Group-commit every shard; shard 0 (committed last) carries the blob.
+
+        Shard 0's ``COMMIT`` record is the batch's commit point: it is written
+        only after every other shard has durably committed, so recovering all
+        shards to their own last commit yields a consistent batch boundary
+        whenever the crash fell outside this fan-out window.  (A crash *inside*
+        the window can leave shards one batch apart — the restart workload
+        injects crashes between batches, where the boundary is exact.)
+        """
+        for shard in self.shards[1:]:
+            shard.commit()
+        return self.shards[0].commit(app_state=app_state)
+
+    def checkpoint(self, app_state: Any = None) -> int:
+        """Checkpoint every shard (commit, fold WAL into the paged file)."""
+        for shard in self.shards[1:]:
+            shard.checkpoint()
+        return self.shards[0].checkpoint(app_state=app_state)
+
+    def close(self, app_state: Any = None) -> None:
+        """Checkpoint (when durable) and close every shard, idempotently."""
+        if self._closed:
+            return
+        for shard in self.shards[1:]:
+            shard.close()
+        self.shards[0].close(app_state=app_state)
+        self._closed = True
+
+    def crash(self) -> None:
+        """Simulate a crash on every shard (nothing committed, handles dropped)."""
+        if self._closed:
+            return
+        for shard in self.shards:
+            shard.crash()
+        self._closed = True
+
+    def __enter__(self) -> "ShardedEnvironment":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None and self.durable:
+            self.crash()
+        else:
+            self.close()
+
+    @classmethod
+    def from_recovery(cls, path: str, shards: "list[StorageEnvironment]",
+                      registry: dict) -> "ShardedEnvironment":
+        """Rebuild a sharded environment around recovered per-shard environments."""
+        env = cls.__new__(cls)
+        env.shard_count = registry["shard_count"]
+        env.cache_pages = registry["cache_pages"]
+        env.page_size = registry["page_size"]
+        env.path = path
+        env.recovered = True
+        env._closed = False
+        env.shards = shards
+        env._kvstores = {}
+        env._heapfiles = {}
+        env._store_policies = {}
+        for name, spec in registry["stores"].items():
+            policy = _resolve_policy(spec["key_shard"])
+            count = env.shard_count
+            route = (lambda p: lambda key: p(key, count))(policy)
+            if spec["kind"] == "kv":
+                parts = [(shard, shard.kvstore(name)) for shard in shards]
+                env._kvstores[name] = ShardedKVStore(name, parts, route=route)
+            else:
+                parts = [(shard, shard.heapfile(name)) for shard in shards]
+                env._heapfiles[name] = ShardedHeapFile(name, parts, route=route)
+            env._store_policies[name] = (spec["kind"], spec["key_shard"], spec["order"])
+        return env
 
     # -- routing ---------------------------------------------------------------
 
@@ -453,6 +590,9 @@ class ShardedEnvironment:
         count = self.shard_count
         store = ShardedKVStore(name, parts, route=lambda key: policy(key, count))
         self._kvstores[name] = store
+        self._store_policies[name] = ("kv", key_shard, order)
+        if self.durable:
+            self._write_registry()
         return store
 
     def create_heapfile(self, name: str, key_shard: str = "term") -> ShardedHeapFile:
@@ -464,6 +604,9 @@ class ShardedEnvironment:
         count = self.shard_count
         heap = ShardedHeapFile(name, parts, route=lambda key: policy(key, count))
         self._heapfiles[name] = heap
+        self._store_policies[name] = ("heap", key_shard, None)
+        if self.durable:
+            self._write_registry()
         return heap
 
     def kvstore(self, name: str) -> ShardedKVStore:

@@ -12,6 +12,8 @@
   (Movies / Reviews / Statistics) with the paper's example SVR specification.
 * :mod:`repro.workloads.multiclient` — deterministic interleaved multi-client
   replay of mixed query/update traffic (the sharded-engine workload).
+* :mod:`repro.workloads.restart` — crash-storm / restart workloads against the
+  durable engine: kill mid-batch, recover, verify the committed prefix.
 """
 
 from repro.workloads.archive import ArchiveConfig, InternetArchiveDataset
@@ -21,6 +23,13 @@ from repro.workloads.multiclient import (
     MultiClientResult,
 )
 from repro.workloads.queries import KeywordQuery, QueryWorkload, QueryWorkloadConfig
+from repro.workloads.restart import (
+    RestartStormConfig,
+    RestartStormResult,
+    build_persistent_index,
+    run_crash_storm,
+    sweep_crash_points,
+)
 from repro.workloads.synthetic import (
     SyntheticCorpus,
     SyntheticCorpusConfig,
@@ -48,4 +57,9 @@ __all__ = [
     "MultiClientConfig",
     "MultiClientDriver",
     "MultiClientResult",
+    "RestartStormConfig",
+    "RestartStormResult",
+    "build_persistent_index",
+    "run_crash_storm",
+    "sweep_crash_points",
 ]

@@ -1,0 +1,310 @@
+"""Restart / crash-storm workloads for the durable storage engine.
+
+The memory-backed engine could never model the scenario every production
+deployment lives with: the process dies mid-update-storm and comes back.
+This driver exercises exactly that against a file-backed index:
+
+1. build a persistent index over a corpus and checkpoint it;
+2. apply a score-update storm in batches, group-committing at every batch
+   boundary (optionally checkpointing every N batches, optionally churning
+   document inserts/deletes between batches);
+3. *kill* the process mid-batch — a configurable number of updates past a
+   chosen commit boundary are applied and then the file handles are dropped
+   without a commit, exactly what power loss leaves behind;
+4. recover with :meth:`SVRTextIndex.open` and verify the contents and top-k
+   answers equal a memory-backed twin that applied **only the committed
+   prefix** — not one update more, not one less.
+
+The twin comparison is the whole point: recovery correctness is defined
+against the paper's own equivalence standard (same contents, same top-k for
+every method), not against a weaker "it reopens without crashing" bar.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.core.text_index import SVRTextIndex
+from repro.errors import WorkloadError
+from repro.workloads.updates import (
+    ScoreUpdate,
+    UpdateWorkload,
+    UpdateWorkloadConfig,
+    resolve_batch,
+    window_updates,
+)
+
+
+@dataclass(frozen=True)
+class RestartStormConfig:
+    """Parameters of one crash-storm run.
+
+    ``crash_after_batch`` names the last *committed* batch: the storm applies
+    that many full batches (commit after each), then ``partial_tail`` further
+    updates without a commit, then crashes.  ``None`` runs every batch and
+    closes cleanly (the restart-without-crash case).
+    """
+
+    num_batches: int = 6
+    batch_size: int = 24
+    checkpoint_every: int = 3
+    crash_after_batch: "int | None" = None
+    partial_tail: int = 7
+    doc_churn: bool = False
+    verify_queries: int = 6
+    k: int = 5
+    seed: int = 11
+    update_config: UpdateWorkloadConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_batches < 1:
+            raise WorkloadError("num_batches must be at least 1")
+        if self.batch_size < 1:
+            raise WorkloadError("batch_size must be at least 1")
+        if (self.crash_after_batch is not None
+                and not 0 <= self.crash_after_batch <= self.num_batches):
+            raise WorkloadError(
+                f"crash_after_batch must be in [0, {self.num_batches}], "
+                f"got {self.crash_after_batch}"
+            )
+
+
+@dataclass
+class RestartStormResult:
+    """Outcome of one crash-storm run (see :func:`run_crash_storm`)."""
+
+    method: str
+    crash_after_batch: "int | None"
+    batches_committed: int
+    updates_committed: int
+    updates_lost: int
+    recovered_doc_count: int
+    contents_match: bool
+    topk_match: bool
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def recovered_exactly(self) -> bool:
+        """Whether recovery landed exactly on the committed prefix."""
+        return self.contents_match and self.topk_match
+
+
+def _corpus_triples(corpus: Iterable[Any]) -> list[tuple[int, list[str], float]]:
+    """Normalise a corpus to ``(doc_id, terms, score)`` triples.
+
+    Accepts either plain triples or objects with ``doc_id``/``terms``/``score``
+    attributes (e.g. :class:`repro.workloads.synthetic.SyntheticDocument`).
+    """
+    triples = []
+    for item in corpus:
+        if isinstance(item, tuple):
+            doc_id, terms, score = item
+        else:
+            doc_id, terms, score = item.doc_id, item.terms, item.score
+        triples.append((int(doc_id), list(terms), float(score)))
+    if not triples:
+        raise WorkloadError("the restart workload needs a non-empty corpus")
+    return triples
+
+
+def build_persistent_index(path: str, method: str,
+                           corpus: Iterable[Any],
+                           cache_pages: int = 1024, page_size: int = 512,
+                           shards: int = 1,
+                           **method_options: Any) -> SVRTextIndex:
+    """Build, finalize and checkpoint a durable index over a corpus."""
+    index = SVRTextIndex(
+        method=method, path=path, cache_pages=cache_pages,
+        page_size=page_size, shards=shards, **method_options
+    )
+    for doc_id, terms, score in _corpus_triples(corpus):
+        index.add_document_terms(doc_id, terms, score)
+    index.finalize()
+    index.checkpoint()
+    return index
+
+
+def _verification_queries(triples: Sequence[tuple[int, list[str], float]],
+                          count: int, seed: int) -> list[list[str]]:
+    """Deterministic single- and two-term queries over the corpus vocabulary."""
+    frequency: dict[str, int] = {}
+    for _doc_id, terms, _score in triples:
+        for term in set(terms):
+            frequency[term] = frequency.get(term, 0) + 1
+    ranked = sorted(frequency, key=lambda term: (-frequency[term], term))
+    if not ranked:
+        return []
+    rng = random.Random(seed)
+    queries: list[list[str]] = []
+    pool = ranked[: max(2 * count, 4)]
+    for position in range(count):
+        if position % 2 == 0 or len(pool) < 2:
+            queries.append([rng.choice(pool)])
+        else:
+            queries.append(rng.sample(pool, 2))
+    return queries
+
+
+def _apply_storm(index: SVRTextIndex, batches: Sequence[list[ScoreUpdate]],
+                 upto: int, config: RestartStormConfig,
+                 commit: bool) -> tuple[int, int]:
+    """Apply batches ``[0, upto)`` (committing after each when ``commit``).
+
+    Returns ``(batches_applied, updates_applied)``.  Document churn inserts a
+    fresh document before every even batch and deletes it before the next odd
+    one, exercising the insert/delete recovery paths alongside score updates.
+    """
+    applied = 0
+    churn_base = 10_000_000
+    for position in range(upto):
+        if config.doc_churn:
+            doc_id = churn_base + position // 2
+            if position % 2 == 0:
+                index.insert_document_terms(
+                    doc_id, ["churn", f"churn{position:03d}"], 50.0 * (position + 1)
+                )
+            else:
+                index.delete_document(doc_id)
+        batch = batches[position]
+        touched = {update.doc_id for update in batch}
+        current = {
+            doc_id: score
+            for doc_id in touched
+            if (score := index.current_score(doc_id)) is not None
+        }
+        resolved = resolve_batch(batch, current)
+        if resolved:
+            applied += index.apply_score_updates(resolved)
+        if commit:
+            if (config.checkpoint_every
+                    and (position + 1) % config.checkpoint_every == 0):
+                index.checkpoint()
+            else:
+                index.commit()
+    return upto, applied
+
+
+def run_crash_storm(path: str, method: str, corpus: Iterable[Any],
+                    config: RestartStormConfig | None = None,
+                    cache_pages: int = 1024, page_size: int = 512,
+                    shards: int = 1,
+                    **method_options: Any) -> RestartStormResult:
+    """One full crash-storm cycle: build, storm, kill, recover, verify.
+
+    The recovered index is compared against a memory-backed twin that applied
+    exactly the committed batches: every document's current score must match,
+    and every verification query's ranked top-k must match, for the run to
+    count as recovered.
+    """
+    config = config if config is not None else RestartStormConfig()
+    triples = _corpus_triples(corpus)
+    initial_scores = {doc_id: score for doc_id, _terms, score in triples}
+    update_config = config.update_config or UpdateWorkloadConfig(
+        num_updates=config.num_batches * config.batch_size + config.partial_tail,
+        seed=config.seed,
+    )
+    stream = UpdateWorkload(update_config, initial_scores).generate_list()
+    batches = list(window_updates(stream, config.batch_size))[: config.num_batches]
+    tail = stream[config.num_batches * config.batch_size:]
+
+    crash_at = config.crash_after_batch
+    committed_upto = crash_at if crash_at is not None else len(batches)
+
+    # -- the doomed run -----------------------------------------------------
+    index = build_persistent_index(
+        path, method, triples, cache_pages=cache_pages,
+        page_size=page_size, shards=shards, **method_options
+    )
+    _batches, committed_updates = _apply_storm(
+        index, batches, committed_upto, config, commit=True
+    )
+    lost = 0
+    if crash_at is not None:
+        # The batch that never commits: a partial window applied mid-flight.
+        partial = (batches[crash_at] if crash_at < len(batches) else tail)
+        partial = partial[: config.partial_tail]
+        for update in partial:
+            current = index.current_score(update.doc_id)
+            if current is None:
+                continue
+            index.update_score(update.doc_id, update.apply_to(current))
+            lost += 1
+        index.crash()
+    else:
+        index.close()
+
+    # -- recovery + twin verification --------------------------------------
+    recovered = SVRTextIndex.open(path)
+    twin = SVRTextIndex(
+        method=method, cache_pages=cache_pages, page_size=page_size,
+        shards=shards, **method_options
+    )
+    for doc_id, terms, score in triples:
+        twin.add_document_terms(doc_id, terms, score)
+    twin.finalize()
+    _apply_storm(twin, batches, committed_upto, config, commit=False)
+
+    mismatches: list[str] = []
+    doc_ids = sorted(set(twin.documents.doc_ids()) | set(recovered.documents.doc_ids()))
+    for doc_id in doc_ids:
+        expected = twin.current_score(doc_id)
+        actual = recovered.current_score(doc_id)
+        if expected != actual:
+            mismatches.append(f"doc {doc_id}: expected {expected}, got {actual}")
+    contents_match = not mismatches
+
+    topk_match = True
+    for keywords in _verification_queries(triples, config.verify_queries, config.seed):
+        expected_response = twin.search(keywords, k=config.k)
+        actual_response = recovered.search(keywords, k=config.k)
+        expected_hits = [(r.doc_id, r.score) for r in expected_response.results]
+        actual_hits = [(r.doc_id, r.score) for r in actual_response.results]
+        if expected_hits != actual_hits:
+            topk_match = False
+            mismatches.append(
+                f"query {keywords}: expected {expected_hits}, got {actual_hits}"
+            )
+
+    result = RestartStormResult(
+        method=method,
+        crash_after_batch=crash_at,
+        batches_committed=committed_upto,
+        updates_committed=committed_updates,
+        updates_lost=lost,
+        recovered_doc_count=recovered.document_count(),
+        contents_match=contents_match,
+        topk_match=topk_match,
+        mismatches=mismatches,
+    )
+    recovered.close()
+    twin.close()
+    return result
+
+
+def sweep_crash_points(base_path: str, method: str, corpus: Iterable[Any],
+                       config: RestartStormConfig | None = None,
+                       boundaries: "Sequence[int] | None" = None,
+                       **kwargs: Any) -> list[RestartStormResult]:
+    """Run a crash storm at every batch boundary (the recovery sweep).
+
+    ``boundaries`` defaults to every commit boundary ``0..num_batches``; each
+    run uses its own directory under ``base_path``.
+    """
+    import dataclasses
+    import os
+
+    config = config if config is not None else RestartStormConfig()
+    if boundaries is None:
+        boundaries = range(config.num_batches + 1)
+    results = []
+    for boundary in boundaries:
+        run_config = dataclasses.replace(config, crash_after_batch=boundary)
+        results.append(
+            run_crash_storm(
+                os.path.join(base_path, f"crash-{boundary:03d}"),
+                method, corpus, config=run_config, **kwargs,
+            )
+        )
+    return results
