@@ -78,14 +78,22 @@ class OperationMetrics:
         self.operations += operations - measured.operations
 
     def as_row(self) -> dict[str, float | int | str]:
-        """Flattened representation used by the reporting module."""
-        return {
+        """Flattened representation used by the reporting module.
+
+        ``extra`` entries (shard skew, service latency percentiles, adaptive
+        window sizes ...) are appended after the core columns so workload
+        drivers can surface their profile in the same tables.
+        """
+        row: dict[str, float | int | str] = {
             "label": self.label,
             "operations": self.operations,
             "avg_wall_ms": round(self.avg_wall_ms, 4),
             "avg_pages_read": round(self.avg_pages_read, 2),
             "avg_io_ms": round(self.avg_estimated_io_ms, 4),
         }
+        for key in sorted(self.extra):
+            row.setdefault(key, self.extra[key])
+        return row
 
 
 def record_shard_load(metrics: OperationMetrics,

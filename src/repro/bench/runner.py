@@ -160,12 +160,14 @@ class ExperimentRunner:
 
     def __init__(self, scale: BenchScale | None = None,
                  corpus: SyntheticCorpus | None = None, shards: int = 1,
-                 backend: str = "memory", storage_dir: str | None = None) -> None:
+                 threads: int = 1, backend: str = "memory",
+                 storage_dir: str | None = None) -> None:
         if backend not in ("memory", "file"):
             raise ValueError(f"backend must be 'memory' or 'file', got {backend!r}")
         self.scale = scale if scale is not None else BenchScale.small()
         self.corpus = corpus if corpus is not None else generate_corpus(self.scale.corpus)
         self.shards = shards
+        self.threads = threads
         self.backend = backend
         self.storage_dir = storage_dir
         self._owns_storage_dir = False
@@ -225,7 +227,7 @@ class ExperimentRunner:
         index = SVRTextIndex(
             method=setup.method, cache_pages=self.scale.cache_pages,
             page_size=self.scale.page_size, shards=self.shards,
-            path=self._next_index_path(), **options
+            threads=self.threads, path=self._next_index_path(), **options
         )
         if self.backend == "file":
             self._built_indexes.append(index)
@@ -291,11 +293,11 @@ class ExperimentRunner:
                               updates: Iterable[ScoreUpdate],
                               batch_size: int = 256,
                               label: str = "batched-updates",
-                              adaptive: bool = False,
+                              adaptive: bool = True,
                               min_batch: int = 32,
-                              max_batch: int = 4096,
-                              grow_hit_rate: float = 0.85,
-                              shrink_hit_rate: float = 0.55) -> OperationMetrics:
+                              max_batch: int = 8192,
+                              shrink_hit_rate: float = 0.55,
+                              degrade_tolerance: float = 1.25) -> OperationMetrics:
         """Apply a score-update stream in windows through ``apply_score_updates``.
 
         Each window is resolved to absolute scores against the index's current
@@ -304,15 +306,20 @@ class ExperimentRunner:
         its updates), so ``avg_wall_ms`` is directly comparable with
         :meth:`apply_updates`.
 
-        With ``adaptive=True`` (off by default) the window size follows the
-        buffer pool's windowed hit rate — the signal
-        :meth:`repro.storage.buffer_pool.BufferPool.hit_rate` exposes for the
-        lifetime counters, computed here per window from the measured I/O
-        delta.  A window whose working set stayed cache-resident (hit rate >=
-        ``grow_hit_rate``) doubles the next window, amortising more descents
-        per leaf run; a window that thrashed (< ``shrink_hit_rate``) halves
-        it, bounding the write burst to what the cache absorbs.  The final
-        window lands in ``metrics.extra["batch_window"]``.
+        With ``adaptive=True`` (the default — the ``adaptive_batch_window``
+        entry in ``BENCH_storage_micro.json`` shows the adaptive controller
+        beating every fixed candidate window on the fig7 batched storm; pass
+        ``adaptive=False`` to pin a fixed ``batch_size``) the window size
+        hill-climbs on the *measured per-update wall time*: a window that was
+        at least as cheap per update as the best seen so far doubles the next
+        one (bulk passes amortize more descents per leaf run), a window
+        ``degrade_tolerance``× worse than the previous one halves it.  The
+        windowed buffer-pool hit rate (the per-window form of
+        :meth:`repro.storage.buffer_pool.BufferPool.hit_rate`) acts as a
+        brake: growth stops while the pool thrashes (hit rate below
+        ``shrink_hit_rate``) *and* the cost curve is no longer improving, so
+        a write burst never outruns what the cache absorbs.  The final window
+        lands in ``metrics.extra["batch_window"]``.
         """
         from itertools import islice
 
@@ -320,16 +327,14 @@ class ExperimentRunner:
         meter = MeteredEnvironment(index.env)
         stream = iter(updates)
         window = batch_size
+        best_per_update: float | None = None
+        previous_per_update: float | None = None
         while True:
             batch = list(islice(stream, window))
             if not batch:
                 break
             touched = {update.doc_id for update in batch}
-            current = {
-                doc_id: score
-                for doc_id in touched
-                if (score := index.current_score(doc_id)) is not None
-            }
+            current = index.current_scores(touched)
             resolved = resolve_batch(batch, current)
             if not resolved:
                 continue
@@ -337,16 +342,19 @@ class ExperimentRunner:
             with meter.measure(batch_metrics):
                 index.apply_score_updates(resolved)
             metrics.record_spread(batch_metrics, operations=len(resolved))
-            if adaptive:
-                # pages_read counts the window's pool misses; together with
-                # pool_hits this is the windowed form of BufferPool.hit_rate.
+            if adaptive and len(resolved) >= window // 2:
+                per_update = batch_metrics.wall_ms / len(resolved)
                 accesses = batch_metrics.pool_hits + batch_metrics.pages_read
-                if accesses:
-                    rate = batch_metrics.pool_hits / accesses
-                    if rate >= grow_hit_rate:
-                        window = min(max_batch, window * 2)
-                    elif rate < shrink_hit_rate:
-                        window = max(min_batch, window // 2)
+                hit_rate = batch_metrics.pool_hits / accesses if accesses else 1.0
+                if (previous_per_update is not None
+                        and per_update > previous_per_update * degrade_tolerance):
+                    window = max(min_batch, window // 2)
+                elif (best_per_update is None or per_update <= best_per_update
+                        or hit_rate >= shrink_hit_rate):
+                    window = min(max_batch, window * 2)
+                if best_per_update is None or per_update < best_per_update:
+                    best_per_update = per_update
+                previous_per_update = per_update
         metrics.extra["batch_window"] = float(window)
         return metrics
 
@@ -390,6 +398,26 @@ class ExperimentRunner:
         queries = self.make_queries(num_queries=num_queries)
         updates = self.make_updates(num_updates=num_updates)
         driver = MultiClientDriver(config, queries, updates)
+        return driver.run(index)
+
+    def run_service_load(self, index: SVRTextIndex,
+                         config: "ServiceLoadConfig | None" = None,
+                         num_queries: int | None = None,
+                         num_updates: int | None = None):
+        """Drive concurrent closed-loop clients against a built index.
+
+        The clients replay the same per-client schedules
+        :meth:`run_multiclient` would replay round-robin, but from one thread
+        each (see :class:`repro.workloads.service.ServiceLoadDriver`); the
+        returned result carries the p50/p95/p99 latency profile and aggregate
+        throughput, ready to export with ``result.record_into(metrics)``.
+        """
+        from repro.workloads.service import ServiceLoadConfig, ServiceLoadDriver
+
+        config = config if config is not None else ServiceLoadConfig()
+        queries = self.make_queries(num_queries=num_queries)
+        updates = self.make_updates(num_updates=num_updates)
+        driver = ServiceLoadDriver(config, queries, updates)
         return driver.run(index)
 
     # -- one-stop measurement for a method --------------------------------------------------

@@ -8,18 +8,48 @@ the term space.  On top of the delegated API it exposes the shard-level
 observability the experiments need — the term→shard resolver, per-shard I/O
 snapshots/deltas, and the lifetime load/skew report.
 
-The router adds no storage behaviour of its own: every keyed operation is
-routed inside the store facades (:mod:`repro.storage.sharding`), so a router
-over a single-shard (or plain) environment is fingerprint-identical to the
-classic engine.
+With ``threads=1`` (the default) the router adds no storage behaviour of its
+own: every keyed operation is routed inside the store facades
+(:mod:`repro.storage.sharding`), so a router over a single-shard (or plain)
+environment is fingerprint-identical to the classic engine.
+
+With ``threads > 1`` the router becomes the concurrent execution subsystem's
+coordinator (see :mod:`repro.exec` and ARCHITECTURE.md "Concurrent
+execution"):
+
+* **Parallel query fan-out** — a query takes a per-shard epoch snapshot,
+  scatters its per-term top-k scans to the owning shard executors through
+  block-prefetching stream pumps, and gathers the partial results through the
+  k-way merge into the method's existing result heap.  Queries run
+  concurrently with each other under a shared lock.
+* **Single-writer updates with window combining** — anything that mutates
+  index state runs under the writer lock; batched update windows that queue
+  while a writer (or readers) hold the lock are drained *together* and
+  applied as one combined batch, whose per-shard sub-batches execute
+  concurrently across the shard executors.  Combining is semantically exact:
+  ``apply_batch`` is defined to equal sequential application, so
+  concatenating windows in ticket order preserves contents and top-k.
+* **Deterministic accounting mode** — ``deterministic=True`` keeps the worker
+  pool (bulk writes still fan out across shards, which is accounting-exact
+  because every shard's operation sequence is unchanged and aggregate
+  counters are per-category sums) but serializes whole operations and skips
+  the query pumps, making every I/O fingerprint identical to the serial
+  engine for *any* thread count.  ``REPRO_THREADS`` runs the tier-1 suite in
+  this mode.
 """
 
 from __future__ import annotations
 
+import os
+import threading
+from collections import deque
+from contextlib import nullcontext
 from typing import Any, Iterable
 
-from repro.core.indexes.base import InvertedIndex, QueryResponse, UpdateStats
+from repro.core.indexes.base import InvertedIndex, QueryResponse, QueryStats, UpdateStats
 from repro.core.indexes.registry import create_index
+from repro.exec import ExecutorPool, ReadWriteLock, pump_plans
+from repro.exec.fanout import DEFAULT_BLOCK_SIZE, INITIAL_BLOCK_SIZE
 from repro.storage.environment import IOSnapshot, StorageEnvironment
 from repro.storage.sharding import (
     ShardedEnvironment,
@@ -30,22 +60,106 @@ from repro.storage.sharding import (
 from repro.text.documents import DocumentStore
 
 
+def threads_from_environ() -> int:
+    """Worker-thread default from ``REPRO_THREADS`` (1 when unset/invalid).
+
+    The CI threaded leg sets ``REPRO_THREADS=4`` to rerun the tier-1 suite
+    through the concurrent router; indexes built through that default run in
+    deterministic-accounting mode so every fingerprint assertion still holds.
+    """
+    raw = os.environ.get("REPRO_THREADS", "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+class _UpdateTicket:
+    """One caller's update window waiting in the write-combining queue."""
+
+    __slots__ = ("updates", "applied", "error", "event")
+
+    def __init__(self, updates: list) -> None:
+        self.updates = updates
+        self.applied = 0
+        self.error: BaseException | None = None
+        self.event = threading.Event()
+
+    def resolve(self) -> int:
+        if self.error is not None:
+            raise self.error
+        return self.applied
+
+
 class IndexRouter:
     """Route the ``InvertedIndex`` API over N term-partitioned environments.
 
     Wraps an existing index (``IndexRouter(index)``); use :meth:`build` to
     construct the environment, document store and index method in one call.
+
+    Parameters
+    ----------
+    index:
+        The wrapped index method.
+    threads:
+        Worker-thread budget for the concurrent execution subsystem.  ``1``
+        (the default) creates no threads and no locks — the serial engine.
+    deterministic:
+        Serialize operations and skip the query pumps so I/O accounting is
+        fingerprint-identical to the serial engine at any thread count.
+        Defaults to ``False``; forced ``True`` when the environment is not
+        sharded (the parallel fan-out needs the facade layer's latches).
+    block_size:
+        Postings per stream-pump block in the parallel query fan-out.
+    combine_window_s:
+        Group-commit gather interval: how long the leading update window of
+        a drain parks so concurrent clients can enqueue theirs (see
+        :meth:`_apply_batch_combined`).  The pause is paid once per *drain*
+        (a lone client pays it per window — the same latency-for-throughput
+        trade as a fixed fsync group-commit interval); zero disables
+        gathering entirely.
     """
 
-    def __init__(self, index: InvertedIndex) -> None:
+    def __init__(self, index: InvertedIndex, threads: int = 1,
+                 deterministic: bool = False,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 initial_block: int = INITIAL_BLOCK_SIZE,
+                 combine_window_s: float = 0.001) -> None:
         self.index = index
         self.env = index.env
+        self.threads = max(1, int(threads))
+        self.block_size = block_size
+        self.initial_block = initial_block
+        self.combine_window_s = max(0.0, combine_window_s)
+        self._pool: ExecutorPool | None = None
+        self._lock: ReadWriteLock | None = None
+        self._pending: "deque[_UpdateTicket]" = deque()
+        self._pending_lock = threading.Lock()
+        self.combined_windows = 0
+        if self.threads > 1 and not isinstance(self.env, ShardedEnvironment):
+            # Without the facade layer there are no per-shard latches to
+            # protect concurrent readers; run serialized instead of unsafely.
+            deterministic = True
+        self.deterministic = bool(deterministic)
+        if self.threads > 1:
+            self._pool = ExecutorPool(self.shard_count, threads=self.threads)
+            self._lock = ReadWriteLock()
+            if isinstance(self.env, ShardedEnvironment) and not self.deterministic:
+                # Deterministic mode serializes whole operations, so the
+                # facades need no latches — and must not get them, because
+                # latched range scans trade laziness for isolation and an
+                # eagerly drained prefix scan would charge I/O past the
+                # serial engine's early-termination point.
+                self.env.attach_execution(self._pool)
 
     @classmethod
     def build(cls, method: str, shard_count: int = 1,
               documents: DocumentStore | None = None, name: str = "svr",
               cache_pages: int = 4096, page_size: int = 4096,
               env: "StorageEnvironment | ShardedEnvironment | None" = None,
+              threads: int = 1, deterministic: bool = False,
               **options: Any) -> "IndexRouter":
         """Create a sharded environment plus an index method routed over it."""
         if env is None:
@@ -54,7 +168,46 @@ class IndexRouter:
             )
         if documents is None:
             documents = DocumentStore()
-        return cls(create_index(method, env, documents, name=name, **options))
+        return cls(create_index(method, env, documents, name=name, **options),
+                   threads=threads, deterministic=deterministic)
+
+    # -- concurrency plumbing ------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """Whether queries fan out and update windows combine across threads."""
+        return (self._pool is not None and self._pool.parallel
+                and not self.deterministic)
+
+    def _read_ctx(self):
+        """Shared-mode context for queries and point reads."""
+        if self._lock is None:
+            return nullcontext()
+        if self.deterministic:
+            # Deterministic accounting: reads also change buffer-pool state
+            # (LRU order, evictions), so even queries run one at a time.
+            return self._lock.write_locked()
+        return self._lock.read_locked()
+
+    def _write_ctx(self):
+        """Exclusive-mode context for anything that mutates index state."""
+        if self._lock is None:
+            return nullcontext()
+        return self._lock.write_locked()
+
+    def exclusive(self):
+        """Writer-exclusive context for maintenance work (commit, checkpoint).
+
+        The storage facades flush buffer pools during these operations, so
+        they must not overlap queries or update windows.  A plain no-op
+        context on the serial engine.
+        """
+        return self._write_ctx()
+
+    def shutdown(self) -> None:
+        """Stop the executor pool (idempotent; a no-op on the serial engine)."""
+        if self._pool is not None:
+            self._pool.close()
 
     # -- shard observability -----------------------------------------------------
 
@@ -107,41 +260,192 @@ class IndexRouter:
 
     def add_document(self, doc_id: int, score: float,
                      terms: Iterable[str] | None = None) -> None:
-        self.index.add_document(doc_id, score, terms=terms)
+        with self._write_ctx():
+            self.index.add_document(doc_id, score, terms=terms)
 
     def finalize(self) -> None:
-        self.index.finalize()
+        with self._write_ctx():
+            self.index.finalize()
 
     def current_score(self, doc_id: int) -> float | None:
-        return self.index.current_score(doc_id)
+        with self._read_ctx():
+            return self.index.current_score(doc_id)
+
+    def current_scores(self, doc_ids: Iterable[int]) -> dict[int, float]:
+        """Latest scores of several documents under one lock acquisition.
+
+        The service drivers resolve every update window against current
+        scores; doing it per document would pay one reader-lock round trip
+        per lookup under the concurrent engine, so the bulk form exists for
+        them.  Unknown or deleted documents are absent from the result.
+        """
+        with self._read_ctx():
+            scores: dict[int, float] = {}
+            for doc_id in doc_ids:
+                score = self.index.current_score(doc_id)
+                if score is not None:
+                    scores[doc_id] = score
+            return scores
 
     def document_count(self) -> int:
-        return self.index.document_count()
+        with self._read_ctx():
+            return self.index.document_count()
 
     def update_score(self, doc_id: int, new_score: float) -> None:
-        self.index.update_score(doc_id, new_score)
+        with self._write_ctx():
+            self.index.update_score(doc_id, new_score)
 
     def apply_batch(self, updates: Iterable[tuple[int, float]]) -> int:
-        return self.index.apply_batch(updates)
+        if not self.parallel:
+            with self._write_ctx():
+                return self.index.apply_batch(updates)
+        return self._apply_batch_combined(list(updates))
 
     def insert_document(self, doc_id: int, terms: Iterable[str], score: float) -> None:
-        self.index.insert_document(doc_id, terms, score)
+        with self._write_ctx():
+            self.index.insert_document(doc_id, terms, score)
 
     def delete_document(self, doc_id: int) -> None:
-        self.index.delete_document(doc_id)
+        with self._write_ctx():
+            self.index.delete_document(doc_id)
 
     def update_content(self, doc_id: int, new_terms: Iterable[str]) -> None:
-        self.index.update_content(doc_id, new_terms)
+        with self._write_ctx():
+            self.index.update_content(doc_id, new_terms)
 
     def query(self, keywords: Iterable[str], k: int,
               conjunctive: bool = True) -> QueryResponse:
-        return self.index.query(keywords, k=k, conjunctive=conjunctive)
+        if not self.parallel:
+            with self._read_ctx():
+                return self.index.query(keywords, k=k, conjunctive=conjunctive)
+        return self._query_fanout(keywords, k, conjunctive)
 
     def long_list_size_bytes(self) -> int:
-        return self.index.long_list_size_bytes()
+        with self._read_ctx():
+            return self.index.long_list_size_bytes()
 
     def short_list_size_bytes(self) -> int:
-        return self.index.short_list_size_bytes()
+        with self._read_ctx():
+            return self.index.short_list_size_bytes()
 
     def drop_long_list_cache(self) -> None:
-        self.index.drop_long_list_cache()
+        # Evicting mutates every shard's pool; treat it as a write.
+        with self._write_ctx():
+            self.index.drop_long_list_cache()
+
+    # -- parallel query fan-out ----------------------------------------------------
+
+    def _query_fanout(self, keywords: Iterable[str], k: int,
+                      conjunctive: bool) -> QueryResponse:
+        """Scatter per-term scans to the shard executors, gather into the heap.
+
+        The per-shard epoch snapshot taken at admission attributes the I/O the
+        query's scans perform on each shard; under concurrent traffic the
+        attribution is approximate (another query's blocks may land inside the
+        window), which is the documented accounting contract of the parallel
+        mode — contents and top-k results remain exact.
+        """
+        assert self._lock is not None and self._pool is not None
+        with self._lock.read_locked():
+            terms = self.index.prepare_query(keywords, k)
+            stats = QueryStats()
+            per_term = [QueryStats() for _ in terms]
+            epoch = self.shard_snapshots()
+            plans = self.index._term_scan_plans(terms, lambda index: per_term[index])
+            latches = getattr(self.env, "shard_latches", None)
+            pumps = pump_plans(
+                self._pool,
+                [(self.shard_of_term(routing_term), plan)
+                 for routing_term, plan in plans],
+                latches=latches,
+                block_size=self.block_size,
+                initial_block=self.initial_block,
+            )
+            try:
+                results = self.index._merge_term_streams(
+                    [pump.stream() for pump in pumps], terms, k, conjunctive, stats
+                )
+            finally:
+                for pump in pumps:
+                    pump.close()
+            for scan_stats in per_term:
+                stats.postings_scanned += scan_stats.postings_scanned
+                stats.chunks_scanned += scan_stats.chunks_scanned
+            deltas = self.shard_deltas(epoch)
+            stats.pages_read = sum(delta.page_reads for delta in deltas)
+            stats.page_writes = sum(delta.page_writes for delta in deltas)
+            stats.pool_hits = sum(delta.pool_hits for delta in deltas)
+            stats.estimated_io_ms = sum(delta.cost_ms() for delta in deltas)
+            return QueryResponse(results=tuple(results), stats=stats)
+
+    # -- combined update windows -----------------------------------------------------
+
+    def _apply_batch_combined(self, updates: list) -> int:
+        """Queue the window, let whoever holds the writer lock drain the queue.
+
+        Windows that pile up while queries (or an earlier window) hold the
+        lock are concatenated *in queue order* and applied as one batch —
+        cross-client group application, the single-writer mailbox's analogue
+        of group commit.  Each per-shard sub-batch of the combined window then
+        executes concurrently on its shard executor via the store facades.
+
+        Group-commit pacing, leader elected by queue position: the client
+        whose window starts an empty queue becomes the *leader* and parks for
+        the gather interval — its core time goes to whoever has work, and
+        queries keep answering the whole time.  Clients whose windows arrive
+        during that interval are *followers*: they park on their ticket
+        without any deadline of their own (plus a generous safety timeout)
+        because the leader is guaranteed to scoop their windows up.  One
+        drain then applies everything queued as a single batch whose sorted
+        per-shard sub-batches descend the trees once per leaf run instead of
+        once per window — the same trade fsync group commit makes, paying at
+        most one gather interval of latency per *drain* rather than per
+        window.  ``combine_window_s=0`` disables the pause (every window
+        drains immediately, still scooping whatever queued meanwhile).
+        """
+        assert self._lock is not None
+        ticket = _UpdateTicket(updates)
+        with self._pending_lock:
+            self._pending.append(ticket)
+            leader = len(self._pending) == 1
+        if leader:
+            if self.combine_window_s > 0.0 and ticket.event.wait(self.combine_window_s):
+                return ticket.resolve()
+        elif ticket.event.wait(max(1.0, 100.0 * self.combine_window_s)):
+            return ticket.resolve()
+        self._lock.acquire_write()
+        try:
+            if ticket.event.is_set():
+                return ticket.resolve()
+            with self._pending_lock:
+                drained = []
+                while self._pending:
+                    drained.append(self._pending.popleft())
+            self._drain_windows(drained)
+        finally:
+            self._lock.release_write()
+        return ticket.resolve()
+
+    def _drain_windows(self, drained: "list[_UpdateTicket]") -> None:
+        combined: list = []
+        for waiting in drained:
+            combined.extend(waiting.updates)
+        try:
+            applied = self.index.apply_batch(combined)
+        except BaseException:
+            # A bad update in one window must not fail its neighbours:
+            # fall back to per-window application so each ticket gets its
+            # own outcome, exactly as uncombined execution would.
+            for waiting in drained:
+                try:
+                    waiting.applied = self.index.apply_batch(waiting.updates)
+                except BaseException as exc:
+                    waiting.error = exc
+                waiting.event.set()
+            return
+        del applied  # == len(combined); per-ticket counts are the windows' own
+        if len(drained) > 1:
+            self.combined_windows += len(drained) - 1
+        for waiting in drained:
+            waiting.applied = len(waiting.updates)
+            waiting.event.set()

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.errors import DocumentNotFoundError, InvertedIndexError, QueryError, StorageError
 from repro.storage.environment import StorageEnvironment
@@ -328,6 +328,20 @@ class InvertedIndex(abc.ABC):
     # Queries
     # ------------------------------------------------------------------
 
+    def prepare_query(self, keywords: Iterable[str], k: int) -> list[str]:
+        """Validate a query and return its deduplicated term list.
+
+        Shared by :meth:`query` and the router's parallel fan-out path, so
+        both reject exactly the same inputs.
+        """
+        self._check_finalized("query")
+        terms = list(dict.fromkeys(keywords))
+        if not terms:
+            raise QueryError("a query needs at least one keyword")
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        return terms
+
     def query(self, keywords: Iterable[str], k: int,
               conjunctive: bool = True) -> QueryResponse:
         """Evaluate a top-k keyword query against the latest scores.
@@ -342,12 +356,7 @@ class InvertedIndex(abc.ABC):
             ``True`` for AND semantics (documents containing every keyword),
             ``False`` for OR semantics (documents containing at least one).
         """
-        self._check_finalized("query")
-        terms = list(dict.fromkeys(keywords))
-        if not terms:
-            raise QueryError("a query needs at least one keyword")
-        if k <= 0:
-            raise QueryError(f"k must be positive, got {k}")
+        terms = self.prepare_query(keywords, k)
         stats = QueryStats()
         before = self.env.snapshot()
         results = self._execute_query(terms, k, conjunctive, stats)
@@ -382,10 +391,42 @@ class InvertedIndex(abc.ABC):
     def _build_long_lists(self, staged: list[_StagedDocument]) -> None:
         """Construct the long inverted lists from the staged documents."""
 
-    @abc.abstractmethod
     def _execute_query(self, terms: list[str], k: int, conjunctive: bool,
                        stats: QueryStats) -> list[QueryResult]:
-        """Method-specific query evaluation."""
+        """Method-specific query evaluation: build every term's scan, merge.
+
+        The two halves are separate hooks so the concurrent router can build
+        the scans on the owning shard executors (through stream pumps) and
+        still reuse the method's merge loop unchanged; this serial default
+        constructs the streams inline, in term order, exactly as the
+        pre-refactor monolithic implementations did.
+        """
+        plans = self._term_scan_plans(terms, lambda term_index: stats)
+        streams = [plan() for _term, plan in plans]
+        return self._merge_term_streams(streams, terms, k, conjunctive, stats)
+
+    @abc.abstractmethod
+    def _term_scan_plans(self, terms: list[str], stats_for) -> "list[tuple[str, Any]]":
+        """One ``(routing_term, build_stream)`` pair per query term.
+
+        ``build_stream`` is a zero-argument callable constructing the term's
+        scan iterator; *all* storage access of the scan (including any eager
+        short-list load at construction time) happens inside it, which is
+        what lets the parallel fan-out run it on the shard owning
+        ``routing_term``.  ``stats_for(term_index)`` supplies the
+        :class:`QueryStats` sink the scan should count into — the serial path
+        passes one shared object, the parallel path one per term (merged
+        afterwards) so concurrent scans never race on a counter.
+        """
+
+    @abc.abstractmethod
+    def _merge_term_streams(self, streams: list, terms: list[str], k: int,
+                            conjunctive: bool, stats: QueryStats) -> list[QueryResult]:
+        """Merge pre-built per-term streams into the ranked top-k results.
+
+        ``streams`` is aligned with ``terms`` and contains whatever
+        ``_term_scan_plans`` built (plain iterators in the serial engine,
+        stream pumps under the parallel fan-out)."""
 
     def _after_score_update(self, doc_id: int, old_score: float, new_score: float) -> None:
         """Method-specific reaction to a score update (default: Score table only)."""

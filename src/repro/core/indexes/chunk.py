@@ -28,7 +28,7 @@ from repro.core.posting import (
     encode_chunk_runs,
     iter_chunk_postings_lazy,
 )
-from repro.core.result_heap import ResultHeap
+from repro.core.result_heap import ResultHeap, merge_ranked_streams
 from repro.storage.environment import StorageEnvironment
 from repro.storage.heap_file import SegmentHandle
 from repro.text.documents import Document, DocumentStore
@@ -202,14 +202,20 @@ class ChunkIndex(InvertedIndex):
 
     # -- query (Algorithm 2 with chunks) ----------------------------------------------------
 
-    def _execute_query(self, terms: list[str], k: int, conjunctive: bool,
-                       stats: QueryStats) -> list[QueryResult]:
+    def _term_scan_plans(self, terms: list[str], stats_for):
+        return [
+            (term,
+             lambda index=index, term=term, stats=stats_for(index):
+                 self._term_stream(index, term, stats))
+            for index, term in enumerate(terms)
+        ]
+
+    def _merge_term_streams(self, streams: list, terms: list[str], k: int,
+                            conjunctive: bool, stats: QueryStats) -> list[QueryResult]:
         assert self.chunk_map is not None
         required = len(terms) if conjunctive else 1
         heap = ResultHeap(k)
-        merged = heapq.merge(
-            *(self._term_stream(index, term, stats) for index, term in enumerate(terms))
-        )
+        merged = merge_ranked_streams(streams)
         seen_terms: dict[int, set[int]] = {}
         seen_short: dict[int, bool] = {}
         processed: set[int] = set()

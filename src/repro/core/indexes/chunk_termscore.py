@@ -20,12 +20,9 @@ empty and no remaining document's combined upper bound can enter the top-k.
 
 from __future__ import annotations
 
-import heapq
-from typing import Iterator
-
 from repro.core.indexes.base import QueryResult, QueryStats, _StagedDocument
 from repro.core.indexes.chunk import ChunkIndex
-from repro.core.result_heap import ResultHeap
+from repro.core.result_heap import ResultHeap, merge_ranked_streams
 from repro.storage.environment import StorageEnvironment
 from repro.text.documents import Document, DocumentStore
 
@@ -145,14 +142,17 @@ class ChunkTermScoreIndex(ChunkIndex):
 
     # -- query (Algorithm 3) ----------------------------------------------------------------
 
-    def _execute_query(self, terms: list[str], k: int, conjunctive: bool,
-                       stats: QueryStats) -> list[QueryResult]:
+    def _merge_term_streams(self, streams: list, terms: list[str], k: int,
+                            conjunctive: bool, stats: QueryStats) -> list[QueryResult]:
         assert self.chunk_map is not None
         required = len(terms) if conjunctive else 1
         heap = ResultHeap(k)
         processed: set[int] = set()
 
-        # Phase 1: merge the fancy lists (Algorithm 3, lines 8-9).
+        # Phase 1: merge the fancy lists (Algorithm 3, lines 8-9).  The fancy
+        # lists are small and cache-resident; they are read on the coordinating
+        # thread even under the parallel fan-out (the sharded facade's latches
+        # serialize them against scans on the owning shards).
         fancy = [self._load_fancy(term) for term in terms]
         fancy_floors = [self._fancy_floor(term) for term in terms]
         all_fancy_docs = set().union(*fancy) if fancy else set()
@@ -175,9 +175,7 @@ class ChunkTermScoreIndex(ChunkIndex):
                 remain_list[doc_id] = known
 
         # Phase 2: merge short and long lists in chunk order (lines 10-34).
-        merged = heapq.merge(
-            *(self._term_stream(index, term, stats) for index, term in enumerate(terms))
-        )
+        merged = merge_ranked_streams(streams)
         seen_terms: dict[int, dict[int, float]] = {}
         seen_short: dict[int, bool] = {}
         current_chunk: int | None = None

@@ -16,7 +16,6 @@ their current scores.
 
 from __future__ import annotations
 
-import heapq
 from typing import Iterable, Iterator
 
 from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats, _StagedDocument
@@ -26,7 +25,7 @@ from repro.core.posting import (
     encode_id_postings,
     iter_id_postings_lazy,
 )
-from repro.core.result_heap import ResultHeap
+from repro.core.result_heap import ResultHeap, merge_ranked_streams
 from repro.storage.environment import StorageEnvironment
 from repro.storage.heap_file import SegmentHandle
 from repro.text.documents import Document, DocumentStore
@@ -49,7 +48,9 @@ def merge_streams_by_doc_id(
         for posting in stream:
             yield posting[0], index, posting
 
-    merged = heapq.merge(*(tag(index, stream) for index, stream in enumerate(streams)))
+    merged = merge_ranked_streams(
+        tag(index, stream) for index, stream in enumerate(streams)
+    )
     current_doc: int | None = None
     found: dict[int, tuple[int, float]] = {}
     for doc_id, index, posting in merged:
@@ -149,9 +150,14 @@ class IDIndex(InvertedIndex):
 
     # -- query -------------------------------------------------------------------
 
-    def _execute_query(self, terms: list[str], k: int, conjunctive: bool,
-                       stats: QueryStats) -> list[QueryResult]:
-        streams = [self._term_stream(term, stats) for term in terms]
+    def _term_scan_plans(self, terms: list[str], stats_for):
+        return [
+            (term, lambda term=term, stats=stats_for(index): self._term_stream(term, stats))
+            for index, term in enumerate(terms)
+        ]
+
+    def _merge_term_streams(self, streams: list, terms: list[str], k: int,
+                            conjunctive: bool, stats: QueryStats) -> list[QueryResult]:
         heap = ResultHeap(k)
         required = len(terms) if conjunctive else 1
         for doc_id, found in merge_streams_by_doc_id(streams):

@@ -13,12 +13,11 @@ paper measures as orders of magnitude slower than every other method (Figure 7).
 
 from __future__ import annotations
 
-import heapq
 from typing import Iterator
 
 from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats, _StagedDocument
 from repro.core.posting import build_rekey_operations
-from repro.core.result_heap import ResultHeap
+from repro.core.result_heap import ResultHeap, merge_ranked_streams
 from repro.storage.environment import StorageEnvironment
 from repro.text.documents import Document, DocumentStore
 
@@ -133,17 +132,25 @@ class ScoreIndex(InvertedIndex):
 
     # -- query --------------------------------------------------------------------
 
-    def _execute_query(self, terms: list[str], k: int, conjunctive: bool,
-                       stats: QueryStats) -> list[QueryResult]:
+    def _term_scan_plans(self, terms: list[str], stats_for):
+        def make_plan(index: int, term: str, stats: QueryStats):
+            def stream() -> Iterator[tuple[float, int, int]]:
+                for (_term, neg_score, doc_id), _ in self._lists.prefix_items((term,)):
+                    stats.postings_scanned += 1
+                    yield neg_score, doc_id, index
+
+            return stream
+
+        return [
+            (term, make_plan(index, term, stats_for(index)))
+            for index, term in enumerate(terms)
+        ]
+
+    def _merge_term_streams(self, streams: list, terms: list[str], k: int,
+                            conjunctive: bool, stats: QueryStats) -> list[QueryResult]:
         required = len(terms) if conjunctive else 1
         heap = ResultHeap(k)
-
-        def stream(index: int, term: str) -> Iterator[tuple[float, int, int]]:
-            for (_term, neg_score, doc_id), _ in self._lists.prefix_items((term,)):
-                stats.postings_scanned += 1
-                yield neg_score, doc_id, index
-
-        merged = heapq.merge(*(stream(index, term) for index, term in enumerate(terms)))
+        merged = merge_ranked_streams(streams)
         current: tuple[float, int] | None = None
         seen: set[int] = set()
         stopped = False

@@ -1,10 +1,17 @@
-"""Bounded top-k result heap.
+"""Bounded top-k result heap and the k-way gather merge that feeds it.
 
 Every query algorithm in the paper keeps "a result heap ... to keep track of
 the top-k results during the scan".  :class:`ResultHeap` is that structure: it
 keeps at most ``k`` (document, score) entries, deduplicates by document id
 (keeping the best score), and exposes the current k-th best score, which the
 early-termination conditions of Algorithms 2 and 3 compare against.
+
+:func:`merge_ranked_streams` is the gather side of the scan: every method's
+query loop k-way merges its per-term posting streams through it and offers
+the merged candidates into the heap.  The serial engine passes plain
+generators; the parallel fan-out passes :class:`~repro.exec.fanout.StreamPump`
+iterators whose blocks materialize on the owning shard executors — the merge
+(and the heap) are agnostic to which one they are fed.
 """
 
 from __future__ import annotations
@@ -12,8 +19,21 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
 
 from repro.errors import QueryError
+
+
+def merge_ranked_streams(streams: "Iterable[Iterable[Any]]") -> Iterator[Any]:
+    """K-way merge of rank-ordered per-term streams (the query gather step).
+
+    Each stream must yield tuples in ascending tuple order (the methods encode
+    their rank as the leading component: ``-score``, ``-chunk_id`` or
+    ``doc_id``), so the merged sequence interleaves every term's postings in
+    global rank order.  Streams are consumed lazily — early termination in the
+    caller stops the merge without draining them.
+    """
+    return heapq.merge(*streams)
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from repro.errors import QueryError, StorageError
-from repro.core.index_router import IndexRouter
+from repro.core.index_router import IndexRouter, threads_from_environ
 from repro.core.indexes.base import InvertedIndex, QueryResponse
 from repro.core.indexes.registry import create_index
 from repro.storage.environment import StorageEnvironment
@@ -70,6 +70,21 @@ class SVRTextIndex:
         single-environment engine; larger counts build a
         :class:`~repro.storage.sharding.ShardedEnvironment` whose total cache
         budget is still ``cache_pages``.
+    threads:
+        Worker threads for the concurrent execution subsystem (see
+        :mod:`repro.exec`).  ``1`` — the serial engine, byte-for-byte.  More
+        threads run queries concurrently (per-term scans fan out to the
+        single-writer shard executors) and apply batched update windows as
+        combined per-shard sub-batches.  Defaults to the ``REPRO_THREADS``
+        environment variable (or 1); when the default comes from the
+        environment the router runs in deterministic-accounting mode so
+        existing I/O fingerprints hold.  ``threads > 1`` with ``shards = 1``
+        still builds a (fingerprint-identical) single-shard
+        ``ShardedEnvironment`` so the execution layer has store facades to
+        work through.
+    deterministic:
+        Force (or disable) the deterministic-accounting mode explicitly; see
+        :class:`~repro.core.index_router.IndexRouter`.
     path:
         Optional directory for a durable index: pages live in one file-backed
         environment (or one per shard) with a write-ahead log, and
@@ -85,8 +100,18 @@ class SVRTextIndex:
                  env: "StorageEnvironment | ShardedEnvironment | None" = None,
                  analyzer: Analyzer | None = None, name: str = "svr",
                  cache_pages: int = 4096, page_size: int = 4096,
-                 shards: int = 1, path: str | None = None,
+                 shards: int = 1, threads: int | None = None,
+                 deterministic: bool | None = None, path: str | None = None,
                  **method_options: Any) -> None:
+        if threads is None:
+            threads = threads_from_environ()
+            if deterministic is None and threads > 1:
+                # The env-var route exists to rerun existing (fingerprint-
+                # asserting) workloads through the concurrent plumbing.
+                deterministic = True
+        threads = max(1, int(threads))
+        if deterministic is None:
+            deterministic = False
         if env is None:
             if path is not None:
                 from repro.storage.persistence import is_environment_dir
@@ -97,13 +122,16 @@ class SVRTextIndex:
                         f"{path!r} already holds a persistent index; "
                         "use SVRTextIndex.open() to recover it"
                     )
-            if shards <= 1:
+            if shards <= 1 and threads <= 1:
                 env = StorageEnvironment(
                     cache_pages=cache_pages, page_size=page_size, path=path
                 )
             else:
+                # threads > 1 needs the facade layer even at one shard; the
+                # single-shard sharded environment is fingerprint-identical
+                # to the plain one (pinned by the shard-invariance suite).
                 env = ShardedEnvironment(
-                    shard_count=shards, cache_pages=cache_pages,
+                    shard_count=max(1, shards), cache_pages=cache_pages,
                     page_size=page_size, path=path,
                 )
         elif path is not None:
@@ -118,12 +146,15 @@ class SVRTextIndex:
         self.index: InvertedIndex = create_index(
             method, self.env, self.documents, name=name, **method_options
         )
-        self.router = IndexRouter(self.index)
+        self.router = IndexRouter(self.index, threads=threads,
+                                  deterministic=deterministic)
 
     # -- durability ---------------------------------------------------------------
 
     @classmethod
-    def open(cls, path: str, cache_pages: int | None = None) -> "SVRTextIndex":
+    def open(cls, path: str, cache_pages: int | None = None,
+             threads: int | None = None,
+             deterministic: bool | None = None) -> "SVRTextIndex":
         """Recover a durable index to its last committed batch boundary.
 
         Replays each environment's write-ahead log onto its paged file,
@@ -135,6 +166,12 @@ class SVRTextIndex:
         """
         from repro.storage.persistence import open_any_environment
 
+        if threads is None:
+            threads = threads_from_environ()
+            if deterministic is None and threads > 1:
+                deterministic = True
+        if deterministic is None:
+            deterministic = False
         env = open_any_environment(path, cache_pages=cache_pages)
         blob = env.recovered_app_state
         if not isinstance(blob, dict) or blob.get("kind") != "svr-text-index":
@@ -156,7 +193,8 @@ class SVRTextIndex:
         )
         for key, value in blob["index_state"].items():
             setattr(self.index, key, value)
-        self.router = IndexRouter(self.index)
+        self.router = IndexRouter(self.index, threads=threads,
+                                  deterministic=deterministic)
         return self
 
     @property
@@ -184,16 +222,24 @@ class SVRTextIndex:
         identically on every backend, keeping I/O fingerprints comparable).
         Returns the committed batch id.
         """
-        app = self._app_blob() if self.durable else None
-        return self.env.commit(app_state=app)
+        with self.router.exclusive():
+            app = self._app_blob() if self.durable else None
+            return self.env.commit(app_state=app)
 
     def checkpoint(self) -> int:
         """Commit, then fold the write-ahead log into the paged file(s)."""
-        app = self._app_blob() if self.durable else None
-        return self.env.checkpoint(app_state=app)
+        with self.router.exclusive():
+            app = self._app_blob() if self.durable else None
+            return self.env.checkpoint(app_state=app)
 
     def close(self) -> None:
-        """Checkpoint (when durable) and release all file handles, idempotently."""
+        """Checkpoint (when durable) and release all file handles, idempotently.
+
+        Also joins the concurrent execution subsystem's worker threads (a
+        no-op on the serial engine); the executor pool drains before the
+        environment closes, so no shard task can outlive its storage.
+        """
+        self.router.shutdown()
         app = self._app_blob() if self.durable and not self.env.closed else None
         self.env.close(app_state=app)
 
@@ -203,6 +249,7 @@ class SVRTextIndex:
         Everything since the last :meth:`commit` is lost; :meth:`open`
         recovers the committed prefix.
         """
+        self.router.shutdown()
         self.env.crash()
 
     def __enter__(self) -> "SVRTextIndex":
@@ -226,6 +273,11 @@ class SVRTextIndex:
         """Number of storage shards backing the term space (1 = classic engine)."""
         return self.router.shard_count
 
+    @property
+    def threads(self) -> int:
+        """Worker threads of the execution subsystem (1 = serial engine)."""
+        return self.router.threads
+
     def shard_load(self) -> ShardLoad:
         """Lifetime per-shard buffer-pool load and skew (see :class:`ShardLoad`)."""
         return self.router.shard_load()
@@ -242,6 +294,11 @@ class SVRTextIndex:
     def current_score(self, doc_id: int) -> float | None:
         """Latest SVR score of a document (``None`` when unknown or deleted)."""
         return self.router.current_score(doc_id)
+
+    def current_scores(self, doc_ids: "Iterable[int]") -> dict[int, float]:
+        """Latest scores for several documents (one lock round trip when
+        concurrent); unknown and deleted documents are omitted."""
+        return self.router.current_scores(doc_ids)
 
     # -- build ----------------------------------------------------------------------
 

@@ -1,0 +1,87 @@
+"""Reader-writer coordination for the concurrent router.
+
+The router's concurrency model is deliberately coarse: top-k queries run
+concurrently with each other (shared mode), while anything that mutates index
+state — update windows, document changes, builds, checkpoints — runs
+exclusively (writer mode).  Inside an exclusive section the work still fans
+out *across* shards through the executor pool; the lock only serializes
+writers against readers and each other.
+
+The implementation is writer-preferring: once a writer is waiting, new
+readers queue behind it, so a stream of queries cannot starve the update
+path.  This matters for the service workload, where closed-loop clients mix
+both kinds of traffic — and the queueing it induces is exactly what lets the
+router coalesce waiting update windows into one combined batch (see
+``IndexRouter``'s write combining).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """A writer-preferring readers-writer lock built on one condition variable."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- reader side -----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- writer side -----------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+
+    def try_acquire_write(self) -> bool:
+        """Take the writer lock only if it is free right now (never blocks)."""
+        with self._cond:
+            if self._writer_active or self._active_readers:
+                return False
+            self._writer_active = True
+            return True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 from dataclasses import dataclass
 from typing import Any
 
@@ -100,7 +101,7 @@ class StorageEnvironment:
     """
 
     def __init__(self, cache_pages: int = 4096, page_size: int = PAGE_SIZE,
-                 path: str | None = None) -> None:
+                 path: str | None = None, pool_policy: str = "lru") -> None:
         if path is None:
             path = _backend_path_from_environ()
         if path is None:
@@ -111,10 +112,12 @@ class StorageEnvironment:
             self.disk = FileBackedDisk(path, page_size=page_size)
         self.path = path
         self.cache_pages = cache_pages
-        self.pool = BufferPool(self.disk, capacity_pages=cache_pages)
+        self.pool = BufferPool(self.disk, capacity_pages=cache_pages,
+                               policy=pool_policy)
         self._kvstores: dict[str, KVStore] = {}
         self._heapfiles: dict[str, HeapFile] = {}
         self._closed = False
+        self._lifecycle_lock = threading.Lock()
         self._app_state: Any = None
         #: True when this environment was rebuilt by ``open_environment``;
         #: index constructors attach to the restored stores instead of
@@ -142,6 +145,7 @@ class StorageEnvironment:
         env._kvstores = {}
         env._heapfiles = {}
         env._closed = False
+        env._lifecycle_lock = threading.Lock()
         env._app_state = catalog.get("app")
         env.recovered = True
         env._restore_stores(catalog.get("stores", {}))
@@ -218,17 +222,23 @@ class StorageEnvironment:
     def close(self, app_state: Any = None) -> None:
         """Checkpoint (when durable) and release every handle, idempotently.
 
-        Closing twice is fine; operations on a closed environment raise
+        Closing twice is fine, as is closing after :meth:`crash` (the crash
+        already dropped the file handles; nothing is re-opened or re-closed).
+        The lifecycle lock makes concurrent teardown safe: exactly one caller
+        performs the checkpoint-and-close, so an executor pool shutting down
+        while a context manager exits can never double-close the WAL file
+        handle.  Operations on a closed environment raise
         :class:`~repro.errors.StoreClosedError`.
         """
-        if self._closed:
-            return
-        if self.durable and not self.disk.closed:
-            self.checkpoint(app_state=app_state)
-            self.disk.close()
-        for store in self._kvstores.values():
-            store.close()
-        self._closed = True
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            if self.durable and not self.disk.closed:
+                self.checkpoint(app_state=app_state)
+                self.disk.close()
+            for store in self._kvstores.values():
+                store.close()
+            self._closed = True
 
     def __enter__(self) -> "StorageEnvironment":
         return self
@@ -250,13 +260,14 @@ class StorageEnvironment:
         the last committed batch boundary.  On a memory environment this just
         marks the environment closed.
         """
-        if self._closed:
-            return
-        if self.durable and not self.disk.closed:
-            self.disk.close()
-        for store in self._kvstores.values():
-            store.close()
-        self._closed = True
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            if self.durable and not self.disk.closed:
+                self.disk.close()
+            for store in self._kvstores.values():
+                store.close()
+            self._closed = True
 
     @property
     def closed(self) -> bool:

@@ -35,7 +35,9 @@ from __future__ import annotations
 import heapq
 import os
 import pickle
+import threading
 import zlib
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
@@ -201,6 +203,30 @@ class ShardedKVStore:
         self._parts = [store for _env, store in parts]
         self._route = route
         self._single = self._parts[0] if len(self._parts) == 1 else None
+        #: Executor pool + per-shard latches, set by the environment when a
+        #: parallel execution context attaches (see ``attach_execution``).
+        self._exec_pool = None
+        self._latches: "Sequence[threading.RLock] | None" = None
+
+    # -- concurrent execution ----------------------------------------------------
+
+    def _attach_execution(self, pool, latches) -> None:
+        """Enable parallel bulk fan-out and point-read latching.
+
+        ``pool`` owns one single-writer executor per shard; bulk operations
+        scatter their per-shard buckets onto it.  ``latches`` (one re-entrant
+        lock per shard) serialize the *brief* point reads coordinator threads
+        perform during a query merge against block scans running on the same
+        shard's executor.  With ``None``/``None`` the facade behaves exactly
+        as before — the serial engine never pays for any of this.
+        """
+        self._exec_pool = pool
+        self._latches = latches
+
+    def _latch(self, shard: int):
+        if self._latches is None:
+            return nullcontext()
+        return self._latches[shard]
 
     # -- routing ---------------------------------------------------------------
 
@@ -234,61 +260,144 @@ class ShardedKVStore:
         return all(part.closed for part in self._parts)
 
     # -- point operations ------------------------------------------------------
+    # Each computes the owning shard once; the latch branch costs nothing on
+    # the serial engine (``_latches is None``) and one C-level RLock round
+    # trip under the concurrent router.  These are the hottest facade calls
+    # (every candidate's score/deleted lookup during a query merge).
 
     def put(self, key: Any, value: Any) -> None:
-        self._part(key).put(key, value)
+        shard = 0 if self._single is not None else self._route(key)
+        if self._latches is None:
+            self._parts[shard].put(key, value)
+        else:
+            with self._latches[shard]:
+                self._parts[shard].put(key, value)
 
     def get(self, key: Any, default: Any = ...) -> Any:
-        return self._part(key).get(key, default=default)
+        shard = 0 if self._single is not None else self._route(key)
+        if self._latches is None:
+            return self._parts[shard].get(key, default=default)
+        with self._latches[shard]:
+            return self._parts[shard].get(key, default=default)
 
     def delete(self, key: Any) -> Any:
-        return self._part(key).delete(key)
+        shard = 0 if self._single is not None else self._route(key)
+        if self._latches is None:
+            return self._parts[shard].delete(key)
+        with self._latches[shard]:
+            return self._parts[shard].delete(key)
 
     def delete_if_present(self, key: Any) -> bool:
-        return self._part(key).delete_if_present(key)
+        shard = 0 if self._single is not None else self._route(key)
+        if self._latches is None:
+            return self._parts[shard].delete_if_present(key)
+        with self._latches[shard]:
+            return self._parts[shard].delete_if_present(key)
 
     def contains(self, key: Any) -> bool:
-        return self._part(key).contains(key)
+        shard = 0 if self._single is not None else self._route(key)
+        if self._latches is None:
+            return self._parts[shard].contains(key)
+        with self._latches[shard]:
+            return self._parts[shard].contains(key)
 
     def __contains__(self, key: Any) -> bool:
         return self.contains(key)
 
     def __len__(self) -> int:
-        return sum(len(part) for part in self._parts)
+        total = 0
+        for shard, part in enumerate(self._parts):
+            with self._latch(shard):
+                total += len(part)
+        return total
 
     # -- bulk operations -------------------------------------------------------
 
+    def _scatter_bulk(self, operation: "Callable[[KVStore, list], int]",
+                      buckets: "list[list]") -> int:
+        """Run one bulk operation's per-shard buckets, in parallel when attached.
+
+        Each shard receives exactly the bucket (and bucket order) the serial
+        loop would have given it, and a shard's work runs entirely on the
+        executor owning it — so per-shard page layouts and accounting are
+        identical to serial execution, and the aggregate counters (per-category
+        sums) are fingerprint-identical however many threads are active.
+        """
+        pool = self._exec_pool
+        if pool is None or not pool.parallel or not pool.scatter:
+            # Serial engine, or a saturated host where an executor hop cannot
+            # overlap with anything: apply the buckets inline (latched when a
+            # concurrent context is attached), in shard order like the
+            # scatter path's gather order.
+            total = 0
+            for shard, bucket in enumerate(buckets):
+                if bucket:
+                    with self._latch(shard):
+                        total += operation(self._parts[shard], bucket)
+            return total
+
+        def shard_task(shard: int, bucket: list) -> Callable[[], int]:
+            def run() -> int:
+                with self._latch(shard):
+                    return operation(self._parts[shard], bucket)
+            return run
+
+        counts = pool.map_shards(
+            (shard, shard_task(shard, bucket))
+            for shard, bucket in enumerate(buckets)
+            if bucket
+        )
+        return sum(counts)
+
     def put_many(self, items: "Iterable[tuple[Any, Any]]") -> int:
         if self._single is not None:
-            return self._single.put_many(items)
+            with self._latch(0):
+                return self._single.put_many(items)
         buckets: list[list[tuple[Any, Any]]] = [[] for _ in self._parts]
         for key, value in items:
             buckets[self._route(key)].append((key, value))
-        return sum(
-            part.put_many(bucket)
-            for part, bucket in zip(self._parts, buckets)
-            if bucket
-        )
+        return self._scatter_bulk(lambda part, bucket: part.put_many(bucket), buckets)
 
     def delete_many(self, keys: "Iterable[Any]", ignore_missing: bool = False) -> int:
         if self._single is not None:
-            return self._single.delete_many(keys, ignore_missing=ignore_missing)
+            with self._latch(0):
+                return self._single.delete_many(keys, ignore_missing=ignore_missing)
         buckets: list[list[Any]] = [[] for _ in self._parts]
         for key in keys:
             buckets[self._route(key)].append(key)
-        return sum(
-            part.delete_many(bucket, ignore_missing=ignore_missing)
-            for part, bucket in zip(self._parts, buckets)
-            if bucket
+        return self._scatter_bulk(
+            lambda part, bucket: part.delete_many(bucket, ignore_missing=ignore_missing),
+            buckets,
         )
 
     # -- range operations --------------------------------------------------------
 
+    def _part_scan(self, shard: int, make_iterator: "Callable[[KVStore], Iterator]"):
+        """One part's range scan, isolated from concurrent shard access.
+
+        A term-scan plan executing on the shard's executor already holds the
+        shard latch for *every* advance (the stream pump wraps each block
+        pull), so the scan stays lazy there — early termination keeps its
+        serial I/O profile.  A scan from any other thread (fancy-list loads
+        and contents checks on a coordinator) cannot hold a lock across
+        ``next()`` calls, so it trades laziness for isolation and
+        materializes under the latch; those scans are small and fully
+        consumed anyway.
+        """
+        if self._latches is None:
+            return make_iterator(self._parts[shard])
+        latch = self._latches[shard]
+        if latch._is_owned():  # executor/pump context: latched per advance
+            return make_iterator(self._parts[shard])
+        with latch:
+            return iter(list(make_iterator(self._parts[shard])))
+
     def items(self, low: Any = None, high: Any = None) -> Iterator[tuple[Any, Any]]:
         if self._single is not None:
-            return self._single.items(low=low, high=high)
+            return self._part_scan(0, lambda part: part.items(low=low, high=high))
         return heapq.merge(
-            *(part.items(low=low, high=high) for part in self._parts),
+            *(self._part_scan(shard, lambda part: part.items(low=low, high=high))
+              for shard in range(len(self._parts))),
             key=lambda pair: pair[0],
         )
 
@@ -296,17 +405,21 @@ class ShardedKVStore:
         """Prefix scan; the prefix must pin the routing component (it does for
         every per-term short list, whose keys lead with the term)."""
         if self._single is not None:
-            return self._single.prefix_items(prefix)
-        return self._parts[self._route(tuple(prefix))].prefix_items(prefix)
+            return self._part_scan(0, lambda part: part.prefix_items(prefix))
+        shard = self._route(tuple(prefix))
+        return self._part_scan(shard, lambda part: part.prefix_items(prefix))
 
     def cursor(self, low: Any = None, high: Any = None,
                inclusive: tuple[bool, bool] = (True, True)) -> Cursor:
         if self._single is not None:
-            return self._single.cursor(low=low, high=high, inclusive=inclusive)
+            with self._latch(0):
+                return self._single.cursor(low=low, high=high, inclusive=inclusive)
         return Cursor(
             iterator=heapq.merge(
-                *(part.cursor(low=low, high=high, inclusive=inclusive)
-                  for part in self._parts),
+                *(self._part_scan(
+                    shard,
+                    lambda part: part.cursor(low=low, high=high, inclusive=inclusive))
+                  for shard in range(len(self._parts))),
                 key=lambda pair: pair[0],
             )
         )
@@ -314,7 +427,11 @@ class ShardedKVStore:
     # -- statistics ----------------------------------------------------------------
 
     def size_bytes(self) -> int:
-        return sum(part.size_bytes() for part in self._parts)
+        total = 0
+        for shard, part in enumerate(self._parts):
+            with self._latch(shard):
+                total += part.size_bytes()
+        return total
 
     def drop_from_cache(self, accounted: bool = False) -> None:
         """Evict this store's pages from every shard's buffer pool.
@@ -360,6 +477,19 @@ class ShardedHeapFile:
         self._envs = [env for env, _heap in parts]
         self._parts = [heap for _env, heap in parts]
         self._route = route
+        self._exec_pool = None
+        self._latches: "Sequence[threading.RLock] | None" = None
+
+    def _attach_execution(self, pool, latches) -> None:
+        """Record the execution context (see ``ShardedKVStore._attach_execution``).
+
+        Heap segments are immutable and only ever scanned inside term-scan
+        plans (which run on the owning shard's executor) or mutated under the
+        router's writer exclusivity, so the heap facade needs no per-operation
+        latching; the context is kept for the whole-segment ``read`` path.
+        """
+        self._exec_pool = pool
+        self._latches = latches
 
     @property
     def shard_count(self) -> int:
@@ -381,6 +511,9 @@ class ShardedHeapFile:
         return ShardedSegmentHandle(shard=shard, handle=self._parts[shard].write(payload))
 
     def read(self, handle: ShardedSegmentHandle) -> bytes:
+        if self._latches is not None:
+            with self._latches[handle.shard]:
+                return self._parts[handle.shard].read(handle.handle)
         return self._parts[handle.shard].read(handle.handle)
 
     def iter_pages(self, handle: ShardedSegmentHandle) -> Iterator[bytes]:
@@ -436,6 +569,11 @@ class ShardedEnvironment:
         self.path = path
         self.recovered = False
         self._closed = False
+        self._lifecycle_lock = threading.Lock()
+        self._exec_pool = None
+        #: One re-entrant latch per shard once a parallel execution context is
+        #: attached (``None`` on the serial engine).
+        self.shard_latches: "list[threading.RLock] | None" = None
         if path is not None:
             os.makedirs(path, exist_ok=True)
         base, remainder = divmod(cache_pages, shard_count)
@@ -515,21 +653,34 @@ class ShardedEnvironment:
         return self.shards[0].checkpoint(app_state=app_state)
 
     def close(self, app_state: Any = None) -> None:
-        """Checkpoint (when durable) and close every shard, idempotently."""
-        if self._closed:
-            return
-        for shard in self.shards[1:]:
-            shard.close()
-        self.shards[0].close(app_state=app_state)
-        self._closed = True
+        """Checkpoint (when durable) and close every shard.
+
+        Idempotent and safe under concurrent teardown: the lifecycle lock
+        makes exactly one caller perform the shard close fan-out, so an
+        executor pool shutting down while ``__exit__`` runs (or a ``close``
+        racing a ``crash``) can never double-close a shard's WAL handle.
+        Closing after :meth:`crash` is a no-op.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            for shard in self.shards[1:]:
+                shard.close()
+            self.shards[0].close(app_state=app_state)
+            self._closed = True
 
     def crash(self) -> None:
-        """Simulate a crash on every shard (nothing committed, handles dropped)."""
-        if self._closed:
-            return
-        for shard in self.shards:
-            shard.crash()
-        self._closed = True
+        """Simulate a crash on every shard (nothing committed, handles dropped).
+
+        Idempotent and thread-safe like :meth:`close`; crashing after a close
+        (or a second crash) is a no-op.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            for shard in self.shards:
+                shard.crash()
+            self._closed = True
 
     def __enter__(self) -> "ShardedEnvironment":
         return self
@@ -551,6 +702,9 @@ class ShardedEnvironment:
         env.path = path
         env.recovered = True
         env._closed = False
+        env._lifecycle_lock = threading.Lock()
+        env._exec_pool = None
+        env.shard_latches = None
         env.shards = shards
         env._kvstores = {}
         env._heapfiles = {}
@@ -574,6 +728,28 @@ class ShardedEnvironment:
         """The shard owning a term's lists (the resolver queries route through)."""
         return shard_of_term(term, self.shard_count)
 
+    # -- concurrent execution -----------------------------------------------------
+
+    def attach_execution(self, pool) -> None:
+        """Attach an executor pool: parallel bulk fan-out + per-shard latches.
+
+        Called by the concurrent :class:`~repro.core.index_router.IndexRouter`.
+        Every existing and future store facade gains (a) scatter/gather bulk
+        operations on the pool's single-writer shard executors and (b) a
+        per-shard latch serializing coordinator point reads against executor
+        block scans.  Attaching an inline (``threads<=1``) pool is a no-op, so
+        the serial engine never takes a lock or touches a queue.
+        """
+        if not getattr(pool, "parallel", False):
+            return
+        self._exec_pool = pool
+        if self.shard_latches is None:
+            self.shard_latches = [threading.RLock() for _ in self.shards]
+        for store in self._kvstores.values():
+            store._attach_execution(pool, self.shard_latches)
+        for heap in self._heapfiles.values():
+            heap._attach_execution(pool, self.shard_latches)
+
     # -- store management -------------------------------------------------------
 
     def create_kvstore(self, name: str, order: int | None = None,
@@ -589,6 +765,8 @@ class ShardedEnvironment:
         parts = [(shard, shard.create_kvstore(name, order=order)) for shard in self.shards]
         count = self.shard_count
         store = ShardedKVStore(name, parts, route=lambda key: policy(key, count))
+        if self._exec_pool is not None:
+            store._attach_execution(self._exec_pool, self.shard_latches)
         self._kvstores[name] = store
         self._store_policies[name] = ("kv", key_shard, order)
         if self.durable:
@@ -603,6 +781,8 @@ class ShardedEnvironment:
         parts = [(shard, shard.create_heapfile(name)) for shard in self.shards]
         count = self.shard_count
         heap = ShardedHeapFile(name, parts, route=lambda key: policy(key, count))
+        if self._exec_pool is not None:
+            heap._attach_execution(self._exec_pool, self.shard_latches)
         self._heapfiles[name] = heap
         self._store_policies[name] = ("heap", key_shard, None)
         if self.durable:

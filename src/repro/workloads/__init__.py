@@ -12,6 +12,10 @@
   (Movies / Reviews / Statistics) with the paper's example SVR specification.
 * :mod:`repro.workloads.multiclient` — deterministic interleaved multi-client
   replay of mixed query/update traffic (the sharded-engine workload).
+* :mod:`repro.workloads.service` — the same per-client schedules replayed by
+  closed-loop *concurrent* client threads with a p50/p95/p99 latency profile
+  and an optional background checkpoint cadence (the concurrent-engine
+  service workload).
 * :mod:`repro.workloads.restart` — crash-storm / restart workloads against the
   durable engine: kill mid-batch, recover, verify the committed prefix.
 """
@@ -23,6 +27,12 @@ from repro.workloads.multiclient import (
     MultiClientResult,
 )
 from repro.workloads.queries import KeywordQuery, QueryWorkload, QueryWorkloadConfig
+from repro.workloads.service import (
+    ServiceLoadConfig,
+    ServiceLoadDriver,
+    ServiceLoadResult,
+    percentile,
+)
 from repro.workloads.restart import (
     RestartStormConfig,
     RestartStormResult,
@@ -57,6 +67,10 @@ __all__ = [
     "MultiClientConfig",
     "MultiClientDriver",
     "MultiClientResult",
+    "ServiceLoadConfig",
+    "ServiceLoadDriver",
+    "ServiceLoadResult",
+    "percentile",
     "RestartStormConfig",
     "RestartStormResult",
     "build_persistent_index",

@@ -101,6 +101,38 @@ class MultiClientResult:
 _Op = tuple[str, object]
 
 
+def schedule_client_ops(config: MultiClientConfig, client_id: int,
+                        queries: "list[KeywordQuery]",
+                        updates: "list[ScoreUpdate]") -> "list[_Op]":
+    """One client's deterministic operation sequence.
+
+    The client's dealt query/update streams are shuffled into a mixed
+    sequence by a per-client RNG seeded from ``(config.seed, client_id)``, so
+    the schedule depends only on the configuration — not on shard counts,
+    thread counts or real time.  Shared by the round-robin
+    :class:`MultiClientDriver` and the closed-loop concurrent
+    :class:`~repro.workloads.service.ServiceLoadDriver`, which replay the
+    *same* per-client schedules under different execution models.
+    """
+    rng = random.Random(f"{config.seed}:{client_id}")
+    window = config.batch_window
+    ops: "list[_Op]" = []
+    query_pos = update_pos = 0
+    while query_pos < len(queries) or update_pos < len(updates):
+        want_query = rng.random() < config.query_fraction
+        if query_pos >= len(queries):
+            want_query = False
+        elif update_pos >= len(updates):
+            want_query = True
+        if want_query:
+            ops.append(("query", queries[query_pos]))
+            query_pos += 1
+        else:
+            ops.append(("updates", updates[update_pos:update_pos + window]))
+            update_pos += window
+    return ops
+
+
 class MultiClientDriver:
     """Replays mixed query/update traffic from N clients against one index.
 
@@ -130,23 +162,7 @@ class MultiClientDriver:
                          updates: list[ScoreUpdate]) -> list[_Op]:
         """One client's deterministic operation sequence (its dealt streams,
         shuffled into a query/update mix by a per-client RNG)."""
-        rng = random.Random(f"{self.config.seed}:{client_id}")
-        window = self.config.batch_window
-        ops: list[_Op] = []
-        query_pos = update_pos = 0
-        while query_pos < len(queries) or update_pos < len(updates):
-            want_query = rng.random() < self.config.query_fraction
-            if query_pos >= len(queries):
-                want_query = False
-            elif update_pos >= len(updates):
-                want_query = True
-            if want_query:
-                ops.append(("query", queries[query_pos]))
-                query_pos += 1
-            else:
-                ops.append(("updates", updates[update_pos:update_pos + window]))
-                update_pos += window
-        return ops
+        return schedule_client_ops(self.config, client_id, queries, updates)
 
     def client_schedules(self) -> list[list[_Op]]:
         """The per-client operation sequences (inspection and tests)."""

@@ -89,13 +89,30 @@ def query_doc_scores(index: InvertedIndex, keywords: Sequence[str], k: int,
     return [(result.doc_id, result.score) for result in response.results]
 
 
+def _plain_env(env):
+    """Unwrap a single-shard ShardedEnvironment to its one plain environment.
+
+    ``REPRO_THREADS`` makes ``SVRTextIndex`` build single-shard sharded
+    environments (the execution layer needs the facades), which stay
+    physically fingerprint-identical to the plain engine — so the physical
+    helpers below transparently reach through to the one shard.
+    """
+    shards = getattr(env, "shards", None)
+    if shards is not None and len(shards) == 1:
+        return shards[0]
+    return env
+
+
 def category_fingerprint(env: StorageEnvironment) -> dict:
     """Every buffer-pool and disk accounting category of one environment.
 
     Shared by the sharding fidelity tests: two engines are only
-    fingerprint-identical when every one of these counters matches.
+    fingerprint-identical when every one of these counters matches.  A
+    sharded environment reports the per-category sums (its aggregation
+    contract).
     """
-    pool, disk = env.pool.stats, env.disk.stats
+    snapshot = env.snapshot()
+    pool, disk = snapshot.pool, snapshot.disk
     return {
         "hits": pool.hits, "misses": pool.misses, "evictions": pool.evictions,
         "dirty_writebacks": pool.dirty_writebacks,
@@ -109,6 +126,7 @@ def category_fingerprint(env: StorageEnvironment) -> dict:
 def disk_page_bytes(env: StorageEnvironment) -> dict[int, bytes]:
     """Every on-disk page's payload bytes (flushing frames first so dirty
     decoded nodes materialise)."""
+    env = _plain_env(env)
     env.pool.flush()
     disk = env.disk
     return {

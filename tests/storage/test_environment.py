@@ -77,3 +77,94 @@ class TestIOAccounting:
         kv.get(25)
         delta = env.delta_since(before)
         assert delta.page_reads >= 1
+
+
+class TestLifecycleIdempotence:
+    """close()/crash() are idempotent and safe under concurrent teardown.
+
+    The executor pool's shutdown path and a context manager's __exit__ can
+    both reach close() — a WAL file handle must never be double-closed
+    (satellite of the concurrent-execution PR).
+    """
+
+    def test_close_twice_is_noop(self):
+        env = StorageEnvironment(cache_pages=8)
+        env.create_kvstore("kv").put(1, 1)
+        env.close()
+        env.close()
+        assert env.closed
+
+    def test_close_after_crash_is_noop(self, tmp_path):
+        env = StorageEnvironment(cache_pages=8, path=str(tmp_path / "env"))
+        env.create_kvstore("kv").put(1, 1)
+        env.crash()
+        env.close()   # must not reopen or re-close the WAL handle
+        env.crash()   # and crashing again is equally safe
+        assert env.closed
+
+    def test_exit_after_crash_does_not_raise(self, tmp_path):
+        with StorageEnvironment(cache_pages=8, path=str(tmp_path / "env")) as env:
+            env.create_kvstore("kv").put(1, 1)
+            env.crash()
+        assert env.closed
+
+    def test_concurrent_close_single_winner(self, tmp_path):
+        import threading
+
+        env = StorageEnvironment(cache_pages=8, path=str(tmp_path / "env"))
+        env.create_kvstore("kv").put(1, 1)
+        errors = []
+
+        def teardown():
+            try:
+                env.close()
+            except BaseException as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=teardown) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert env.closed
+
+    def test_sharded_lifecycle_idempotent(self, tmp_path):
+        import threading
+
+        from repro.storage.sharding import ShardedEnvironment
+
+        env = ShardedEnvironment(shard_count=3, cache_pages=24,
+                                 path=str(tmp_path / "sharded"))
+        env.create_kvstore("kv", key_shard="doc").put(1, 1)
+        errors = []
+
+        def teardown(action):
+            try:
+                action()
+            except BaseException as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=teardown, args=(env.close,))
+                   for _ in range(4)]
+        threads += [threading.Thread(target=teardown, args=(env.crash,))
+                    for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert env.closed
+        env.close()
+        env.crash()
+
+    def test_text_index_close_joins_executors(self):
+        from repro.core.text_index import SVRTextIndex
+
+        index = SVRTextIndex(method="id", shards=2, threads=4, cache_pages=64,
+                             page_size=512)
+        pool = index.router._pool
+        assert pool is not None and pool.parallel
+        index.close()
+        index.close()
+        assert pool.closed

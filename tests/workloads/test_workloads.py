@@ -308,3 +308,128 @@ class TestMultiClientDriver:
                 for index in indexes
             ]
             assert answers[0] == answers[1]
+
+
+class TestServiceLoadDriver:
+    def _traffic(self, seed=3, num_queries=12, num_updates=120):
+        rng = random.Random(seed)
+        vocab = [f"w{i:03d}" for i in range(14)]
+        queries = [
+            KeywordQuery(
+                keywords=tuple(rng.sample(vocab, 2)),
+                k=rng.choice([3, 5]),
+                conjunctive=rng.random() < 0.5,
+            )
+            for _ in range(num_queries)
+        ]
+        updates = [
+            ScoreUpdate(doc_id=rng.randrange(1, 30), delta=rng.uniform(-80, 80))
+            for _ in range(num_updates)
+        ]
+        return vocab, queries, updates
+
+    def _index(self, vocab, shards=4, threads=4, path=None, seed=21):
+        index = SVRTextIndex(method="chunk", shards=shards, threads=threads,
+                             cache_pages=256, page_size=512, chunk_ratio=2.0,
+                             min_chunk_size=2, path=path)
+        rng = random.Random(seed)
+        for doc_id in range(1, 31):
+            terms = [rng.choice(vocab) for _ in range(8)]
+            index.add_document_terms(doc_id, terms, round(rng.uniform(0, 1000), 2))
+        index.finalize()
+        return index
+
+    def test_percentile(self):
+        from repro.workloads.service import percentile
+
+        assert percentile([], 0.5) == 0.0
+        assert percentile([5.0], 0.99) == 5.0
+        values = list(map(float, range(1, 101)))
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 100.0
+        assert percentile(values, 0.5) == pytest.approx(50.0, abs=1.0)
+        with pytest.raises(WorkloadError):
+            percentile(values, 1.5)
+
+    def test_schedules_match_multiclient_driver(self):
+        """Closed-loop concurrent replay runs the exact round-robin schedules."""
+        from repro.workloads.service import ServiceLoadConfig, ServiceLoadDriver
+
+        _vocab, queries, updates = self._traffic()
+        service = ServiceLoadDriver(
+            ServiceLoadConfig(num_clients=3, query_fraction=0.5,
+                              batch_window=16, seed=5),
+            queries, updates,
+        )
+        round_robin = MultiClientDriver(
+            MultiClientConfig(num_clients=3, query_fraction=0.5,
+                              batch_window=16, seed=5),
+            queries, updates,
+        )
+        assert service.client_schedules() == round_robin.client_schedules()
+
+    def test_concurrent_run_covers_all_work_and_profiles_latency(self):
+        from repro.bench.metrics import OperationMetrics
+        from repro.workloads.service import ServiceLoadConfig, ServiceLoadDriver
+
+        vocab, queries, updates = self._traffic()
+        index = self._index(vocab)
+        result = ServiceLoadDriver(
+            ServiceLoadConfig(num_clients=4, query_fraction=0.5,
+                              batch_window=16, seed=7),
+            queries, updates,
+        ).run(index)
+        assert result.queries_run == len(queries)
+        assert sum(client.queries for client in result.clients) == len(queries)
+        assert len(result.query_latencies_ms) == len(queries)
+        assert result.update_windows == len(result.window_latencies_ms)
+        assert result.wall_seconds > 0
+        assert result.throughput_ops_s > 0
+        assert result.shard_load is not None
+        assert result.shard_load.shard_count == 4
+        metrics = OperationMetrics(label="service")
+        result.record_into(metrics)
+        for key in ("p50_query_ms", "p95_query_ms", "p99_query_ms",
+                    "throughput_ops_s", "combined_windows"):
+            assert key in metrics.extra
+        row = result.as_row()
+        assert row["clients"] == 4 and row["queries"] == len(queries)
+        index.close()
+
+    def test_background_checkpoint_cadence_under_load(self, tmp_path):
+        """Durability under load: the checkpointer runs while clients hammer,
+        and a crash afterwards recovers to the last checkpointed state."""
+        from repro.workloads.service import ServiceLoadConfig, ServiceLoadDriver
+
+        vocab, queries, updates = self._traffic(num_updates=400)
+        index = self._index(vocab, path=str(tmp_path / "svc"))
+        result = ServiceLoadDriver(
+            ServiceLoadConfig(num_clients=4, query_fraction=0.3,
+                              batch_window=8, seed=9,
+                              checkpoint_interval_s=0.002),
+            queries, updates,
+        ).run(index)
+        assert result.checkpoints >= 1
+        reference = [
+            (r.doc_id, r.score)
+            for r in index.search([vocab[1], vocab[2]], k=5,
+                                  conjunctive=False).results
+        ]
+        index.checkpoint()
+        index.crash()
+        reopened = SVRTextIndex.open(str(tmp_path / "svc"))
+        recovered = [
+            (r.doc_id, r.score)
+            for r in reopened.search([vocab[1], vocab[2]], k=5,
+                                     conjunctive=False).results
+        ]
+        assert recovered == reference
+        reopened.close()
+
+    def test_config_validation(self):
+        from repro.workloads.service import ServiceLoadConfig
+
+        with pytest.raises(WorkloadError):
+            ServiceLoadConfig(checkpoint_interval_s=0.0)
+        with pytest.raises(WorkloadError):
+            ServiceLoadConfig(num_clients=0).scheduling()
