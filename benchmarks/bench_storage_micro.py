@@ -329,6 +329,67 @@ def bench_file_backed_query_macro(macro_docs: int, **_: object) -> dict:
     return {"seconds": elapsed, "operations": operations}
 
 
+def bench_fault_overhead(macro_docs: int, **_: object) -> dict:
+    """Cost of the fault-injection harness on the hot file-backed query path.
+
+    Two interleaved passes over the :func:`bench_file_backed_query_macro` rig:
+    one with no injector attached (production — every site takes the
+    ``fault_injector is None`` fast path) and one with an *inert* injector
+    attached (an enabled plan whose only spec is scheduled far past any
+    occurrence count, so every site pays the full roll/bookkeeping slow path
+    without ever faulting).  ``seconds``/``operations`` report the disabled
+    pass — directly comparable to ``file_backed_query_macro`` across
+    trajectory entries, which is how the "<5% with injection disabled" budget
+    is tracked — and ``extra["attached_inert_vs_disabled"]`` reports the
+    attached/disabled wall-clock ratio measured in this run (the worst-case
+    ceiling: a *firing* plan costs more, a detached one costs the fast path).
+    """
+    import shutil
+    import tempfile
+
+    from repro.storage.faults import FaultPlan, FaultSpec
+
+    inert = FaultPlan(specs=(FaultSpec(op="read", kind="transient", at=10**15),))
+    storage_dir = tempfile.mkdtemp(prefix="repro-bench-fault-")
+    try:
+        index, corpus = _build_macro_index(
+            shards=1, macro_docs=macro_docs, path=storage_dir + "/index"
+        )
+        index.checkpoint()  # long lists now live in pages.dat, not the WAL
+        queries = _macro_queries(corpus)
+        for query in queries:  # warm the Score table / short lists
+            index.search(query.keywords, k=query.k, conjunctive=query.conjunctive)
+        rounds = 3
+        operations = 0
+        disabled = attached = 0.0
+        for _ in range(rounds):
+            index.clear_faults()
+            start = time.perf_counter()
+            for query in queries:
+                index.drop_long_list_cache()
+                index.search(query.keywords, k=query.k,
+                             conjunctive=query.conjunctive)
+                operations += 1
+            disabled += time.perf_counter() - start
+            index.inject_faults(inert)
+            start = time.perf_counter()
+            for query in queries:
+                index.drop_long_list_cache()
+                index.search(query.keywords, k=query.k,
+                             conjunctive=query.conjunctive)
+            attached += time.perf_counter() - start
+        index.clear_faults()
+        index.close()
+    finally:
+        shutil.rmtree(storage_dir, ignore_errors=True)
+    ratio = attached / disabled if disabled else 0.0
+    return {
+        "seconds": disabled,
+        "operations": operations,
+        "extra": {"attached_inert_vs_disabled": round(ratio, 3)},
+    }
+
+
 def bench_sharded_query_throughput(macro_docs: int, **_: object) -> dict:
     """Mixed multi-client traffic against the 4-shard term-partitioned engine.
 
@@ -550,6 +611,7 @@ BENCHES = {
     "prefix_scan": bench_prefix_scan,
     "query_macro": bench_query_macro,
     "file_backed_query_macro": bench_file_backed_query_macro,
+    "fault_overhead": bench_fault_overhead,
     "sharded_query_throughput": bench_sharded_query_throughput,
     "parallel_query_throughput": bench_parallel_query_throughput,
     "adaptive_batch_window": bench_adaptive_batch_window,

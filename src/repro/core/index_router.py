@@ -44,10 +44,19 @@ import os
 import threading
 from collections import deque
 from contextlib import nullcontext
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.core.indexes.base import InvertedIndex, QueryResponse, QueryStats, UpdateStats
 from repro.core.indexes.registry import create_index
+from repro.errors import (
+    HARD_FAULT_ERRORS,
+    ExecutorError,
+    ReproError,
+    ShardQuarantinedError,
+    StorageError,
+    shard_of_error,
+)
 from repro.exec import ExecutorPool, ReadWriteLock, pump_plans
 from repro.exec.fanout import DEFAULT_BLOCK_SIZE, INITIAL_BLOCK_SIZE
 from repro.storage.environment import IOSnapshot, StorageEnvironment
@@ -55,6 +64,7 @@ from repro.storage.sharding import (
     ShardedEnvironment,
     ShardLoad,
     shard_load,
+    shard_of_doc,
     shard_of_term,
 )
 from repro.text.documents import DocumentStore
@@ -74,6 +84,16 @@ def threads_from_environ() -> int:
         return max(1, int(raw))
     except ValueError:
         return 1
+
+
+@dataclass(frozen=True)
+class ShardHealth:
+    """One shard's failure-domain status as the router sees it."""
+
+    shard: int
+    quarantined: bool
+    reason: "str | None" = None
+    failures: int = 0
 
 
 class _UpdateTicket:
@@ -138,6 +158,13 @@ class IndexRouter:
         self._pending: "deque[_UpdateTicket]" = deque()
         self._pending_lock = threading.Lock()
         self.combined_windows = 0
+        #: Quarantined failure domains: shard index -> reason.  Guarded by
+        #: ``_health_lock`` (quarantine decisions can race on the concurrent
+        #: engine); reads of the bare dict are snapshot-consistent enough for
+        #: the fast-path emptiness checks.
+        self._quarantined: dict[int, str] = {}
+        self._shard_failures: dict[int, int] = {}
+        self._health_lock = threading.Lock()
         if self.threads > 1 and not isinstance(self.env, ShardedEnvironment):
             # Without the facade layer there are no per-shard latches to
             # protect concurrent readers; run serialized instead of unsafely.
@@ -240,6 +267,119 @@ class IndexRouter:
         """Lifetime per-shard buffer-pool load and the max/mean skew."""
         return shard_load(self.env)
 
+    # -- failure domains / quarantine ----------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether at least one shard is quarantined (answers are partial)."""
+        return bool(self._quarantined)
+
+    def quarantined_shards(self) -> tuple[int, ...]:
+        """Quarantined shard indices, ascending."""
+        return tuple(sorted(self._quarantined))
+
+    def shard_health(self) -> list[ShardHealth]:
+        """Per-shard health, in shard order."""
+        with self._health_lock:
+            return [
+                ShardHealth(
+                    shard=shard,
+                    quarantined=shard in self._quarantined,
+                    reason=self._quarantined.get(shard),
+                    failures=self._shard_failures.get(shard, 0),
+                )
+                for shard in range(self.shard_count)
+            ]
+
+    def quarantine_shard(self, shard: int, reason: str) -> None:
+        """Mark one failure domain untrustworthy; reads skip it, writes that
+        touch it fail fast.  Idempotent (the first reason wins)."""
+        if not 0 <= shard < self.shard_count:
+            raise StorageError(
+                f"shard index {shard} out of range for {self.shard_count} shards"
+            )
+        with self._health_lock:
+            self._shard_failures[shard] = self._shard_failures.get(shard, 0) + 1
+            self._quarantined.setdefault(shard, reason)
+
+    def _quarantine_from_error(self, error: BaseException) -> bool:
+        """Quarantine the failure domain a hard error is tagged with.
+
+        Only errors that mark a shard's storage (or executor) untrustworthy
+        count: escalated retry exhaustion, ENOSPC, checksum failures, failed
+        commits and executor death.  Returns whether a shard was quarantined.
+        """
+        if not isinstance(error, HARD_FAULT_ERRORS + (ExecutorError,)):
+            return False
+        shard = shard_of_error(error)
+        if shard is None or not 0 <= shard < self.shard_count:
+            return False
+        self.quarantine_shard(shard, f"{type(error).__name__}: {error}")
+        return True
+
+    def _check_writable(self, doc_id: "int | None" = None,
+                        terms: "Iterable[str] | None" = None) -> "list | None":
+        """Fail fast when a write would touch a quarantined shard.
+
+        Raises :class:`~repro.errors.ShardQuarantinedError` *before* any state
+        is mutated, so the refusal is atomic.  When ``terms`` is ``None`` and
+        the document is known, its terms come from the forward index (score
+        updates touch the short lists of every term the document contains).
+        Returns the materialized ``terms`` list when one was passed, so
+        callers can forward the consumed iterable.
+        """
+        materialized = list(terms) if terms is not None else None
+        if not self._quarantined:
+            return materialized
+        touched: set[int] = set()
+        if doc_id is not None:
+            touched.add(shard_of_doc(doc_id, self.shard_count))
+            if materialized is None and self.index.documents.contains(doc_id):
+                materialized_terms = self.index.documents.get(doc_id).distinct_terms
+                touched.update(self.shard_of_term(t) for t in materialized_terms)
+        if materialized is not None:
+            touched.update(self.shard_of_term(t) for t in materialized)
+        hit = sorted(touched & set(self._quarantined))
+        if hit:
+            reasons = "; ".join(
+                f"shard {shard}: {self._quarantined[shard]}" for shard in hit
+            )
+            error = ShardQuarantinedError(
+                f"write touches quarantined shard(s) {hit} — {reasons}"
+            )
+            error.shard = hit[0]
+            raise error
+        return materialized
+
+    def _guard_write(self, fn):
+        """Run a mutating operation, quarantining tagged hard failures."""
+        try:
+            return fn()
+        except ReproError as exc:
+            self._quarantine_from_error(exc)
+            raise
+
+    def reopen_shard(self, shard: int) -> None:
+        """Re-admit a quarantined shard from its checkpoint + WAL.
+
+        Recovers the shard's environment to its last committed batch (see
+        :meth:`ShardedEnvironment.reopen_shard`), revives its executor when
+        one died, and lifts the quarantine.  Runs writer-exclusive, so no
+        query or update window observes the swap mid-flight.
+        """
+        with self._write_ctx():
+            if isinstance(self.env, ShardedEnvironment):
+                self.env.reopen_shard(shard)
+            else:
+                raise StorageError(
+                    "reopen_shard needs a sharded environment; recover the "
+                    "whole environment instead"
+                )
+            if self._pool is not None:
+                self._pool.revive(shard)
+            with self._health_lock:
+                self._quarantined.pop(shard, None)
+
     # -- delegated InvertedIndex API ----------------------------------------------
 
     @property
@@ -260,12 +400,15 @@ class IndexRouter:
 
     def add_document(self, doc_id: int, score: float,
                      terms: Iterable[str] | None = None) -> None:
+        terms = self._check_writable(doc_id=doc_id, terms=terms)
         with self._write_ctx():
-            self.index.add_document(doc_id, score, terms=terms)
+            self._guard_write(
+                lambda: self.index.add_document(doc_id, score, terms=terms)
+            )
 
     def finalize(self) -> None:
         with self._write_ctx():
-            self.index.finalize()
+            self._guard_write(self.index.finalize)
 
     def current_score(self, doc_id: int) -> float | None:
         with self._read_ctx():
@@ -292,33 +435,80 @@ class IndexRouter:
             return self.index.document_count()
 
     def update_score(self, doc_id: int, new_score: float) -> None:
+        self._check_writable(doc_id=doc_id)
         with self._write_ctx():
-            self.index.update_score(doc_id, new_score)
+            self._guard_write(lambda: self.index.update_score(doc_id, new_score))
 
     def apply_batch(self, updates: Iterable[tuple[int, float]]) -> int:
+        updates = list(updates)
+        if self._quarantined:
+            for doc_id, _score in updates:
+                self._check_writable(doc_id=doc_id)
         if not self.parallel:
             with self._write_ctx():
-                return self.index.apply_batch(updates)
-        return self._apply_batch_combined(list(updates))
+                return self._guard_write(lambda: self.index.apply_batch(updates))
+        return self._guard_write(lambda: self._apply_batch_combined(updates))
 
     def insert_document(self, doc_id: int, terms: Iterable[str], score: float) -> None:
+        terms = self._check_writable(doc_id=doc_id, terms=terms)
         with self._write_ctx():
-            self.index.insert_document(doc_id, terms, score)
+            self._guard_write(
+                lambda: self.index.insert_document(doc_id, terms, score)
+            )
 
     def delete_document(self, doc_id: int) -> None:
+        self._check_writable(doc_id=doc_id)
         with self._write_ctx():
-            self.index.delete_document(doc_id)
+            self._guard_write(lambda: self.index.delete_document(doc_id))
 
     def update_content(self, doc_id: int, new_terms: Iterable[str]) -> None:
+        # A content update touches the document's *old* terms (looked up via
+        # the forward index by the doc_id check) and its new ones.
+        new_terms = self._check_writable(doc_id=doc_id, terms=new_terms)
+        self._check_writable(doc_id=doc_id)
         with self._write_ctx():
-            self.index.update_content(doc_id, new_terms)
+            self._guard_write(lambda: self.index.update_content(doc_id, new_terms))
 
     def query(self, keywords: Iterable[str], k: int,
               conjunctive: bool = True) -> QueryResponse:
-        if not self.parallel:
-            with self._read_ctx():
-                return self.index.query(keywords, k=k, conjunctive=conjunctive)
-        return self._query_fanout(keywords, k, conjunctive)
+        """Top-k evaluation with graceful degradation under quarantine.
+
+        Terms owned by quarantined shards are dropped before evaluation and
+        reported via ``stats.degraded`` / ``stats.terms_skipped``; a hard
+        shard-tagged fault *during* evaluation quarantines the shard and the
+        query retries without it (reads never mutate index state, so the
+        retry is safe).  A healthy router runs the exact pre-existing path.
+        """
+        keywords = list(keywords)
+        attempts = self.shard_count + 1
+        while True:
+            if self._quarantined:
+                kept = [kw for kw in keywords
+                        if self.shard_of_term(kw) not in self._quarantined]
+            else:
+                kept = keywords
+            skipped = len(keywords) - len(kept)
+            try:
+                if not kept and skipped:
+                    # Every queried term lives on a quarantined shard; an
+                    # empty-but-flagged answer (the empty query still raises
+                    # its usual QueryError below).
+                    response = QueryResponse(results=(), stats=QueryStats())
+                elif not self.parallel:
+                    with self._read_ctx():
+                        response = self.index.query(kept, k=k,
+                                                    conjunctive=conjunctive)
+                else:
+                    response = self._query_fanout(kept, k, conjunctive)
+            except ReproError as exc:
+                attempts -= 1
+                if attempts > 0 and self._quarantine_from_error(exc):
+                    continue
+                raise
+            if skipped:
+                response.stats.degraded = True
+                response.stats.terms_skipped = skipped
+            return response
 
     def long_list_size_bytes(self) -> int:
         with self._read_ctx():

@@ -56,6 +56,11 @@ class QueryStats:
     page_writes: int = 0
     pool_hits: int = 0
     estimated_io_ms: float = 0.0
+    #: Partial-failure reporting (router quarantine): ``degraded`` marks a
+    #: result computed without one or more quarantined shards, and
+    #: ``terms_skipped`` counts the query terms whose lists were unreachable.
+    degraded: bool = False
+    terms_skipped: int = 0
 
 
 @dataclass(frozen=True)

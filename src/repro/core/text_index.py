@@ -220,16 +220,27 @@ class SVRTextIndex:
 
         On a memory-backed index this only flushes the buffer pool (charged
         identically on every backend, keeping I/O fingerprints comparable).
+        Quarantined shards are skipped (a *degraded* commit): they fall
+        behind the commit point and catch up after :meth:`reopen_shard`.
         Returns the committed batch id.
         """
         with self.router.exclusive():
             app = self._app_blob() if self.durable else None
+            skip = self.router.quarantined_shards()
+            if skip and isinstance(self.env, ShardedEnvironment):
+                return self.env.commit(app_state=app, skip=skip)
             return self.env.commit(app_state=app)
 
     def checkpoint(self) -> int:
-        """Commit, then fold the write-ahead log into the paged file(s)."""
+        """Commit, then fold the write-ahead log into the paged file(s).
+
+        Quarantined shards are skipped, exactly as in :meth:`commit`.
+        """
         with self.router.exclusive():
             app = self._app_blob() if self.durable else None
+            skip = self.router.quarantined_shards()
+            if skip and isinstance(self.env, ShardedEnvironment):
+                return self.env.checkpoint(app_state=app, skip=skip)
             return self.env.checkpoint(app_state=app)
 
     def close(self) -> None:
@@ -238,8 +249,15 @@ class SVRTextIndex:
         Also joins the concurrent execution subsystem's worker threads (a
         no-op on the serial engine); the executor pool drains before the
         environment closes, so no shard task can outlive its storage.
+        Quarantined shards are crash-closed rather than checkpointed — their
+        in-memory state is untrustworthy, and their durable state must stay
+        at the last commit they participated in.
         """
         self.router.shutdown()
+        if (self.durable and not self.env.closed
+                and isinstance(self.env, ShardedEnvironment)):
+            for shard in self.router.quarantined_shards():
+                self.env.shards[shard].crash()
         app = self._app_blob() if self.durable and not self.env.closed else None
         self.env.close(app_state=app)
 
@@ -281,6 +299,41 @@ class SVRTextIndex:
     def shard_load(self) -> ShardLoad:
         """Lifetime per-shard buffer-pool load and skew (see :class:`ShardLoad`)."""
         return self.router.shard_load()
+
+    # -- fault injection & failure domains ------------------------------------------
+
+    def inject_faults(self, plan: Any) -> None:
+        """Attach a :class:`~repro.storage.faults.FaultPlan` to the storage."""
+        self.env.inject_faults(plan)
+
+    def clear_faults(self) -> None:
+        """Detach all fault injectors."""
+        self.env.clear_faults()
+
+    def fault_stats(self) -> Any:
+        """Aggregated injector statistics (``None`` when nothing is attached)."""
+        return self.env.fault_stats()
+
+    def scrub(self) -> Any:
+        """Checksum-verify data at rest (see ``StorageEnvironment.scrub``)."""
+        return self.env.scrub()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether quarantined shards are making answers partial."""
+        return self.router.degraded
+
+    def shard_health(self) -> list:
+        """Per-shard quarantine status (see :class:`~repro.core.index_router.ShardHealth`)."""
+        return self.router.shard_health()
+
+    def quarantined_shards(self) -> tuple[int, ...]:
+        """Indices of quarantined shards, ascending."""
+        return self.router.quarantined_shards()
+
+    def reopen_shard(self, shard: int) -> None:
+        """Recover a quarantined shard from checkpoint + WAL and re-admit it."""
+        self.router.reopen_shard(shard)
 
     @property
     def finalized(self) -> bool:

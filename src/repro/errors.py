@@ -46,6 +46,103 @@ class StoreClosedError(StorageError):
     """An operation was attempted on a closed store or environment."""
 
 
+class TransientIOError(StorageError):
+    """A storage operation failed in a way that is expected to succeed on
+    retry (injected or real transient I/O failure, failed fsync, torn append).
+
+    The retry machinery (:func:`repro.storage.faults.run_with_retries`)
+    consumes these internally; callers only ever see one escalated to
+    :class:`RetryExhaustedError` after the retry budget.
+    """
+
+
+class RetryExhaustedError(StorageError):
+    """A transient fault persisted past the bounded retry budget.
+
+    Carries an optional ``shard`` attribute naming the failure domain when
+    the fault originated inside a sharded environment (used by the router to
+    quarantine the shard).
+    """
+
+    shard: "int | None" = None
+
+
+class DiskFullError(StorageError):
+    """The backend ran out of space (ENOSPC-class hard fault, not retried)."""
+
+    shard: "int | None" = None
+
+
+class ChecksumError(PageError):
+    """A page image read from ``pages.dat`` failed its per-page checksum.
+
+    Raised at read/scrub time so silent bit-rot surfaces as a typed storage
+    error instead of pickle garbage in some higher layer.
+    """
+
+    shard: "int | None" = None
+
+
+class CommitError(StorageError):
+    """A group commit could not be made durable.
+
+    The batch is rolled back to the pre-commit WAL state: nothing was
+    half-applied, the writes stay uncommitted in memory, and the commit may
+    be retried (or the environment crashed and recovered to the previous
+    commit boundary).
+    """
+
+    shard: "int | None" = None
+
+
+class ShardQuarantinedError(StorageError):
+    """An operation touched a shard that is quarantined after a hard fault.
+
+    Raised *before* any state is mutated, so failing fast is atomic; reopen
+    the shard (or recover the environment) to re-admit it.
+    """
+
+    shard: "int | None" = None
+
+
+#: Error types that mark a shard's storage as untrustworthy: the router
+#: quarantines the owning shard when one of these carries a shard tag.
+HARD_FAULT_ERRORS = (RetryExhaustedError, DiskFullError, ChecksumError, CommitError)
+
+
+def shard_of_error(error: BaseException) -> "int | None":
+    """The failure-domain (shard index) tag of an error, when present."""
+    shard = getattr(error, "shard", None)
+    return shard if isinstance(shard, int) else None
+
+
+# ---------------------------------------------------------------------------
+# Execution layer
+# ---------------------------------------------------------------------------
+
+
+class ExecutorError(ReproError):
+    """Base class for shard-executor failures.
+
+    Carries an optional ``shard`` attribute when the pool can attribute the
+    failure to a specific shard (quarantine attribution).
+    """
+
+    shard: "int | None" = None
+
+
+class ExecutorClosedError(ExecutorError):
+    """A task was submitted to an executor that is closed or whose worker died."""
+
+
+class ShardTimeoutError(ExecutorError, TimeoutError):
+    """Awaiting a shard task exceeded its deadline.
+
+    Also a builtin :class:`TimeoutError`, so callers using the standard idiom
+    keep working.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Relational layer
 # ---------------------------------------------------------------------------

@@ -20,7 +20,11 @@ import queue
 import threading
 from typing import Any, Callable, Iterable
 
-from repro.errors import StorageError
+from repro.errors import (
+    ExecutorClosedError,
+    ShardTimeoutError,
+    StorageError,
+)
 
 
 class ShardFuture:
@@ -106,7 +110,7 @@ class ShardFuture:
         if steal and not self._event.is_set() and self._try_claim():
             self._run_claimed()
         if not self._event.wait(timeout):
-            raise TimeoutError("shard task did not complete in time")
+            raise ShardTimeoutError("shard task did not complete in time")
         if self._exception is not None:
             raise self._exception
         return self._result
@@ -129,13 +133,15 @@ class ShardExecutor:
         self.name = name
         self._mailbox: "queue.SimpleQueue[ShardFuture | Any]" = queue.SimpleQueue()
         self._closed = False
+        self._dead = False
         self._thread = threading.Thread(target=self._run, name=name, daemon=True)
         self._thread.start()
 
     def submit(self, fn: Callable[[], Any]) -> ShardFuture:
         """Enqueue a callable; returns a future resolving to its return value."""
-        if self._closed:
-            raise StorageError(f"executor {self.name} is closed")
+        if self._closed or self._dead:
+            state = "dead" if self._dead else "closed"
+            raise ExecutorClosedError(f"executor {self.name} is {state}")
         future = ShardFuture(fn)
         self._mailbox.put(future)
         return future
@@ -148,9 +154,29 @@ class ShardExecutor:
         self._mailbox.put(_SHUTDOWN)
         self._thread.join()
 
+    def kill(self) -> None:
+        """Chaos hook: simulate the worker dying (idempotent).
+
+        The worker finishes tasks already in its mailbox — they were claimed
+        work, and abandoning claimed futures would hang their awaiters — then
+        exits; further submissions raise
+        :class:`~repro.errors.ExecutorClosedError` until the pool revives the
+        executor.
+        """
+        if self._closed or self._dead:
+            return
+        self._dead = True
+        self._mailbox.put(_SHUTDOWN)
+        self._thread.join()
+
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def dead(self) -> bool:
+        """Whether :meth:`kill` stopped the worker (pending pool revival)."""
+        return self._dead
 
     def _run(self) -> None:
         while True:
@@ -218,14 +244,46 @@ class ExecutorPool:
         return self._executors[shard % len(self._executors)]
 
     def submit(self, shard: int, fn: Callable[[], Any]) -> ShardFuture:
-        """Run ``fn`` on the shard's executor (or inline when not parallel)."""
+        """Run ``fn`` on the shard's executor (or inline when not parallel).
+
+        Executor failures are tagged with the shard they were submitted for,
+        so the router can attribute them to a failure domain.
+        """
         executor = self.executor_for(shard)
         if executor is None:
             try:
                 return ShardFuture.completed(fn())
             except BaseException as exc:
                 return ShardFuture.failed(exc)
-        return executor.submit(fn)
+        try:
+            return executor.submit(fn)
+        except ExecutorClosedError as exc:
+            if exc.shard is None:
+                exc.shard = shard
+            raise
+
+    def kill_executor(self, shard: int) -> bool:
+        """Chaos hook: kill the executor owning ``shard`` (inline: ``False``)."""
+        executor = self.executor_for(shard)
+        if executor is None:
+            return False
+        executor.kill()
+        return True
+
+    def revive(self, shard: int) -> bool:
+        """Replace a dead executor with a fresh worker (shard re-admission).
+
+        Returns whether a replacement was made; a live executor (or the
+        inline pool) is left untouched.
+        """
+        if not self._executors or self._closed:
+            return False
+        index = shard % len(self._executors)
+        executor = self._executors[index]
+        if not executor.dead:
+            return False
+        self._executors[index] = ShardExecutor(name=executor.name)
+        return True
 
     def run_on(self, shard: int, fn: Callable[[], Any]) -> Any:
         """Submit and await one task."""
@@ -255,9 +313,10 @@ class ExecutorPool:
         return results
 
     def barrier(self) -> None:
-        """Wait until every executor has drained its mailbox."""
+        """Wait until every live executor has drained its mailbox."""
         for executor in self._executors:
-            executor.submit(lambda: None).result()
+            if not executor.dead:
+                executor.submit(lambda: None).result()
 
     def close(self) -> None:
         """Join every worker thread (idempotent; inline mode is a no-op)."""

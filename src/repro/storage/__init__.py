@@ -30,11 +30,20 @@ from repro.storage.buffer_pool import BufferPool, BufferPoolStats
 from repro.storage.btree import BPlusTree
 from repro.storage.disk import DiskCostModel, DiskStats, SimulatedDisk
 from repro.storage.environment import StorageEnvironment
+from repro.storage.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultStats,
+    merged_fault_stats,
+    run_with_retries,
+)
 from repro.storage.heap_file import HeapFile, SegmentHandle
 from repro.storage.kvstore import Cursor, KVStore
 from repro.storage.pager import PAGE_SIZE, Page
 from repro.storage.persistence import (
     FileBackedDisk,
+    ScrubReport,
     WriteAheadLog,
     open_any_environment,
     open_environment,
@@ -64,7 +73,14 @@ __all__ = [
     "KVStore",
     "Cursor",
     "StorageEnvironment",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultStats",
+    "merged_fault_stats",
+    "run_with_retries",
     "FileBackedDisk",
+    "ScrubReport",
     "WriteAheadLog",
     "open_environment",
     "open_sharded_environment",

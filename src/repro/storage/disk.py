@@ -12,7 +12,7 @@ simple seek/transfer model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.errors import PageNotFoundError, StorageError
 from repro.storage.pager import PAGE_SIZE, Page
@@ -137,6 +137,10 @@ class SimulatedDisk:
     _pages: dict[int, Page] = field(default_factory=dict)
     _next_page_id: int = 0
     _last_accessed: int | None = field(default=None)
+    #: Optional fault injector (see :mod:`repro.storage.faults`).  ``None``
+    #: keeps every access on the plain fast path — one attribute check per
+    #: operation, no behaviour or accounting change.
+    fault_injector: Any = field(default=None, repr=False, compare=False)
 
     # -- storage backend hooks ------------------------------------------------
 
@@ -171,8 +175,28 @@ class SimulatedDisk:
 
     # -- public API -----------------------------------------------------------
 
+    def _faulted(self, op: str, attempt):
+        """Run one backend operation under the attached fault injector.
+
+        Transient faults retry with the plan's deterministic bounded-backoff
+        policy; hard faults (ENOSPC, retry exhaustion) escalate as typed
+        :class:`~repro.errors.StorageError` subclasses tagged with the
+        injector's failure domain.  Never called without an injector.
+        """
+        from repro.storage.faults import run_with_retries
+
+        injector = self.fault_injector
+
+        def guarded():
+            injector.fault_point(op)
+            return attempt()
+
+        return run_with_retries(injector, op, guarded)
+
     def allocate(self) -> int:
         """Allocate a new empty page and return its id (counts as a write)."""
+        if self.fault_injector is not None:
+            self._faulted("allocate", lambda: None)
         page_id = self._next_page_id
         self._next_page_id += 1
         self._backend_create(page_id)
@@ -188,7 +212,10 @@ class SimulatedDisk:
 
     def read(self, page_id: int) -> Page:
         """Read a page, returning a copy so callers cannot mutate disk state."""
-        page = self._backend_fetch(page_id)
+        if self.fault_injector is None:
+            page = self._backend_fetch(page_id)
+        else:
+            page = self._faulted("read", lambda: self._backend_fetch(page_id))
         if page is None:
             raise PageNotFoundError(f"page {page_id} does not exist")
         self.stats.reads += 1
@@ -218,7 +245,10 @@ class SimulatedDisk:
             raise PageNotFoundError(f"page {page.page_id} does not exist")
         stored = page.copy()
         stored.dirty = False
-        self._backend_store(stored)
+        if self.fault_injector is None:
+            self._backend_store(stored)
+        else:
+            self._faulted("write", lambda: self._backend_store(stored))
         self.stats.writes += 1
         self.stats.bytes_written += self.page_size
         self._last_accessed = page.page_id

@@ -215,9 +215,21 @@ class StorageEnvironment:
         No-op beyond the flush on a memory environment.
         """
         batch = self.commit(app_state=app_state)
+        self.fold()
+        return batch
+
+    def fold(self) -> None:
+        """Fold the committed WAL into the paged file (checkpoint's second half).
+
+        Separated from :meth:`commit` so a sharded checkpoint can reach the
+        commit point on *every* shard before any shard compacts: a crash or
+        injected fault during a fold then leaves all shards at the same batch
+        id with their logs intact, instead of one shard folded ahead of the
+        commit point (which nothing can roll back).  No-op on a memory
+        environment.
+        """
         if self.durable:
             self.disk.checkpoint(self._commit_payload(self._app_state))
-        return batch
 
     def close(self, app_state: Any = None) -> None:
         """Checkpoint (when durable) and release every handle, idempotently.
@@ -277,6 +289,48 @@ class StorageEnvironment:
     def _check_open(self) -> None:
         if self._closed:
             raise StoreClosedError("the storage environment is closed")
+
+    # -- fault injection ---------------------------------------------------------
+
+    def inject_faults(self, plan: Any, shard: "int | None" = None) -> None:
+        """Attach a :class:`~repro.storage.faults.FaultPlan` to this environment.
+
+        One injector instance is shared by the disk and (when durable) the
+        write-ahead log, so every injection site draws from the same
+        deterministic per-op occurrence counters.  ``shard`` names the failure
+        domain tagged onto escalated hard errors.
+        """
+        from repro.storage.faults import FaultInjector
+
+        self._check_open()
+        injector = FaultInjector(plan, shard=shard) if plan.enabled else None
+        self.disk.fault_injector = injector
+        wal = getattr(self.disk, "wal", None)
+        if wal is not None:
+            wal.fault_injector = injector
+
+    def clear_faults(self) -> None:
+        """Detach any fault injector (every site back on the fast path)."""
+        self.disk.fault_injector = None
+        wal = getattr(self.disk, "wal", None)
+        if wal is not None:
+            wal.fault_injector = None
+
+    def fault_stats(self) -> Any:
+        """The attached injector's :class:`~repro.storage.faults.FaultStats`
+        (``None`` when no injector is attached)."""
+        injector = self.disk.fault_injector
+        return injector.stats if injector is not None else None
+
+    def scrub(self) -> Any:
+        """Verify per-page checksums of data at rest (durable backend only).
+
+        Returns a :class:`~repro.storage.persistence.file_disk.ScrubReport`;
+        ``None`` on a memory environment, which has no data at rest to rot.
+        """
+        self._check_open()
+        scrub = getattr(self.disk, "scrub", None)
+        return scrub() if scrub is not None else None
 
     # -- store management -------------------------------------------------------
 

@@ -22,6 +22,8 @@ from repro.storage.persistence.file_disk import (
     DEFAULT_WAL_BUFFER_BYTES,
     FileBackedDisk,
     PageBitmap,
+    ScrubReport,
+    fsync_directory,
 )
 from repro.storage.persistence.recovery import (
     is_environment_dir,
@@ -41,6 +43,8 @@ __all__ = [
     "DEFAULT_WAL_BUFFER_BYTES",
     "FileBackedDisk",
     "PageBitmap",
+    "ScrubReport",
+    "fsync_directory",
     "ReplayResult",
     "WalSlot",
     "WalStats",

@@ -39,10 +39,21 @@ from __future__ import annotations
 
 import os
 import pickle
+import zlib
+from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import PageNotFoundError, StorageError, StoreClosedError
+from repro.errors import (
+    ChecksumError,
+    CommitError,
+    DiskFullError,
+    PageNotFoundError,
+    StorageError,
+    StoreClosedError,
+    TransientIOError,
+)
 from repro.storage.disk import DiskStats, SimulatedDisk
+from repro.storage.faults import run_with_retries
 from repro.storage.pager import PAGE_SIZE, Page
 from repro.storage.persistence.wal import ReplayResult, WalSlot, WriteAheadLog, replay
 
@@ -53,6 +64,38 @@ _META_TMP = "meta.pkl.tmp"
 
 #: Default in-memory budget for not-yet-spilled page images.
 DEFAULT_WAL_BUFFER_BYTES = 4 * 1024 * 1024
+
+
+def fsync_directory(path: str) -> None:
+    """fsync a directory so a rename inside it is itself durable.
+
+    ``os.replace`` makes the *file* contents atomic, but the directory entry
+    pointing at the new inode lives in the directory's own metadata — on
+    power loss before the directory block is flushed, the rename can simply
+    vanish.  Best-effort on platforms whose directories cannot be opened.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """Outcome of a checksum scrub over the checkpointed page file."""
+
+    pages_checked: int = 0
+    corrupt_page_ids: tuple[int, ...] = field(default=())
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt_page_ids
 
 
 class PageBitmap:
@@ -138,8 +181,12 @@ class FileBackedDisk(SimulatedDisk):
         self._next_page_id = 0
         self._last_accessed = None
         self._wal_buffer_bytes = wal_buffer_bytes
+        self.fault_injector = None
         #: payload length per live page id (the in-memory face of the bitmap).
         self._lengths: dict[int, int] = {}
+        #: crc32 per non-empty page slot in ``pages.dat`` (set when a page is
+        #: folded at checkpoint; verified when its slot is read back).
+        self._checksums: dict[int, int] = {}
         #: page id -> payload bytes (not yet spilled) or WalSlot (spilled),
         #: for writes of the current uncommitted batch.
         self._uncommitted: dict[int, "bytes | WalSlot"] = {}
@@ -161,7 +208,8 @@ class FileBackedDisk(SimulatedDisk):
 
     @classmethod
     def open(cls, path: str,
-             wal_buffer_bytes: int = DEFAULT_WAL_BUFFER_BYTES
+             wal_buffer_bytes: int = DEFAULT_WAL_BUFFER_BYTES,
+             max_batch: "int | None" = None
              ) -> tuple["FileBackedDisk", "dict[str, Any] | None"]:
         """Recover a disk from its directory.
 
@@ -169,13 +217,19 @@ class FileBackedDisk(SimulatedDisk):
         top, truncates the torn/uncommitted tail, and returns
         ``(disk, catalog)`` where ``catalog`` is the environment-level dict of
         the most recent commit (checkpoint when no batch committed since).
+
+        ``max_batch`` caps the replay at a batch id (commits beyond it are
+        truncated with the tail) — sharded recovery's rollback of a torn
+        group-commit fan-out.  It cannot reach below the last checkpoint:
+        batches folded into the paged file are not in the log any more.
         """
         meta_path = os.path.join(path, _META_FILE)
         if not os.path.exists(meta_path):
             raise StorageError(f"{path!r} does not hold a persistent disk")
         with open(meta_path, "rb") as handle:
             meta = pickle.load(handle)
-        replayed: ReplayResult = replay(os.path.join(path, _WAL_FILE))
+        replayed: ReplayResult = replay(os.path.join(path, _WAL_FILE),
+                                        max_batch=max_batch)
         catalog = meta
         if replayed.catalog is not None:
             catalog = pickle.loads(replayed.catalog)
@@ -187,6 +241,7 @@ class FileBackedDisk(SimulatedDisk):
         disk._pages = {}
         disk._wal_buffer_bytes = wal_buffer_bytes
         disk._last_accessed = None
+        disk.fault_injector = None
         disk._uncommitted = {}
         disk._buffered_bytes = 0
         disk._closed = False
@@ -208,6 +263,9 @@ class FileBackedDisk(SimulatedDisk):
         self._lengths = {page_id: lengths.get(page_id, 0)
                          for page_id in bitmap.live_ids()}
         self._next_page_id = state["next_page_id"]
+        # Catalogs written before per-page checksums existed lack the key;
+        # their pages simply go unverified until the next checkpoint.
+        self._checksums = dict(state.get("checksums", {}))
 
     # -- storage backend hooks (the accounting code lives in the base class) --
 
@@ -237,6 +295,7 @@ class FileBackedDisk(SimulatedDisk):
     def _backend_discard(self, page_id: int) -> None:
         self._check_open()
         self._lengths.pop(page_id, None)
+        self._checksums.pop(page_id, None)
         previous = self._uncommitted.pop(page_id, None)
         if isinstance(previous, bytes):
             self._buffered_bytes -= len(previous)
@@ -270,8 +329,56 @@ class FileBackedDisk(SimulatedDisk):
                     f"{self.path}: page {page_id} truncated in pages.dat "
                     f"({len(data)} of {length} bytes)"
                 )
-            return data
+            if self.fault_injector is not None:
+                data = self.fault_injector.corrupt("page_read", data)
+            return self._verify_checksum(page_id, data)
         return b""
+
+    def _verify_checksum(self, page_id: int, data: bytes) -> bytes:
+        """Check a ``pages.dat`` slot image against its per-page checksum.
+
+        Bit-rot under data at rest (injected or real) surfaces here as a
+        typed :class:`~repro.errors.ChecksumError` tagged with the failure
+        domain — instead of pickle garbage deep inside a B+-tree node decode.
+        Pages from pre-checksum catalogs have no recorded checksum and pass
+        unverified.
+        """
+        expected = self._checksums.get(page_id)
+        if expected is not None and zlib.crc32(data) != expected:
+            error = ChecksumError(
+                f"{self.path}: page {page_id} failed its checksum in pages.dat "
+                "(bit-rot or torn slot write)"
+            )
+            if self.fault_injector is not None:
+                self.fault_injector.tag(error)
+            raise error
+        return data
+
+    def scrub(self) -> ScrubReport:
+        """Verify every checkpointed page slot against its checksum.
+
+        Reads go straight to ``pages.dat`` (no accounting, no cache) and only
+        cover pages whose authoritative image is the checkpoint slot — pages
+        overlaid by WAL images are already CRC-framed by the log.  Returns a
+        :class:`ScrubReport` instead of raising, so recovery tooling can
+        enumerate all rot at once.
+        """
+        self._check_open()
+        checked = 0
+        corrupt: list[int] = []
+        for page_id, length in sorted(self._lengths.items()):
+            if (length == 0 or page_id >= self._checkpointed_next_id
+                    or page_id in self._uncommitted or page_id in self._overlay):
+                continue
+            expected = self._checksums.get(page_id)
+            if expected is None:
+                continue
+            self._pages_file.seek(page_id * self.page_size)
+            data = self._pages_file.read(length)
+            checked += 1
+            if len(data) != length or zlib.crc32(data) != expected:
+                corrupt.append(page_id)
+        return ScrubReport(pages_checked=checked, corrupt_page_ids=tuple(corrupt))
 
     def _spill(self) -> None:
         """Move buffered page images into the WAL file, keeping only slots.
@@ -281,9 +388,22 @@ class FileBackedDisk(SimulatedDisk):
         pair per written page.  Spilled records are uncommitted until the next
         :meth:`commit_batch` — replay ignores them without a ``COMMIT``.
         """
+        injector = self.fault_injector
         for page_id, image in self._uncommitted.items():
             if isinstance(image, bytes):
-                self._uncommitted[page_id] = self.wal.append_write(page_id, image)
+                if injector is None:
+                    self._uncommitted[page_id] = self.wal.append_write(page_id, image)
+                else:
+                    # A torn append leaves a partial frame in the file; the
+                    # reset rolls the log back to the pre-append offset so
+                    # every retry starts from a clean tail.
+                    start = self.wal.size_bytes()
+                    self._uncommitted[page_id] = run_with_retries(
+                        injector, "wal_append",
+                        lambda image=image, page_id=page_id:
+                            self.wal.append_write(page_id, image),
+                        reset=lambda start=start: self.wal.truncate(start),
+                    )
         self._buffered_bytes = 0
 
     # -- durability protocol -----------------------------------------------------
@@ -304,6 +424,7 @@ class FileBackedDisk(SimulatedDisk):
             "bitmap": bitmap.to_bytes(),
             "lengths": {page_id: length
                         for page_id, length in self._lengths.items() if length},
+            "checksums": dict(self._checksums),
         }
 
     def commit_batch(self, catalog: dict) -> int:
@@ -317,9 +438,37 @@ class FileBackedDisk(SimulatedDisk):
         catalog = dict(catalog)
         catalog["disk"] = self.disk_state()
         self._spill()
-        self.committed_batches += 1
-        catalog["batch"] = self.committed_batches
-        self.wal.commit(self.committed_batches, pickle.dumps(catalog))
+        batch_id = self.committed_batches + 1
+        catalog["batch"] = batch_id
+        blob = pickle.dumps(catalog)
+        # Atomic commit: nothing below mutates commit state until the COMMIT
+        # record is durably fsynced.  A transient/torn/fsync fault rolls the
+        # log back to the pre-commit offset (the record was never durable —
+        # power-loss semantics) and retries; exhaustion escalates to a typed
+        # CommitError with the batch still uncommitted, fully in memory, and
+        # retryable — recovery after a crash lands on the *previous* commit.
+        pre_commit = self.wal.size_bytes()
+
+        def rollback() -> None:
+            if self.wal.size_bytes() > pre_commit:
+                self.wal.truncate(pre_commit)
+
+        try:
+            run_with_retries(
+                self.fault_injector, "wal_commit",
+                lambda: self.wal.commit(batch_id, blob),
+                reset=rollback,
+            )
+        except StorageError as exc:
+            rollback()
+            error = CommitError(
+                f"{self.path}: batch {batch_id} could not be made durable; "
+                "rolled back to the last committed state"
+            )
+            if self.fault_injector is not None:
+                self.fault_injector.tag(error)
+            raise error from exc
+        self.committed_batches = batch_id
         self._overlay.update(self._uncommitted)
         self._uncommitted.clear()
         self._buffered_bytes = 0
@@ -337,29 +486,94 @@ class FileBackedDisk(SimulatedDisk):
                 f"{self.path}: checkpoint with {len(self._uncommitted)} "
                 "uncommitted page writes; commit the batch first"
             )
-        catalog = dict(catalog)
-        catalog["disk"] = self.disk_state()
-        catalog["batch"] = self.committed_batches
+        # Fold first, catalog second: the catalog's checksum map must describe
+        # the slots as this checkpoint leaves them.  Until the final meta
+        # replace succeeds nothing is cleared, so any typed failure below
+        # leaves the old checkpoint + intact WAL — still fully recoverable.
+        injector = self.fault_injector
         for page_id, image in self._overlay.items():
             if page_id not in self._lengths:
                 continue  # freed after the write; the slot is dead
             payload = self.wal.read_slot(image) if isinstance(image, WalSlot) else image
-            self._pages_file.seek(page_id * self.page_size)
-            self._pages_file.write(payload)
+            if injector is None:
+                self._pages_file.seek(page_id * self.page_size)
+                self._pages_file.write(payload)
+            else:
+                # Slot writes are idempotent (same offset every attempt), so a
+                # torn write needs no reset — the retry simply rewrites it.
+                run_with_retries(
+                    injector, "data_write",
+                    lambda page_id=page_id, payload=payload:
+                        self._injected_slot_write(page_id, payload),
+                )
+            if payload:
+                self._checksums[page_id] = zlib.crc32(payload)
+            else:
+                self._checksums.pop(page_id, None)
         # Zero-fill to the allocation cursor so every live slot exists
         # (sparse where the filesystem supports it).
         self._pages_file.truncate(self._next_page_id * self.page_size)
         self._pages_file.flush()
-        os.fsync(self._pages_file.fileno())
-        tmp_path = os.path.join(self.path, _META_TMP)
-        with open(tmp_path, "wb") as handle:
-            pickle.dump(catalog, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, os.path.join(self.path, _META_FILE))
+        run_with_retries(
+            injector, "data_fsync",
+            lambda: self._injected_fsync("data_fsync", self._pages_file),
+        )
+        catalog = dict(catalog)
+        catalog["disk"] = self.disk_state()
+        catalog["batch"] = self.committed_batches
+        # The tmp file is rewritten from scratch on every attempt, so a torn
+        # meta write needs no reset either.
+        run_with_retries(
+            injector, "meta_write", lambda: self._write_meta(catalog)
+        )
+        os.replace(os.path.join(self.path, _META_TMP),
+                   os.path.join(self.path, _META_FILE))
+        # Without the directory fsync the rename itself can be lost on power
+        # failure, resurrecting the previous checkpoint under a truncated WAL.
+        fsync_directory(self.path)
         self._overlay.clear()
         self._checkpointed_next_id = self._next_page_id
         self.wal.truncate(0)
+
+    def _injected_slot_write(self, page_id: int, payload: bytes) -> None:
+        """One ``pages.dat`` slot write under the fault injector."""
+        injector = self.fault_injector
+        kind = injector.roll("data_write") if injector is not None else None
+        if kind == "enospc":
+            raise injector.tag(DiskFullError(
+                f"{self.path}: injected ENOSPC writing page {page_id}"
+            ))
+        self._pages_file.seek(page_id * self.page_size)
+        if kind == "torn":
+            self._pages_file.write(payload[: max(1, len(payload) // 2)])
+            raise TransientIOError(f"injected torn slot write of page {page_id}")
+        if kind == "transient":
+            raise TransientIOError(f"injected transient slot write of page {page_id}")
+        self._pages_file.write(payload)
+
+    def _injected_fsync(self, op: str, handle) -> None:
+        """One fsync under the fault injector (retry == call it again)."""
+        injector = self.fault_injector
+        if injector is not None and injector.roll(op) == "fsync":
+            raise TransientIOError(f"injected {op} failure")
+        os.fsync(handle.fileno())
+
+    def _write_meta(self, catalog: dict) -> None:
+        """Write and fsync the checkpoint catalog to the tmp file."""
+        injector = self.fault_injector
+        kind = injector.roll("meta_write") if injector is not None else None
+        if kind == "transient":
+            raise TransientIOError("injected transient meta write")
+        tmp_path = os.path.join(self.path, _META_TMP)
+        blob = pickle.dumps(catalog, protocol=pickle.HIGHEST_PROTOCOL)
+        with open(tmp_path, "wb") as handle:
+            if kind == "torn":
+                handle.write(blob[: max(1, len(blob) // 2)])
+                handle.flush()
+                raise TransientIOError("injected torn meta write")
+            handle.write(blob)
+            handle.flush()
+            self._injected_fsync("meta_fsync", handle)
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -38,15 +38,17 @@ def is_environment_dir(path: str) -> bool:
 
 
 def open_environment(path: str, cache_pages: int | None = None,
-                     wal_buffer_bytes: int = DEFAULT_WAL_BUFFER_BYTES
-                     ) -> StorageEnvironment:
+                     wal_buffer_bytes: int = DEFAULT_WAL_BUFFER_BYTES,
+                     max_batch: int | None = None) -> StorageEnvironment:
     """Recover a plain durable environment to its last committed batch.
 
     ``cache_pages`` overrides the persisted buffer-pool capacity (the cache
     starts cold either way).  The recovered environment's ``recovered_app_state``
-    holds the application blob of the commit it landed on.
+    holds the application blob of the commit it landed on.  ``max_batch`` caps
+    the WAL replay at a batch id (see :meth:`FileBackedDisk.open`).
     """
-    disk, catalog = FileBackedDisk.open(path, wal_buffer_bytes=wal_buffer_bytes)
+    disk, catalog = FileBackedDisk.open(path, wal_buffer_bytes=wal_buffer_bytes,
+                                        max_batch=max_batch)
     return StorageEnvironment.from_recovery(
         disk, catalog, path=path, cache_pages=cache_pages
     )
@@ -59,12 +61,23 @@ def open_sharded_environment(path: str, cache_pages: int | None = None,
 
     Each shard replays its own WAL; the logical store facades are rebuilt
     from the root registry.  Commits fan out with shard 0 last, so in normal
-    operation every shard recovers to the same batch id.  A crash *inside*
-    the fan-out window leaves some shard ahead of shard 0 (the commit
-    point); since the redo-only WAL cannot roll a committed shard back,
-    recovery refuses such a torn boundary with a :class:`StorageError`
-    naming the per-shard batch ids — pass ``allow_inconsistent=True`` to get
-    the environment anyway (for salvage tooling that understands the skew).
+    operation every shard recovers to the same batch id.  A crash (or an
+    injected commit fault) *inside* the fan-out window leaves some shard
+    *ahead* of shard 0 (the commit point); such a shard is rolled back to the
+    commit point by replaying its WAL only up to shard 0's batch id — the
+    overshooting commits are still in its log (fold happens at checkpoint,
+    and checkpoints also fan out with shard 0 last), so the rollback is a
+    prefix cut.  Only when the overshoot is *not* in the log any more (it
+    predates the shard's last checkpoint — a state no crash inside one
+    fan-out window can produce) does recovery refuse with a
+    :class:`StorageError` naming the per-shard batch ids; pass
+    ``allow_inconsistent=True`` to get the environment anyway (for salvage
+    tooling that understands the skew).
+
+    A shard *behind* shard 0 is accepted: degraded commits legitimately skip
+    quarantined shards (see ``ShardedEnvironment.commit(skip=...)``), so a
+    lower batch id only means the shard missed batches while quarantined —
+    its own state is still a consistent commit boundary.
     """
     registry_path = os.path.join(path, _REGISTRY_FILE)
     if not os.path.exists(registry_path):
@@ -88,14 +101,30 @@ def open_sharded_environment(path: str, cache_pages: int | None = None,
         for index in range(shard_count)
     ]
     batches = [shard.committed_batches for shard in shards]
-    if not allow_inconsistent and any(b != batches[0] for b in batches):
+    if any(b > batches[0] for b in batches):
+        # Torn group-commit fan-out: some shard committed a batch whose
+        # commit point (shard 0's record) never landed.  Its overshooting
+        # commits are still in its WAL — folds happen strictly after the
+        # whole fan-out — so roll it back by replaying only up to shard 0.
+        for index, batch in enumerate(batches):
+            if batch <= batches[0]:
+                continue
+            shards[index].crash()
+            shards[index] = open_environment(
+                _shard_path(path, index),
+                cache_pages=per_shard[index] if per_shard is not None else None,
+                max_batch=batches[0],
+            )
+        batches = [shard.committed_batches for shard in shards]
+    if not allow_inconsistent and any(b > batches[0] for b in batches):
         for shard in shards:
             shard.crash()
         raise StorageError(
             f"{path!r}: torn commit fan-out — per-shard committed batch ids "
-            f"{batches} disagree with the commit point (shard 0); the crash "
-            "fell inside the group-commit window and the shards cannot be "
-            "rolled back to a common boundary"
+            f"{batches} run ahead of the commit point (shard 0), and the "
+            "overshoot predates those shards' last checkpoint (not in their "
+            "logs any more), so they cannot be rolled back to the common "
+            "boundary"
         )
     return ShardedEnvironment.from_recovery(path, shards, registry)
 

@@ -33,7 +33,7 @@ import struct
 import zlib
 from dataclasses import dataclass, field
 
-from repro.errors import StorageError
+from repro.errors import DiskFullError, StorageError, TransientIOError
 
 _WRITE = b"W"
 _COMMIT = b"C"
@@ -97,6 +97,32 @@ class WriteAheadLog:
         self.stats = WalStats()
         self._file = open(path, "a+b")
         self._file.seek(0, os.SEEK_END)
+        #: Optional fault injector shared with the owning disk (see
+        #: :mod:`repro.storage.faults`).  ``None`` keeps appends/commits on
+        #: the plain fast path.
+        self.fault_injector = None
+
+    # -- fault plumbing -------------------------------------------------------
+
+    def _fault_frame(self, op: str, frame: bytes) -> None:
+        """Roll the injector before writing a record frame.
+
+        ``transient`` raises before any byte lands; ``torn`` writes a strict
+        prefix of the frame and then raises (what power loss mid-``write(2)``
+        leaves behind — the caller's retry must roll the file back first);
+        ``enospc`` escalates as a hard :class:`~repro.errors.DiskFullError`.
+        """
+        injector = self.fault_injector
+        kind = injector.roll(op)
+        if kind is None:
+            return
+        if kind == "enospc":
+            raise injector.tag(DiskFullError(f"injected ENOSPC on WAL {op}"))
+        if kind == "torn":
+            self._file.write(frame[: max(1, len(frame) // 2)])
+            self._file.flush()
+            raise TransientIOError(f"injected torn WAL {op}")
+        raise TransientIOError(f"injected transient WAL {op} failure")
 
     # -- appending -----------------------------------------------------------
 
@@ -112,6 +138,8 @@ class WriteAheadLog:
         crc = zlib.crc32(header)
         crc = zlib.crc32(payload, crc)
         start = self._file.tell()
+        if self.fault_injector is not None:
+            self._fault_frame("wal_append", header + payload + _CRC.pack(crc))
         self._file.write(header)
         self._file.write(payload)
         self._file.write(_CRC.pack(crc))
@@ -124,15 +152,26 @@ class WriteAheadLog:
 
         Appends the ``COMMIT`` record and fsyncs the file: this is the single
         durability point of a batch — before it, a crash loses the whole
-        batch; after it, recovery replays the batch in full.
+        batch; after it, recovery replays the batch in full.  An injected
+        ``fsync`` fault fires *after* the record reached the OS cache
+        (power-loss semantics: the record may or may not be durable), so the
+        caller must roll the log back to the pre-commit offset before
+        retrying.
         """
         header = _COMMIT_HEADER.pack(_COMMIT, batch_id, len(catalog))
         crc = zlib.crc32(header)
         crc = zlib.crc32(catalog, crc)
+        injector = self.fault_injector
+        if injector is not None:
+            self._fault_frame("wal_commit", header + catalog + _CRC.pack(crc))
         self._file.write(header)
         self._file.write(catalog)
         self._file.write(_CRC.pack(crc))
         self._file.flush()
+        if injector is not None and injector.roll("wal_fsync") == "fsync":
+            raise TransientIOError(
+                "injected fsync failure on WAL commit (power-loss window)"
+            )
         os.fsync(self._file.fileno())
         self.stats.records_appended += 1
         self.stats.batches_committed += 1
@@ -155,7 +194,13 @@ class WriteAheadLog:
     # -- lifecycle -----------------------------------------------------------
 
     def truncate(self, size: int = 0) -> None:
-        """Cut the log back to ``size`` bytes (checkpoint / torn-tail cleanup)."""
+        """Cut the log back to ``size`` bytes (checkpoint / torn-tail cleanup).
+
+        Deliberately free of injection sites: truncation is the *rollback*
+        half of every retry/abort path, and injecting faults into cleanup
+        would make failure handling itself unreliable (see the failure-model
+        notes in ARCHITECTURE.md).
+        """
         self._file.flush()
         self._file.truncate(size)
         self._file.seek(size)
@@ -177,7 +222,7 @@ class WriteAheadLog:
         return self._file.closed
 
 
-def replay(path: str) -> ReplayResult:
+def replay(path: str, max_batch: "int | None" = None) -> ReplayResult:
     """Scan a WAL file and return its longest valid committed prefix.
 
     The scan walks records sequentially, verifying each CRC; ``WRITE``
@@ -185,6 +230,12 @@ def replay(path: str) -> ReplayResult:
     only when its ``COMMIT`` record is reached intact.  A truncated or
     corrupt record ends the scan — everything from the last valid ``COMMIT``
     onwards is an uncommitted tail the caller should truncate.
+
+    ``max_batch`` caps the prefix at a batch id: commits beyond it are
+    treated as tail and discarded.  Sharded recovery uses this to roll a
+    shard that committed *inside* a torn group-commit fan-out back to the
+    commit point (batch ids in one log are strictly increasing, so the cap
+    is a clean prefix cut).
     """
     result = ReplayResult()
     if not os.path.exists(path):
@@ -212,6 +263,8 @@ def replay(path: str) -> ReplayResult:
                 )
             elif kind == _COMMIT:
                 _, batch_id, length = _COMMIT_HEADER.unpack(header)
+                if max_batch is not None and batch_id > max_batch:
+                    break
                 catalog = handle.read(length)
                 crc_raw = handle.read(_CRC.size)
                 if len(catalog) < length or len(crc_raw) < _CRC.size:

@@ -443,6 +443,14 @@ class ShardedKVStore:
         for env, part in zip(self._envs, self._parts):
             env.pool.drop(part.page_ids(accounted=accounted))
 
+    def _replace_part(self, shard: int, env: StorageEnvironment,
+                      store: KVStore) -> None:
+        """Swap in a recovered shard's environment and store (shard reopen)."""
+        self._envs[shard] = env
+        self._parts[shard] = store
+        if len(self._parts) == 1:
+            self._single = store
+
 
 @dataclass(frozen=True)
 class ShardedSegmentHandle:
@@ -525,6 +533,12 @@ class ShardedHeapFile:
     def drop_from_cache(self) -> None:
         for part in self._parts:
             part.drop_from_cache()
+
+    def _replace_part(self, shard: int, env: StorageEnvironment,
+                      heap: HeapFile) -> None:
+        """Swap in a recovered shard's environment and heap (shard reopen)."""
+        self._envs[shard] = env
+        self._parts[shard] = heap
 
     @property
     def segment_count(self) -> int:
@@ -631,8 +645,12 @@ class ShardedEnvironment:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, os.path.join(self.path, _REGISTRY_FILE))
+        from repro.storage.persistence.file_disk import fsync_directory
 
-    def commit(self, app_state: Any = None) -> int:
+        fsync_directory(self.path)
+
+    def commit(self, app_state: Any = None,
+               skip: "Iterable[int]" = ()) -> int:
         """Group-commit every shard; shard 0 (committed last) carries the blob.
 
         Shard 0's ``COMMIT`` record is the batch's commit point: it is written
@@ -641,16 +659,44 @@ class ShardedEnvironment:
         whenever the crash fell outside this fan-out window.  (A crash *inside*
         the window can leave shards one batch apart — the restart workload
         injects crashes between batches, where the boundary is exact.)
+
+        ``skip`` names quarantined shard indices excluded from the fan-out
+        (degraded commit): a skipped shard simply falls behind shard 0's batch
+        counter, which recovery accepts (only a shard *ahead* of shard 0
+        indicates a torn fan-out).  Shard 0 is the commit point and can never
+        be skipped.
         """
-        for shard in self.shards[1:]:
-            shard.commit()
+        skipped = set(skip)
+        if 0 in skipped:
+            raise StorageError(
+                "shard 0 carries the commit point and cannot be skipped; "
+                "reopen it before committing"
+            )
+        for index, shard in enumerate(self.shards[1:], start=1):
+            if index not in skipped:
+                shard.commit()
         return self.shards[0].commit(app_state=app_state)
 
-    def checkpoint(self, app_state: Any = None) -> int:
-        """Checkpoint every shard (commit, fold WAL into the paged file)."""
-        for shard in self.shards[1:]:
-            shard.checkpoint()
-        return self.shards[0].checkpoint(app_state=app_state)
+    def checkpoint(self, app_state: Any = None,
+                   skip: "Iterable[int]" = ()) -> int:
+        """Checkpoint every shard (commit, fold WAL into the paged file).
+
+        Two-phase: first the normal commit fan-out reaches the batch boundary
+        on every shard (shard 0's record last, as the commit point), and only
+        then does each shard fold its log into its paged file.  A crash or an
+        injected storage fault during a fold therefore finds every shard at
+        the *same* committed batch with its log intact — recoverable — rather
+        than one shard compacted ahead of a commit point that never got
+        written, which no replay could roll back.
+
+        ``skip`` excludes quarantined shards, as in :meth:`commit`.
+        """
+        batch = self.commit(app_state=app_state, skip=skip)
+        skipped = set(skip)
+        for index, shard in enumerate(self.shards):
+            if index not in skipped:
+                shard.fold()
+        return batch
 
     def close(self, app_state: Any = None) -> None:
         """Checkpoint (when durable) and close every shard.
@@ -727,6 +773,71 @@ class ShardedEnvironment:
     def shard_of_term(self, term: str) -> int:
         """The shard owning a term's lists (the resolver queries route through)."""
         return shard_of_term(term, self.shard_count)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def inject_faults(self, plan: Any) -> None:
+        """Attach a fault plan to every shard, each with its own derived seed.
+
+        Per-shard seeds (see :meth:`repro.storage.faults.FaultPlan.for_shard`)
+        keep shard schedules independent, and escalated hard errors carry the
+        shard index as their failure-domain tag — the router's quarantine
+        attribution.
+        """
+        for index, shard in enumerate(self.shards):
+            shard.inject_faults(plan.for_shard(index), shard=index)
+
+    def clear_faults(self) -> None:
+        """Detach every shard's injector."""
+        for shard in self.shards:
+            shard.clear_faults()
+
+    def fault_stats(self) -> Any:
+        """Aggregated :class:`~repro.storage.faults.FaultStats` across shards
+        (``None`` when no shard has an injector attached)."""
+        from repro.storage.faults import merged_fault_stats
+
+        stats = [s for s in (shard.fault_stats() for shard in self.shards)
+                 if s is not None]
+        return merged_fault_stats(stats) if stats else None
+
+    def scrub(self) -> list:
+        """Per-shard checksum scrub reports, in shard order (durable only)."""
+        return [shard.scrub() for shard in self.shards]
+
+    def reopen_shard(self, index: int) -> StorageEnvironment:
+        """Crash one shard and recover it from its own checkpoint + WAL.
+
+        The quarantine re-admission path: the shard's environment is replaced
+        by a fresh recovery to its last committed batch, and every store
+        facade is re-pointed at the recovered per-shard stores — facade
+        objects (and therefore the index methods holding them) stay stable.
+        Durable environments only; a memory shard has no durable state to
+        recover from.
+        """
+        if not self.durable:
+            raise StorageError(
+                "reopen_shard requires a durable environment; a memory shard "
+                "has no checkpoint to recover from"
+            )
+        if not 0 <= index < self.shard_count:
+            raise StorageError(
+                f"shard index {index} out of range for {self.shard_count} shards"
+            )
+        from repro.storage.persistence import open_environment
+
+        old = self.shards[index]
+        cache_pages = old.cache_pages
+        old.crash()
+        env = open_environment(_shard_path(self.path, index),
+                               cache_pages=cache_pages)
+        self.shards[index] = env
+        for name, (kind, _key_shard, _order) in self._store_policies.items():
+            if kind == "kv":
+                self._kvstores[name]._replace_part(index, env, env.kvstore(name))
+            else:
+                self._heapfiles[name]._replace_part(index, env, env.heapfile(name))
+        return env
 
     # -- concurrent execution -----------------------------------------------------
 

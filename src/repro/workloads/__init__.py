@@ -18,9 +18,19 @@
   service workload).
 * :mod:`repro.workloads.restart` — crash-storm / restart workloads against the
   durable engine: kill mid-batch, recover, verify the committed prefix.
+* :mod:`repro.workloads.chaos` — the same storms under *injected* storage
+  faults (transients, torn appends, failed fsyncs, ENOSPC, bit-rot), holding
+  the engine to typed failures and committed-prefix recovery.
 """
 
 from repro.workloads.archive import ArchiveConfig, InternetArchiveDataset
+from repro.workloads.chaos import (
+    ChaosStormConfig,
+    ChaosStormResult,
+    fault_seed_from_environ,
+    run_chaos_storm,
+    sweep_chaos_seeds,
+)
 from repro.workloads.multiclient import (
     MultiClientConfig,
     MultiClientDriver,
@@ -76,4 +86,9 @@ __all__ = [
     "build_persistent_index",
     "run_crash_storm",
     "sweep_crash_points",
+    "ChaosStormConfig",
+    "ChaosStormResult",
+    "fault_seed_from_environ",
+    "run_chaos_storm",
+    "sweep_chaos_seeds",
 ]

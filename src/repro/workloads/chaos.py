@@ -1,0 +1,401 @@
+"""Chaos storms: update/query traffic under injected storage faults.
+
+The restart workload (:mod:`repro.workloads.restart`) kills the process at a
+*chosen* instruction; real failures are messier — transient I/O errors,
+failed fsyncs, torn appends, ENOSPC and bit-rot arrive mid-operation on
+whatever the engine happened to be doing.  This driver replays a seeded
+update storm against an index with a :class:`~repro.storage.faults.FaultPlan`
+attached and holds the engine to the durability contract the whole time:
+
+* every operation either **succeeds**, raises a **typed**
+  :class:`~repro.errors.ReproError`, or **quarantines** the faulty shard —
+  never a bare ``OSError`` or silent corruption;
+* after any hard failure the index is crash-recovered, and its contents and
+  top-k answers must equal a fault-free memory twin holding exactly the
+  **committed prefix** of the storm — not one operation more or less;
+* on the memory backend (no durable state to recover) the chaos profile only
+  schedules faults the retry machinery absorbs, so the twin equivalence is
+  exact at every boundary.
+
+The twin is maintained incrementally: a storm cycle's operations are applied
+to the fault-free twin only after the real index durably commits them, so
+"the twin's state" and "the committed prefix" are the same object by
+construction.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.core.text_index import SVRTextIndex
+from repro.errors import ReproError, WorkloadError
+from repro.storage.faults import FaultPlan
+from repro.storage.sharding import shard_of_doc, shard_of_term
+from repro.workloads.restart import _corpus_triples, _verification_queries
+from repro.workloads.updates import (
+    ScoreUpdate,
+    UpdateWorkload,
+    UpdateWorkloadConfig,
+    resolve_batch,
+    window_updates,
+)
+
+
+def fault_seed_from_environ(default: "int | None" = None) -> "int | None":
+    """The chaos seed from ``REPRO_FAULT_SEED`` (``default`` when unset).
+
+    The CI chaos leg sets this to replay the whole chaos suite under several
+    deterministic fault schedules.
+    """
+    raw = os.environ.get("REPRO_FAULT_SEED", "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class ChaosStormConfig:
+    """Parameters of one chaos-storm run.
+
+    ``fault_seed`` seeds :meth:`FaultPlan.chaos` for the chosen ``backend``;
+    ``rate``/``escalations`` are forwarded to it.  ``doc_churn`` interleaves
+    document inserts/deletes with the score-update batches so the
+    content-change paths face faults too.
+    """
+
+    num_batches: int = 8
+    batch_size: int = 16
+    checkpoint_every: int = 4
+    doc_churn: bool = True
+    verify_queries: int = 6
+    k: int = 5
+    seed: int = 11
+    fault_seed: int = 0
+    backend: str = "file"
+    rate: float = 0.02
+    escalations: int = 1
+    update_config: "UpdateWorkloadConfig | None" = None
+
+    def __post_init__(self) -> None:
+        if self.num_batches < 1:
+            raise WorkloadError("num_batches must be at least 1")
+        if self.batch_size < 1:
+            raise WorkloadError("batch_size must be at least 1")
+        if self.backend not in ("memory", "file"):
+            raise WorkloadError(
+                f"backend must be 'memory' or 'file', got {self.backend!r}"
+            )
+
+
+@dataclass
+class ChaosStormResult:
+    """Outcome of one chaos-storm run (see :func:`run_chaos_storm`)."""
+
+    method: str
+    backend: str
+    cycles_attempted: int = 0
+    cycles_committed: int = 0
+    recoveries: int = 0
+    typed_errors: list[str] = field(default_factory=list)
+    degraded_queries: int = 0
+    quarantine_events: int = 0
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    escalations: int = 0
+    scrub_clean: bool = True
+    contents_match: bool = True
+    topk_match: bool = True
+    unrecovered: bool = False
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def survived(self) -> bool:
+        """The pass criterion: recovered state equals the committed prefix,
+        data at rest scrubs clean, and every failure was typed."""
+        return (self.contents_match and self.topk_match
+                and self.scrub_clean and not self.unrecovered)
+
+
+def _merge_fault_stats(result: ChaosStormResult, index: SVRTextIndex) -> None:
+    stats = index.fault_stats()
+    if stats is None:
+        return
+    for kind, count in stats.injected.items():
+        result.faults_injected[kind] = result.faults_injected.get(kind, 0) + count
+    result.retries += stats.retries
+    result.escalations += stats.escalations
+
+
+class _ChaosRun:
+    """One storm's mutable machinery: the faulted index, its twin, the plan."""
+
+    def __init__(self, path: "str | None", method: str,
+                 triples: Sequence[tuple[int, list[str], float]],
+                 config: ChaosStormConfig, cache_pages: int, page_size: int,
+                 shards: int, method_options: dict) -> None:
+        self.path = path
+        self.method = method
+        self.config = config
+        self.cache_pages = cache_pages
+        self.page_size = page_size
+        self.shards = shards
+        self.method_options = method_options
+        self.plan = FaultPlan.chaos(
+            config.fault_seed, backend=config.backend,
+            rate=config.rate, escalations=config.escalations,
+        )
+        self.result = ChaosStormResult(method=method, backend=config.backend)
+        self.triples = triples
+        self.queries = _verification_queries(triples, config.verify_queries,
+                                             config.seed)
+        self.index = self._build(durable=config.backend == "file")
+        self.twin = self._build(durable=False)
+        self._fill(self.twin)
+        self._fill(self.index)
+        if self.index.durable:
+            self.index.checkpoint()
+        self.index.inject_faults(self.plan)
+
+    def _build(self, durable: bool) -> SVRTextIndex:
+        return SVRTextIndex(
+            method=self.method, path=self.path if durable else None,
+            cache_pages=self.cache_pages, page_size=self.page_size,
+            shards=self.shards, **self.method_options,
+        )
+
+    def _fill(self, index: SVRTextIndex) -> None:
+        for doc_id, terms, score in self.triples:
+            index.add_document_terms(doc_id, terms, score)
+        index.finalize()
+
+    # -- failure handling ----------------------------------------------------
+
+    def recover(self) -> bool:
+        """Crash the faulted index and recover the committed prefix.
+
+        Returns ``False`` on the memory backend, which has nothing to recover
+        from — the caller must end the storm (``unrecovered``).
+        """
+        _merge_fault_stats(self.result, self.index)
+        if not self.index.durable:
+            return False
+        self.result.recoveries += 1
+        self.index.crash()
+        self.index = SVRTextIndex.open(self.path)
+        # Recovery itself runs fault-free; the storm continues faulted.
+        self.index.inject_faults(self.plan)
+        return True
+
+    def run_cycle(self, position: int,
+                  batch: "list[ScoreUpdate]") -> bool:
+        """One storm cycle: churn + batch + commit, twin updated on success.
+
+        Returns whether the storm can continue (``False`` = unrecoverable).
+        """
+        config = self.config
+        self.result.cycles_attempted += 1
+        replay: list[tuple[str, tuple]] = []
+        try:
+            if config.doc_churn:
+                doc_id = 10_000_000 + position // 2
+                if position % 2 == 0:
+                    args = (doc_id, ["churn", f"churn{position:03d}"],
+                            50.0 * (position + 1))
+                    self.index.insert_document_terms(*args)
+                    replay.append(("insert", args))
+                elif self.twin.current_score(doc_id) is not None:
+                    # Guard against the insert cycle having been rolled back:
+                    # the twin holds the committed state, so "exists on the
+                    # twin" is exactly "exists on the recovered index".
+                    self.index.delete_document(doc_id)
+                    replay.append(("delete", (doc_id,)))
+            touched = {update.doc_id for update in batch}
+            current = {
+                doc_id: score
+                for doc_id in touched
+                if (score := self.twin.current_score(doc_id)) is not None
+            }
+            resolved = resolve_batch(batch, current)
+            if resolved:
+                self.index.apply_score_updates(resolved)
+                replay.append(("updates", (resolved,)))
+            if (config.checkpoint_every
+                    and (position + 1) % config.checkpoint_every == 0):
+                self.index.checkpoint()
+            else:
+                self.index.commit()
+        except ReproError as exc:
+            self.result.typed_errors.append(type(exc).__name__)
+            if not self.recover():
+                self.result.unrecovered = True
+                return False
+            return True
+        # Durably committed: the cycle joins the committed prefix.
+        self.result.cycles_committed += 1
+        for kind, args in replay:
+            if kind == "insert":
+                self.twin.insert_document_terms(*args)
+            elif kind == "delete":
+                self.twin.delete_document(*args)
+            else:
+                self.twin.apply_score_updates(*args)
+        return self.probe_query(position)
+
+    def probe_query(self, position: int) -> bool:
+        """One mid-storm query; degraded answers are tolerated and counted."""
+        queries = self.queries
+        if not queries:
+            return True
+        keywords = queries[position % len(queries)]
+        try:
+            response = self.index.search(keywords, k=self.config.k)
+        except ReproError as exc:
+            self.result.typed_errors.append(type(exc).__name__)
+            if not self.recover():
+                self.result.unrecovered = True
+                return False
+            return True
+        if response.stats.degraded or self.index.degraded:
+            self.result.degraded_queries += int(response.stats.degraded)
+            self.result.quarantine_events += len(self.index.quarantined_shards())
+            # A quarantined shard must not limp into degraded commits here —
+            # the twin tracks the *global* committed prefix, so heal by
+            # crash-recovery (which rolls every shard to that prefix).
+            if not self.recover():
+                self.result.unrecovered = True
+                return False
+            return True
+        expected = self.twin.search(keywords, k=self.config.k)
+        got = [(r.doc_id, r.score) for r in response.results]
+        want = [(r.doc_id, r.score) for r in expected.results]
+        if got != want:
+            self.result.topk_match = False
+            self.result.mismatches.append(
+                f"mid-storm query {keywords}: expected {want}, got {got}"
+            )
+        return True
+
+
+def _final_verification(run: _ChaosRun) -> None:
+    """Compare the recovered index against the committed-prefix twin."""
+    result, config = run.result, run.config
+    index, twin = run.index, run.twin
+    index.clear_faults()
+    if index.degraded:
+        # Lingering quarantine past the storm: heal it before comparing.
+        if not run.recover():
+            result.unrecovered = True
+            return
+        index = run.index
+        index.clear_faults()
+    excluded = set(index.quarantined_shards())
+    shard_count = index.shard_count
+    doc_ids = sorted(set(twin.documents.doc_ids())
+                     | set(index.documents.doc_ids()))
+    for doc_id in doc_ids:
+        if excluded and shard_of_doc(doc_id, shard_count) in excluded:
+            continue
+        expected = twin.current_score(doc_id)
+        actual = index.current_score(doc_id)
+        if expected != actual:
+            result.contents_match = False
+            result.mismatches.append(
+                f"doc {doc_id}: expected {expected}, got {actual}"
+            )
+    for keywords in run.queries:
+        if excluded and any(shard_of_term(term, shard_count) in excluded
+                            for term in keywords):
+            continue
+        want = [(r.doc_id, r.score)
+                for r in twin.search(keywords, k=config.k).results]
+        if excluded and any(shard_of_doc(doc_id, shard_count) in excluded
+                            for doc_id, _score in want):
+            continue
+        got = [(r.doc_id, r.score)
+               for r in index.search(keywords, k=config.k).results]
+        if got != want:
+            result.topk_match = False
+            result.mismatches.append(
+                f"query {keywords}: expected {want}, got {got}"
+            )
+    if index.durable:
+        reports = index.scrub()
+        reports = reports if isinstance(reports, list) else [reports]
+        for report in reports:
+            if report is not None and not report.clean:
+                result.scrub_clean = False
+                result.mismatches.append(
+                    f"scrub: corrupt pages {list(report.corrupt_page_ids)}"
+                )
+
+
+def run_chaos_storm(path: "str | None", method: str, corpus: Iterable[Any],
+                    config: "ChaosStormConfig | None" = None,
+                    cache_pages: int = 1024, page_size: int = 512,
+                    shards: int = 2,
+                    **method_options: Any) -> ChaosStormResult:
+    """One full chaos cycle: build, storm under faults, recover, verify.
+
+    ``path`` is the durable directory (required for ``backend='file'``,
+    ignored for ``'memory'``).  The returned result's :attr:`survived` is the
+    single pass/fail bit: typed failures only, recovered state equal to the
+    committed prefix of the fault-free twin, and clean checksums at rest.
+    """
+    config = config if config is not None else ChaosStormConfig()
+    if config.backend == "file" and path is None:
+        raise WorkloadError("the file backend needs a durable path")
+    triples = _corpus_triples(corpus)
+    initial_scores = {doc_id: score for doc_id, _terms, score in triples}
+    update_config = config.update_config or UpdateWorkloadConfig(
+        num_updates=config.num_batches * config.batch_size,
+        seed=config.seed,
+    )
+    stream = UpdateWorkload(update_config, initial_scores).generate_list()
+    batches = list(window_updates(stream, config.batch_size))[: config.num_batches]
+
+    run = _ChaosRun(path, method, triples, config, cache_pages, page_size,
+                    shards, method_options)
+    for position, batch in enumerate(batches):
+        if not run.run_cycle(position, batch):
+            break
+    _merge_fault_stats(run.result, run.index)
+    _final_verification(run)
+    run.index.clear_faults()
+    run.index.close()
+    run.twin.close()
+    return run.result
+
+
+def sweep_chaos_seeds(base_path: str, method: str, corpus: Iterable[Any],
+                      seeds: Sequence[int] = (0, 1, 2),
+                      config: "ChaosStormConfig | None" = None,
+                      **kwargs: Any) -> list[ChaosStormResult]:
+    """Run the storm under several fault seeds (one directory per seed)."""
+    import dataclasses
+
+    config = config if config is not None else ChaosStormConfig()
+    results = []
+    for seed in seeds:
+        run_config = dataclasses.replace(config, fault_seed=seed)
+        directory = (os.path.join(base_path, f"chaos-{seed:03d}")
+                     if run_config.backend == "file" else None)
+        results.append(
+            run_chaos_storm(directory, method, corpus, config=run_config,
+                            **kwargs)
+        )
+    return results
+
+
+__all__ = [
+    "ChaosStormConfig",
+    "ChaosStormResult",
+    "fault_seed_from_environ",
+    "run_chaos_storm",
+    "sweep_chaos_seeds",
+]

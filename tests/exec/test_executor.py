@@ -7,7 +7,11 @@ import time
 
 import pytest
 
-from repro.errors import StorageError
+from repro.errors import (
+    ExecutorClosedError,
+    ExecutorError,
+    ShardTimeoutError,
+)
 from repro.exec.executor import ExecutorPool, ShardExecutor, ShardFuture
 from repro.exec.fanout import StreamPump
 from repro.exec.locks import ReadWriteLock
@@ -82,8 +86,27 @@ class TestShardExecutor:
         executor = ShardExecutor("t-exec-close")
         executor.close()
         executor.close()
-        with pytest.raises(StorageError):
+        with pytest.raises(ExecutorClosedError):
             executor.submit(lambda: None)
+
+    def test_kill_rejects_submissions_until_revived(self):
+        executor = ShardExecutor("t-exec-kill")
+        assert executor.submit(lambda: 1).result() == 1
+        executor.kill()
+        executor.kill()  # idempotent
+        assert executor.dead and not executor.closed
+        with pytest.raises(ExecutorClosedError, match="dead"):
+            executor.submit(lambda: None)
+        executor.close()
+
+    def test_timeout_raises_typed_and_builtin_compatible_error(self):
+        future = ShardFuture()  # never resolves
+        with pytest.raises(ShardTimeoutError):
+            future.result(timeout=0.01)
+        with pytest.raises(TimeoutError):  # builtin idiom keeps working
+            future.result(timeout=0.01)
+        with pytest.raises(ExecutorError):
+            future.result(timeout=0.01)
 
 
 class TestExecutorPool:
@@ -132,6 +155,24 @@ class TestExecutorPool:
         with ExecutorPool(shard_count=3, threads=3) as pool:
             results = pool.map_shards([(s, (lambda s=s: s * 10)) for s in range(3)])
             assert results == [0, 10, 20]
+
+    def test_killed_executor_failure_is_shard_tagged_and_revivable(self):
+        with ExecutorPool(shard_count=2, threads=2) as pool:
+            assert pool.kill_executor(1)
+            with pytest.raises(ExecutorClosedError) as info:
+                pool.submit(1, lambda: None)
+            assert info.value.shard == 1
+            # the other shard's executor is unaffected, barrier skips the dead one
+            assert pool.run_on(0, lambda: "ok") == "ok"
+            pool.barrier()
+            assert pool.revive(1)
+            assert not pool.revive(1)  # already live
+            assert pool.run_on(1, lambda: "back") == "back"
+
+    def test_inline_pool_has_no_executor_to_kill(self):
+        pool = ExecutorPool(shard_count=2, threads=1)
+        assert not pool.kill_executor(0)
+        assert not pool.revive(0)
 
 
 class TestReadWriteLock:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import zlib
 
 import pytest
 from hypothesis import given, settings
@@ -237,6 +238,85 @@ class TestWalReplay:
         assert catalog["round"] == 0
         recovered.close()
 
+    # -- raw-frame edge cases ------------------------------------------------
+    # A power cut can land the tear at any byte offset; these pin the three
+    # boundary positions the sequential scan must each treat as "tail ends
+    # here": inside a record's CRC trailer, inside the next record's header,
+    # and inside a COMMIT whose WRITE prefix must then be discarded whole.
+
+    @staticmethod
+    def _write_frame(page_id: int, payload: bytes) -> bytes:
+        from repro.storage.persistence.wal import _CRC, _WRITE, _WRITE_HEADER
+        header = _WRITE_HEADER.pack(_WRITE, page_id, len(payload))
+        crc = zlib.crc32(payload, zlib.crc32(header))
+        return header + payload + _CRC.pack(crc)
+
+    @staticmethod
+    def _commit_frame(batch_id: int, catalog: bytes) -> bytes:
+        from repro.storage.persistence.wal import _COMMIT, _COMMIT_HEADER, _CRC
+        header = _COMMIT_HEADER.pack(_COMMIT, batch_id, len(catalog))
+        crc = zlib.crc32(catalog, zlib.crc32(header))
+        return header + catalog + _CRC.pack(crc)
+
+    def test_truncation_inside_crc_trailer_drops_the_record(self, tmp_path):
+        wal_path = str(tmp_path / "wal.log")
+        first = self._write_frame(0, b"alpha") + self._commit_frame(1, b"c1")
+        second = self._write_frame(1, b"beta") + self._commit_frame(2, b"c2")
+        with open(wal_path, "wb") as handle:
+            # Cut 2 bytes into the second commit's 4-byte CRC trailer: the
+            # header and catalog are fully present, only the trailer is short.
+            handle.write(first + second[:-2])
+        result = replay(wal_path)
+        assert result.batch_id == 1
+        assert result.catalog == b"c1"
+        assert result.valid_bytes == len(first)
+        assert list(result.pages) == [0]
+
+    def test_valid_record_then_partial_header_ends_the_scan(self, tmp_path):
+        wal_path = str(tmp_path / "wal.log")
+        first = self._write_frame(0, b"alpha") + self._commit_frame(1, b"c1")
+        torn_header = self._write_frame(7, b"gamma")[:5]  # header is 13 bytes
+        with open(wal_path, "wb") as handle:
+            handle.write(first + torn_header)
+        result = replay(wal_path)
+        assert result.batch_id == 1
+        assert result.valid_bytes == len(first)
+        # Recovery truncates the partial header away entirely.
+        disk_path = str(tmp_path / "d")
+        disk = FileBackedDisk(disk_path, page_size=128)
+        disk.checkpoint({})
+        page_id = disk.allocate()
+        page = disk.read(page_id)
+        page.write(b"kept")
+        disk.write(page)
+        disk.commit_batch({"app": "kept"})
+        disk.close()
+        wal_file = os.path.join(disk_path, "wal.log")
+        committed_bytes = os.path.getsize(wal_file)
+        with open(wal_file, "ab") as handle:
+            handle.write(torn_header)
+        recovered, catalog = FileBackedDisk.open(disk_path)
+        assert recovered.wal.size_bytes() == committed_bytes
+        assert catalog["app"] == "kept"
+        assert recovered.peek(page_id).data == b"kept"
+        recovered.close()
+
+    def test_corrupted_commit_discards_its_write_prefix(self, tmp_path):
+        wal_path = str(tmp_path / "wal.log")
+        first = self._write_frame(0, b"alpha") + self._commit_frame(1, b"c1")
+        writes = self._write_frame(1, b"beta") + self._write_frame(2, b"delta")
+        commit = bytearray(self._commit_frame(2, b"c2"))
+        commit[-6] ^= 0xFF  # corrupt the catalog, so the CRC check fails
+        with open(wal_path, "wb") as handle:
+            handle.write(first + writes + bytes(commit))
+        result = replay(wal_path)
+        # The batch's WRITE records were intact, but without a valid COMMIT
+        # they never existed: pages 1 and 2 must not appear in the result.
+        assert result.batch_id == 1
+        assert result.catalog == b"c1"
+        assert sorted(result.pages) == [0]
+        assert result.valid_bytes == len(first)
+
 
 # ---------------------------------------------------------------------------
 # Environment-level durability
@@ -390,10 +470,11 @@ class TestShardedDurability:
         assert recovered.shard_of_term("w05") == handle.shard
         recovered.close()
 
-    def test_torn_commit_fanout_is_refused(self, tmp_path):
+    def test_torn_commit_fanout_rolls_back_to_commit_point(self, tmp_path):
         """A crash inside the commit fan-out leaves shards one batch apart;
-        recovery must refuse the torn boundary instead of silently mixing
-        two batch states (unless explicitly overridden)."""
+        recovery rolls the overshooting shard back to the commit point
+        (shard 0's batch) instead of mixing two batch states — the extra
+        commit is still in that shard's WAL, so it is a clean prefix cut."""
         path = str(tmp_path / "torn")
         env = ShardedEnvironment(shard_count=2, cache_pages=16,
                                  page_size=256, path=path)
@@ -403,15 +484,18 @@ class TestShardedDurability:
         # Simulate a crash between shard 1's commit and shard 0's: commit
         # only the non-commit-point shard.
         kv.put(("b", 2), 2)
+        shard_of_b = env.shard_of_term("b")
+        assert shard_of_b == 1, "test assumes 'b' routes to shard 1"
         env.shards[1].commit()
         env.crash()
 
-        with pytest.raises(StorageError, match="torn commit fan-out"):
-            open_sharded_environment(path)
-        salvage = open_sharded_environment(path, allow_inconsistent=True)
-        assert (salvage.shards[1].committed_batches
-                == salvage.shards[0].committed_batches + 1)
-        salvage.close()
+        recovered = open_sharded_environment(path)
+        assert (recovered.shards[1].committed_batches
+                == recovered.shards[0].committed_batches)
+        rkv = recovered.kvstore("x.kv")
+        assert rkv.get(("a", 1)) == 1
+        assert rkv.get(("b", 2), default=None) is None
+        recovered.close()
 
     def test_open_any_environment_dispatches(self, tmp_path):
         plain_path = str(tmp_path / "plain")
