@@ -491,6 +491,65 @@ def bench_parallel_query_throughput(macro_docs: int, **_: object) -> dict:
     }
 
 
+def bench_block_skip_query(macro_docs: int, **_: object) -> dict:
+    """Block-max pruned top-k queries through the parallel fan-out.
+
+    A zipf-skewed corpus (few hot terms with very long lists) queried
+    conjunctive top-5 through ``IndexRouter(shards=4, threads=4)`` with the
+    blocked codec and pruning on — the regime where the executor-side stream
+    pumps consult the shared heap threshold and stop decoding at block
+    granularity.  ``extra["blocks_skipped"]`` records how many blocks the
+    skip step avoided reading (the pruning-effectiveness signal the
+    trajectory tracks alongside the throughput number); a drop to zero means
+    the skip step silently stopped firing even if wall-clock looks fine.
+    """
+    from repro.core.index_router import IndexRouter
+
+    # The skip step needs lists long enough that the heap floor passes a
+    # block bound, and a post-build update storm (updates promote documents
+    # into the short lists, which is what arms the pruning bound) — below
+    # ~4000 documents the whole workload fits ahead of the floor and nothing
+    # skips, so both scales share that minimum.
+    n_docs = max(4000, macro_docs * 4)
+    terms = [f"t{i:02d}" for i in range(12)]
+    rng = random.Random(3)
+    router = IndexRouter.build("score_threshold", shard_count=4, threads=4,
+                               page_size=512, cache_pages=4096,
+                               threshold_ratio=1.2)
+    for doc_id in range(n_docs):
+        count = rng.randint(3, 8)
+        chosen = [terms[min(int(rng.paretovariate(1.3)) % 12, 11)]
+                  for _ in range(count)]
+        router.add_document(doc_id, rng.expovariate(0.002) + 1.0, terms=chosen)
+    router.finalize()
+    update_rng = random.Random(99)
+    for _ in range(150):
+        router.update_score(update_rng.randrange(n_docs),
+                            update_rng.expovariate(0.002) + 1.0)
+    if router._pool is not None:
+        # Lazy pumps make the page/skip accounting deterministic across runs.
+        router._pool.scatter = False
+    queries = [(["t00", "t01"], 5, True), (["t00"], 5, False),
+               (["t01", "t02"], 3, False), (["t03", "t05", "t07"], 5, False)]
+    rounds = 3
+    operations = skipped = pages = 0
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for keywords, k, conjunctive in queries:
+            router.drop_long_list_cache()
+            response = router.query(keywords, k=k, conjunctive=conjunctive)
+            skipped += response.stats.blocks_skipped
+            pages += response.stats.pages_read
+            operations += 1
+    elapsed = time.perf_counter() - start
+    router.shutdown()
+    return {
+        "seconds": elapsed,
+        "operations": operations,
+        "extra": {"blocks_skipped": skipped, "pages_read": pages},
+    }
+
+
 def bench_adaptive_batch_window(docs: int, terms: int, updates: int,
                                 **_: object) -> dict:
     """Adaptive vs fixed update windows on a fig7-style batched storm.
@@ -614,6 +673,7 @@ BENCHES = {
     "fault_overhead": bench_fault_overhead,
     "sharded_query_throughput": bench_sharded_query_throughput,
     "parallel_query_throughput": bench_parallel_query_throughput,
+    "block_skip_query": bench_block_skip_query,
     "adaptive_batch_window": bench_adaptive_batch_window,
     "buffer_policy_scan": bench_buffer_policy_scan,
 }
@@ -704,7 +764,27 @@ def main() -> int:
                         help="allowed fractional slowdown for --check")
     parser.add_argument("--reps", type=int, default=3,
                         help="repetitions per bench; the fastest is kept")
+    parser.add_argument("--floor", action="append", default=[],
+                        metavar="NAME=OPS_PER_SEC",
+                        help="absolute throughput floor for one benchmark; "
+                             "fails the run when the measured ops/s lands "
+                             "below it.  Unlike --check (relative to the last "
+                             "committed same-environment entry), a floor "
+                             "cannot drift: a sequence of sub-tolerance "
+                             "regressions that each pass the relative gate "
+                             "still trips the floor once the cumulative loss "
+                             "is real.  Repeatable.")
     args = parser.parse_args()
+
+    floors: dict[str, float] = {}
+    for spec in args.floor:
+        name, _, value = spec.partition("=")
+        if name not in BENCHES:
+            parser.error(f"--floor: unknown benchmark {name!r}")
+        try:
+            floors[name] = float(value)
+        except ValueError:
+            parser.error(f"--floor: bad threshold in {spec!r}")
 
     trajectory = load_trajectory()
     environment = _environment()
@@ -729,6 +809,16 @@ def main() -> int:
     elif args.check:
         print(f"no committed {environment} baseline for scale {args.scale} "
               f"- nothing to check (commit one from this environment to arm the gate)")
+
+    if floors:
+        print("\nabsolute floors:")
+        for name, floor in sorted(floors.items()):
+            measured = results[name]["ops_per_sec"]
+            below = measured < floor
+            if below:
+                status = 1
+            print(f"  {name:24s} {measured:>12.1f} ops/s  "
+                  f"(floor {floor:.0f}){'  << BELOW FLOOR' if below else ''}")
 
     if args.append:
         entry = {

@@ -541,7 +541,13 @@ class IndexRouter:
             stats = QueryStats()
             per_term = [QueryStats() for _ in terms]
             epoch = self.shard_snapshots()
-            plans = self.index._term_scan_plans(terms, lambda index: per_term[index])
+            # The threshold is shared by every per-term plan: the merge thread
+            # publishes a monotone heap floor, shard executors consult it while
+            # prefetching.  Stale reads only under-prune, so no lock is needed.
+            threshold = self.index._make_query_threshold()
+            plans = self.index._term_scan_plans(
+                terms, lambda index: per_term[index], threshold
+            )
             latches = getattr(self.env, "shard_latches", None)
             pumps = pump_plans(
                 self._pool,
@@ -553,7 +559,8 @@ class IndexRouter:
             )
             try:
                 results = self.index._merge_term_streams(
-                    [pump.stream() for pump in pumps], terms, k, conjunctive, stats
+                    [pump.stream() for pump in pumps], terms, k, conjunctive,
+                    stats, threshold
                 )
             finally:
                 for pump in pumps:
@@ -561,6 +568,7 @@ class IndexRouter:
             for scan_stats in per_term:
                 stats.postings_scanned += scan_stats.postings_scanned
                 stats.chunks_scanned += scan_stats.chunks_scanned
+                stats.blocks_skipped += scan_stats.blocks_skipped
             deltas = self.shard_deltas(epoch)
             stats.pages_read = sum(delta.page_reads for delta in deltas)
             stats.page_writes = sum(delta.page_writes for delta in deltas)

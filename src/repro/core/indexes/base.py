@@ -23,7 +23,15 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
-from repro.errors import DocumentNotFoundError, InvertedIndexError, QueryError, StorageError
+from repro.errors import (
+    DocumentNotFoundError,
+    InvertedIndexError,
+    QueryError,
+    ReproError,
+    StorageError,
+)
+from repro.core.posting import blocked_postings_enabled
+from repro.core.result_heap import HeapThreshold
 from repro.storage.environment import StorageEnvironment
 from repro.storage.sharding import ShardedEnvironment, ShardedKVStore
 from repro.text.documents import Document, DocumentStore
@@ -51,6 +59,9 @@ class QueryStats:
     score_lookups: int = 0
     heap_offers: int = 0
     chunks_scanned: int = 0
+    #: Long-list blocks whose pages were never fetched because their block-max
+    #: bound could not beat the result heap's published threshold.
+    blocks_skipped: int = 0
     stopped_early: bool = False
     pages_read: int = 0
     page_writes: int = 0
@@ -115,6 +126,17 @@ class InvertedIndex(abc.ABC):
         from it.
     name:
         Index name, used to derive store names inside the environment.
+    blocked_postings:
+        Whether long lists are written with the blocked codec (per-block skip
+        metadata + CRC; see :mod:`repro.core.posting`).  ``None`` (default)
+        resolves the process-wide :func:`blocked_postings_enabled` flag —
+        ``REPRO_BLOCKED_POSTINGS=0`` is the fidelity off-switch that keeps the
+        seed's legacy payloads and I/O fingerprints bit-identical.
+    block_max_pruning:
+        Whether query scans may skip whole blocks whose max-score bound cannot
+        beat the result-heap threshold.  Only effective with the blocked
+        codec; the pruning-equivalence tests turn it off to compare against
+        the unpruned scan over the *same* payloads.
     """
 
     #: Registry name of the method; subclasses override.
@@ -123,10 +145,17 @@ class InvertedIndex(abc.ABC):
     stores_term_scores = False
 
     def __init__(self, env: "StorageEnvironment | ShardedEnvironment",
-                 documents: DocumentStore, name: str = "svr") -> None:
+                 documents: DocumentStore, name: str = "svr",
+                 blocked_postings: "bool | None" = None,
+                 block_max_pruning: bool = True) -> None:
         self.env = env
         self.documents = documents
         self.name = name
+        self.blocked_postings = (
+            blocked_postings_enabled() if blocked_postings is None
+            else bool(blocked_postings)
+        )
+        self.block_max_pruning = bool(block_max_pruning)
         self.score_table = self._create_kvstore(f"{name}.score", key_shard="doc")
         self.deleted_table = self._create_kvstore(f"{name}.deleted", key_shard="doc")
         self.update_stats = UpdateStats()
@@ -406,12 +435,54 @@ class InvertedIndex(abc.ABC):
         constructs the streams inline, in term order, exactly as the
         pre-refactor monolithic implementations did.
         """
-        plans = self._term_scan_plans(terms, lambda term_index: stats)
+        threshold = self._make_query_threshold()
+        plans = self._term_scan_plans(terms, lambda term_index: stats, threshold)
         streams = [plan() for _term, plan in plans]
-        return self._merge_term_streams(streams, terms, k, conjunctive, stats)
+        return self._merge_term_streams(streams, terms, k, conjunctive, stats,
+                                        threshold)
+
+    def _make_query_threshold(self) -> "HeapThreshold | None":
+        """Per-query shared threshold for block-max pruning, or ``None``.
+
+        Created by the query driver *before* the scan plans are built so the
+        parallel fan-out can hand the same object to every shard executor —
+        the scans only ever read the (monotone) floor, the merge's result
+        heap only ever raises it, so sharing it across threads is race-free
+        by construction.  ``None`` whenever pruning cannot apply (legacy
+        codec, or pruning disabled), which keeps the scans' skip step inert.
+        """
+        if not (self.blocked_postings and self.block_max_pruning):
+            return None
+        return HeapThreshold()
+
+    def _tag_scan_errors(self, handle, postings):
+        """Attribute hard scan failures to the owning failure domain.
+
+        Long-list payload corruption (a failed block CRC, a torn varint) is
+        detected by the codec deep inside a scan iterator, far from any shard
+        bookkeeping.  When the segment handle carries a shard id — as it does
+        on sharded environments — stamp untagged :class:`ReproError`\\ s with
+        it on the way out, so the router's quarantine logic can confine the
+        fault to that shard instead of failing the whole query.  Handles
+        without a shard (single-shard environments) pass through untouched.
+        """
+        shard = getattr(handle, "shard", None)
+        if shard is None:
+            return postings
+
+        def tagged():
+            try:
+                yield from postings
+            except ReproError as exc:
+                if getattr(exc, "shard", None) is None:
+                    exc.shard = shard
+                raise
+
+        return tagged()
 
     @abc.abstractmethod
-    def _term_scan_plans(self, terms: list[str], stats_for) -> "list[tuple[str, Any]]":
+    def _term_scan_plans(self, terms: list[str], stats_for,
+                         threshold: "HeapThreshold | None" = None) -> "list[tuple[str, Any]]":
         """One ``(routing_term, build_stream)`` pair per query term.
 
         ``build_stream`` is a zero-argument callable constructing the term's
@@ -422,16 +493,25 @@ class InvertedIndex(abc.ABC):
         :class:`QueryStats` sink the scan should count into — the serial path
         passes one shared object, the parallel path one per term (merged
         afterwards) so concurrent scans never race on a counter.
+
+        ``threshold`` is the query's shared :class:`HeapThreshold` (or
+        ``None``): methods whose long-list rank order admits a sound bound
+        consult ``threshold.floor`` before each blocked payload block and end
+        the scan when the block's bound cannot make the top-k any more —
+        the MaxScore/WAND-style skip step.
         """
 
     @abc.abstractmethod
     def _merge_term_streams(self, streams: list, terms: list[str], k: int,
-                            conjunctive: bool, stats: QueryStats) -> list[QueryResult]:
+                            conjunctive: bool, stats: QueryStats,
+                            threshold: "HeapThreshold | None" = None) -> list[QueryResult]:
         """Merge pre-built per-term streams into the ranked top-k results.
 
         ``streams`` is aligned with ``terms`` and contains whatever
         ``_term_scan_plans`` built (plain iterators in the serial engine,
-        stream pumps under the parallel fan-out)."""
+        stream pumps under the parallel fan-out).  ``threshold`` must be the
+        same object the plans received; the merge wires it into its
+        :class:`ResultHeap` so the scans see the floor rise as results land."""
 
     def _after_score_update(self, doc_id: int, old_score: float, new_score: float) -> None:
         """Method-specific reaction to a score update (default: Score table only)."""

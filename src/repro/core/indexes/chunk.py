@@ -25,10 +25,12 @@ from repro.core.indexes.chunking import ChunkMap, ratio_chunks
 from repro.core.posting import (
     LazyBytesReader,
     build_chunk_runs,
+    encode_blocked_chunk_runs,
     encode_chunk_runs,
+    iter_blocked_chunk_postings_lazy,
     iter_chunk_postings_lazy,
 )
-from repro.core.result_heap import ResultHeap, merge_ranked_streams
+from repro.core.result_heap import HeapThreshold, ResultHeap, merge_ranked_streams
 from repro.storage.environment import StorageEnvironment
 from repro.storage.heap_file import SegmentHandle
 from repro.text.documents import Document, DocumentStore
@@ -61,8 +63,12 @@ class ChunkIndex(InvertedIndex):
     def __init__(self, env: StorageEnvironment, documents: DocumentStore,
                  name: str = "svr", chunk_ratio: float = 6.12,
                  min_chunk_size: int = 100,
-                 chunk_strategy: ChunkStrategy | None = None) -> None:
-        super().__init__(env, documents, name=name)
+                 chunk_strategy: ChunkStrategy | None = None,
+                 blocked_postings: "bool | None" = None,
+                 block_max_pruning: bool = True) -> None:
+        super().__init__(env, documents, name=name,
+                         blocked_postings=blocked_postings,
+                         block_max_pruning=block_max_pruning)
         if chunk_strategy is None and chunk_ratio <= 1.0:
             raise InvertedIndexError(f"chunk_ratio must be greater than 1, got {chunk_ratio}")
         self.chunk_ratio = float(chunk_ratio)
@@ -103,7 +109,14 @@ class ChunkIndex(InvertedIndex):
                 )
         for term, entries in term_docs.items():
             runs = build_chunk_runs(entries)
-            payload = encode_chunk_runs(runs, with_term_scores=self.stores_term_scores)
+            if self.blocked_postings:
+                payload = encode_blocked_chunk_runs(
+                    runs, with_term_scores=self.stores_term_scores
+                )
+            else:
+                payload = encode_chunk_runs(
+                    runs, with_term_scores=self.stores_term_scores
+                )
             self._segments[term] = self._long_lists.write(payload, key=term)
             self.update_stats.long_list_postings_written += len(entries)
 
@@ -202,19 +215,21 @@ class ChunkIndex(InvertedIndex):
 
     # -- query (Algorithm 2 with chunks) ----------------------------------------------------
 
-    def _term_scan_plans(self, terms: list[str], stats_for):
+    def _term_scan_plans(self, terms: list[str], stats_for,
+                         threshold: "HeapThreshold | None" = None):
         return [
             (term,
              lambda index=index, term=term, stats=stats_for(index):
-                 self._term_stream(index, term, stats))
+                 self._term_stream(index, term, stats, threshold))
             for index, term in enumerate(terms)
         ]
 
     def _merge_term_streams(self, streams: list, terms: list[str], k: int,
-                            conjunctive: bool, stats: QueryStats) -> list[QueryResult]:
+                            conjunctive: bool, stats: QueryStats,
+                            threshold: "HeapThreshold | None" = None) -> list[QueryResult]:
         assert self.chunk_map is not None
         required = len(terms) if conjunctive else 1
-        heap = ResultHeap(k)
+        heap = ResultHeap(k, threshold=threshold)
         merged = merge_ranked_streams(streams)
         seen_terms: dict[int, set[int]] = {}
         seen_short: dict[int, bool] = {}
@@ -273,14 +288,15 @@ class ChunkIndex(InvertedIndex):
 
     # -- per-term streams ------------------------------------------------------------------
 
-    def _term_stream(self, term_index: int, term: str,
-                     stats: QueryStats) -> Iterator[tuple[int, int, int, bool, float]]:
+    def _term_stream(self, term_index: int, term: str, stats: QueryStats,
+                     threshold: "HeapThreshold | None" = None,
+                     ) -> Iterator[tuple[int, int, int, bool, float]]:
         """One term's short + long postings in (decreasing chunk, increasing doc id) order.
 
         Yields ``(-chunk_id, doc_id, term_index, is_short, term_score)``.
         """
         short_adds, removed = self._load_short(term)
-        long_postings = self._iter_long(term, stats)
+        long_postings = self._iter_long(term, stats, threshold)
 
         def short_iter() -> Iterator[tuple[int, int, int, bool, float]]:
             for chunk_id, doc_id, term_score in short_adds:
@@ -295,14 +311,40 @@ class ChunkIndex(InvertedIndex):
 
         return heapq.merge(short_iter(), long_iter())
 
-    def _iter_long(self, term: str,
-                   stats: QueryStats) -> "Iterator[tuple[int, int, float]]":
-        """Stream ``(chunk_id, doc_id, term_score)`` triples from the long list."""
+    def _iter_long(self, term: str, stats: QueryStats,
+                   threshold: "HeapThreshold | None" = None,
+                   ) -> "Iterator[tuple[int, int, float]]":
+        """Stream ``(chunk_id, doc_id, term_score)`` triples from the long list.
+
+        With the blocked codec and a live threshold, the scan applies the
+        block-max skip step: a block whose highest chunk id ``cid`` satisfies
+        ``lower_bound(cid + 2) <= floor`` cannot hold a document able to enter
+        the top-k (the end-of-chunk stopping rule of :meth:`_can_stop` applied
+        per block — a document in chunk ``cid`` or below can have climbed at
+        most one chunk without owning short-list postings), and neither can any
+        later block, so the stream ends without fetching their pages.
+        """
         handle = self._segments.get(term)
         if handle is None:
             return
         reader = LazyBytesReader(self._long_lists.iter_pages(handle))
-        for posting in iter_chunk_postings_lazy(reader):
+        if self.blocked_postings:
+            prune = None
+            on_skip = None
+            if threshold is not None and self.chunk_map is not None:
+                chunk_map = self.chunk_map
+
+                def prune(block, threshold=threshold, chunk_map=chunk_map):
+                    return chunk_map.lower_bound(int(block.bound) + 2) <= threshold.floor
+
+                def on_skip(skipped, stats=stats):
+                    stats.blocks_skipped += skipped
+
+            postings = iter_blocked_chunk_postings_lazy(reader, prune=prune,
+                                                        on_skip=on_skip)
+        else:
+            postings = iter_chunk_postings_lazy(reader)
+        for posting in self._tag_scan_errors(handle, postings):
             stats.postings_scanned += 1
             yield posting
 

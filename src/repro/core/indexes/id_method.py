@@ -22,10 +22,12 @@ from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats, _Sta
 from repro.core.posting import (
     LazyBytesReader,
     Posting,
+    encode_blocked_id_postings,
     encode_id_postings,
+    iter_blocked_id_postings_lazy,
     iter_id_postings_lazy,
 )
-from repro.core.result_heap import ResultHeap, merge_ranked_streams
+from repro.core.result_heap import HeapThreshold, ResultHeap, merge_ranked_streams
 from repro.storage.environment import StorageEnvironment
 from repro.storage.heap_file import SegmentHandle
 from repro.text.documents import Document, DocumentStore
@@ -72,8 +74,11 @@ class IDIndex(InvertedIndex):
     stores_term_scores = False
 
     def __init__(self, env: StorageEnvironment, documents: DocumentStore,
-                 name: str = "svr") -> None:
-        super().__init__(env, documents, name=name)
+                 name: str = "svr", blocked_postings: "bool | None" = None,
+                 block_max_pruning: bool = True) -> None:
+        super().__init__(env, documents, name=name,
+                         blocked_postings=blocked_postings,
+                         block_max_pruning=block_max_pruning)
         self._long_lists = self._create_heapfile(f"{name}.long")
         self._segments: dict[str, SegmentHandle] = {}
         self._delta = self._create_kvstore(f"{name}.delta", key_shard="term")
@@ -89,7 +94,14 @@ class IDIndex(InvertedIndex):
             postings = [
                 self._make_posting(doc_id, term) for doc_id in sorted(set(doc_ids))
             ]
-            payload = encode_id_postings(postings, with_term_scores=self.stores_term_scores)
+            if self.blocked_postings:
+                payload = encode_blocked_id_postings(
+                    postings, with_term_scores=self.stores_term_scores
+                )
+            else:
+                payload = encode_id_postings(
+                    postings, with_term_scores=self.stores_term_scores
+                )
             self._segments[term] = self._long_lists.write(payload, key=term)
             self.update_stats.long_list_postings_written += len(postings)
 
@@ -150,14 +162,22 @@ class IDIndex(InvertedIndex):
 
     # -- query -------------------------------------------------------------------
 
-    def _term_scan_plans(self, terms: list[str], stats_for):
+    def _term_scan_plans(self, terms: list[str], stats_for,
+                         threshold: "HeapThreshold | None" = None):
+        # No block-max skip step for the ID layout: result scores live in the
+        # Score table and are unbounded by anything the ID-ordered postings
+        # store, so no block bound can soundly rule documents out.  The
+        # threshold is accepted (hook contract) and ignored.
+        del threshold
         return [
             (term, lambda term=term, stats=stats_for(index): self._term_stream(term, stats))
             for index, term in enumerate(terms)
         ]
 
     def _merge_term_streams(self, streams: list, terms: list[str], k: int,
-                            conjunctive: bool, stats: QueryStats) -> list[QueryResult]:
+                            conjunctive: bool, stats: QueryStats,
+                            threshold: "HeapThreshold | None" = None) -> list[QueryResult]:
+        del threshold
         heap = ResultHeap(k)
         required = len(terms) if conjunctive else 1
         for doc_id, found in merge_streams_by_doc_id(streams):
@@ -194,7 +214,11 @@ class IDIndex(InvertedIndex):
         if handle is None:
             return
         reader = LazyBytesReader(self._long_lists.iter_pages(handle))
-        for posting in iter_id_postings_lazy(reader):
+        if self.blocked_postings:
+            postings = iter_blocked_id_postings_lazy(reader)
+        else:
+            postings = iter_id_postings_lazy(reader)
+        for posting in self._tag_scan_errors(handle, postings):
             stats.postings_scanned += 1
             yield posting
 

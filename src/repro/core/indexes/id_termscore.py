@@ -28,8 +28,12 @@ class IDTermScoreIndex(IDIndex):
     stores_term_scores = True
 
     def __init__(self, env: StorageEnvironment, documents: DocumentStore,
-                 name: str = "svr", term_weight: float = 1.0) -> None:
-        super().__init__(env, documents, name=name)
+                 name: str = "svr", term_weight: float = 1.0,
+                 blocked_postings: "bool | None" = None,
+                 block_max_pruning: bool = True) -> None:
+        super().__init__(env, documents, name=name,
+                         blocked_postings=blocked_postings,
+                         block_max_pruning=block_max_pruning)
         self.term_weight = float(term_weight)
 
     def _normalized_tf(self, doc_id: int, term: str) -> float:

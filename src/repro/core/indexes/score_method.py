@@ -17,7 +17,7 @@ from typing import Iterator
 
 from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats, _StagedDocument
 from repro.core.posting import build_rekey_operations
-from repro.core.result_heap import ResultHeap, merge_ranked_streams
+from repro.core.result_heap import HeapThreshold, ResultHeap, merge_ranked_streams
 from repro.storage.environment import StorageEnvironment
 from repro.text.documents import Document, DocumentStore
 
@@ -29,8 +29,14 @@ class ScoreIndex(InvertedIndex):
     stores_term_scores = False
 
     def __init__(self, env: StorageEnvironment, documents: DocumentStore,
-                 name: str = "svr") -> None:
-        super().__init__(env, documents, name=name)
+                 name: str = "svr", blocked_postings: "bool | None" = None,
+                 block_max_pruning: bool = True) -> None:
+        # The clustered score lists live in a B+-tree, not heap-file payloads,
+        # so the blocked codec (and its block-max skip step) does not apply;
+        # the flags are accepted for constructor uniformity across methods.
+        super().__init__(env, documents, name=name,
+                         blocked_postings=blocked_postings,
+                         block_max_pruning=block_max_pruning)
         # Key: (term, -score, doc_id) -> None.  Negating the score makes the
         # B+-tree's ascending key order correspond to descending score order.
         self._lists = self._create_kvstore(f"{name}.scorelists", key_shard="term")
@@ -132,7 +138,11 @@ class ScoreIndex(InvertedIndex):
 
     # -- query --------------------------------------------------------------------
 
-    def _term_scan_plans(self, terms: list[str], stats_for):
+    def _term_scan_plans(self, terms: list[str], stats_for,
+                         threshold: "HeapThreshold | None" = None):
+        del threshold  # clustered lists hold exact scores; the merge's own
+        # score-order early termination already stops at the optimal point.
+
         def make_plan(index: int, term: str, stats: QueryStats):
             def stream() -> Iterator[tuple[float, int, int]]:
                 for (_term, neg_score, doc_id), _ in self._lists.prefix_items((term,)):
@@ -147,7 +157,9 @@ class ScoreIndex(InvertedIndex):
         ]
 
     def _merge_term_streams(self, streams: list, terms: list[str], k: int,
-                            conjunctive: bool, stats: QueryStats) -> list[QueryResult]:
+                            conjunctive: bool, stats: QueryStats,
+                            threshold: "HeapThreshold | None" = None) -> list[QueryResult]:
+        del threshold
         required = len(terms) if conjunctive else 1
         heap = ResultHeap(k)
         merged = merge_ranked_streams(streams)

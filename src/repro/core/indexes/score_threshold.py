@@ -25,10 +25,12 @@ from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats, _Sta
 from repro.core.posting import (
     LazyBytesReader,
     ScoredPosting,
+    encode_blocked_scored_postings,
     encode_scored_postings,
+    iter_blocked_scored_postings_lazy,
     iter_scored_postings_lazy,
 )
-from repro.core.result_heap import ResultHeap, merge_ranked_streams
+from repro.core.result_heap import HeapThreshold, ResultHeap, merge_ranked_streams
 from repro.storage.environment import StorageEnvironment
 from repro.storage.heap_file import SegmentHandle
 from repro.text.documents import Document, DocumentStore
@@ -52,8 +54,12 @@ class ScoreThresholdIndex(InvertedIndex):
     stores_term_scores = False
 
     def __init__(self, env: StorageEnvironment, documents: DocumentStore,
-                 name: str = "svr", threshold_ratio: float = 11.24) -> None:
-        super().__init__(env, documents, name=name)
+                 name: str = "svr", threshold_ratio: float = 11.24,
+                 blocked_postings: "bool | None" = None,
+                 block_max_pruning: bool = True) -> None:
+        super().__init__(env, documents, name=name,
+                         blocked_postings=blocked_postings,
+                         block_max_pruning=block_max_pruning)
         if threshold_ratio < 1.0:
             raise InvertedIndexError(
                 f"threshold_ratio must be >= 1.0, got {threshold_ratio}"
@@ -85,7 +91,10 @@ class ScoreThresholdIndex(InvertedIndex):
             postings = [
                 ScoredPosting(doc_id=doc_id, score=score) for score, doc_id in entries
             ]
-            payload = encode_scored_postings(postings, with_term_scores=False)
+            if self.blocked_postings:
+                payload = encode_blocked_scored_postings(postings, with_term_scores=False)
+            else:
+                payload = encode_scored_postings(postings, with_term_scores=False)
             self._segments[term] = self._long_lists.write(payload, key=term)
             self.update_stats.long_list_postings_written += len(postings)
 
@@ -158,18 +167,20 @@ class ScoreThresholdIndex(InvertedIndex):
 
     # -- query (Algorithm 2) ----------------------------------------------------------------
 
-    def _term_scan_plans(self, terms: list[str], stats_for):
+    def _term_scan_plans(self, terms: list[str], stats_for,
+                         threshold: "HeapThreshold | None" = None):
         return [
             (term,
              lambda index=index, term=term, stats=stats_for(index):
-                 self._term_stream(index, term, stats))
+                 self._term_stream(index, term, stats, threshold))
             for index, term in enumerate(terms)
         ]
 
     def _merge_term_streams(self, streams: list, terms: list[str], k: int,
-                            conjunctive: bool, stats: QueryStats) -> list[QueryResult]:
+                            conjunctive: bool, stats: QueryStats,
+                            threshold: "HeapThreshold | None" = None) -> list[QueryResult]:
         required = len(terms) if conjunctive else 1
-        heap = ResultHeap(k)
+        heap = ResultHeap(k, threshold=threshold)
         merged = merge_ranked_streams(streams)
         seen_terms: dict[int, set[int]] = {}
         seen_short: dict[int, bool] = {}
@@ -219,15 +230,16 @@ class ScoreThresholdIndex(InvertedIndex):
 
     # -- per-term stream construction ------------------------------------------------------
 
-    def _term_stream(self, term_index: int, term: str,
-                     stats: QueryStats) -> Iterator[tuple[float, int, int, bool]]:
+    def _term_stream(self, term_index: int, term: str, stats: QueryStats,
+                     threshold: "HeapThreshold | None" = None,
+                     ) -> Iterator[tuple[float, int, int, bool]]:
         """Merge the short and long lists of one term in decreasing score order.
 
         Yields ``(-list_score, doc_id, term_index, is_short)`` so that tuples
         from different terms interleave correctly inside ``heapq.merge``.
         """
         short_adds, removed = self._load_short(term)
-        long_postings = self._iter_long(term, stats)
+        long_postings = self._iter_long(term, stats, threshold)
 
         def short_iter() -> Iterator[tuple[float, int, int, bool]]:
             for list_score, doc_id in short_adds:
@@ -242,14 +254,41 @@ class ScoreThresholdIndex(InvertedIndex):
 
         return heapq.merge(short_iter(), long_iter())
 
-    def _iter_long(self, term: str,
-                   stats: QueryStats) -> "Iterator[tuple[int, float, float]]":
-        """Stream ``(doc_id, score, term_score)`` tuples from the long list."""
+    def _iter_long(self, term: str, stats: QueryStats,
+                   threshold: "HeapThreshold | None" = None,
+                   ) -> "Iterator[tuple[int, float, float]]":
+        """Stream ``(doc_id, score, term_score)`` tuples from the long list.
+
+        With the blocked codec and a live threshold, the scan applies the
+        block-max skip step: a block whose largest stored score ``s`` has
+        ``thresholdValueOf(s) = ratio * s`` below the heap floor cannot
+        contain a document able to enter the top-k (Lemma 1.2/1.3 at block
+        granularity — any higher-scoring document has been promoted to the
+        short lists, whose postings sort ahead of its long-list ones), and
+        neither can any later block, so the stream ends without fetching
+        their pages.
+        """
         handle = self._segments.get(term)
         if handle is None:
             return
         reader = LazyBytesReader(self._long_lists.iter_pages(handle))
-        for posting in iter_scored_postings_lazy(reader):
+        if self.blocked_postings:
+            prune = None
+            on_skip = None
+            if threshold is not None:
+                ratio = self.threshold_ratio
+
+                def prune(block, threshold=threshold, ratio=ratio):
+                    return ratio * block.bound < threshold.floor
+
+                def on_skip(skipped, stats=stats):
+                    stats.blocks_skipped += skipped
+
+            postings = iter_blocked_scored_postings_lazy(reader, prune=prune,
+                                                         on_skip=on_skip)
+        else:
+            postings = iter_scored_postings_lazy(reader)
+        for posting in self._tag_scan_errors(handle, postings):
             stats.postings_scanned += 1
             yield posting
 

@@ -11,16 +11,23 @@ pages a query scan touches.  This module provides:
   full document score per posting, no delta compression — reproducing the
   paper's observation that Score-Threshold lists are several times larger), and
 * the chunked codec used by the Chunk / Chunk-TermScore methods (chunk id
-  stored once per chunk, document ids delta-encoded within the chunk).
+  stored once per chunk, document ids delta-encoded within the chunk), and
+* the **blocked** variants of all three codecs: fixed-span blocks carrying a
+  ``(count, last doc id, max-score bound)`` directory entry plus a CRC over
+  delta+varbyte payloads, decoded lazily one block at a time so a scan that
+  stops early — or skips whole blocks whose bound cannot make the top-k —
+  never fetches the remaining pages.
 """
 
 from __future__ import annotations
 
+import os
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
-from repro.errors import InvertedIndexError
+from repro.errors import ChecksumError, InvertedIndexError
 
 # ---------------------------------------------------------------------------
 # Varint helpers
@@ -526,6 +533,450 @@ def iter_chunk_postings_lazy(reader: LazyBytesReader) -> Iterator[tuple[int, int
                 term_score = reader.read_struct("<f")[0] if with_term_scores else 0.0
                 remaining -= 1
                 yield (chunk_id, doc_id, term_score)
+
+
+# ---------------------------------------------------------------------------
+# Blocked codecs (fixed-span blocks with skip metadata)
+# ---------------------------------------------------------------------------
+
+#: First byte of every blocked payload; doubles as a cheap sanity check that a
+#: payload routed to the blocked decoders actually came from a blocked encoder.
+BLOCKED_MAGIC = 0xB7
+BLOCKED_VERSION = 1
+
+#: Kind tags stored in the blocked header.
+BLOCK_KIND_ID = 0
+BLOCK_KIND_SCORED = 1
+BLOCK_KIND_CHUNK = 2
+
+#: Postings per block.  128 keeps a block's payload well under one 4 KiB page
+#: (a delta varint plus optional 4-byte term score is <= 14 bytes) so block
+#: skipping works at sub-page granularity, while the directory stays ~1% of
+#: the payload for long lists.
+DEFAULT_BLOCK_SPAN = 128
+
+_BOUND = struct.Struct("<d")
+
+
+def blocked_postings_enabled() -> bool:
+    """Process-wide default for the blocked long-list codec.
+
+    On unless ``REPRO_BLOCKED_POSTINGS=0`` — the fidelity off-switch that
+    reproduces the seed's legacy payloads (and their fig7/table1 I/O
+    fingerprints) exactly.
+    """
+    return os.environ.get("REPRO_BLOCKED_POSTINGS", "1") != "0"
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """Directory entry of one block in a blocked long-list payload.
+
+    Attributes
+    ----------
+    count:
+        Number of postings in the block (always >= 1).
+    last_doc_id:
+        Document id of the block's final posting (skip/seek metadata).
+    bound:
+        Kind-specific max-score metadata: the largest term score in the block
+        (id kind), the largest stored document score (scored kind — the first
+        record, lists are score-descending) or the largest chunk id (chunk
+        kind).  Block-max pruning compares this against the result heap's
+        published threshold.
+    length:
+        Payload length in bytes.
+    crc:
+        CRC32 of the payload bytes.
+    """
+
+    count: int
+    last_doc_id: int
+    bound: float
+    length: int
+    crc: int
+
+
+@dataclass(frozen=True)
+class BlockDirectory:
+    """Parsed header + directory of a blocked payload."""
+
+    kind: int
+    with_term_scores: bool
+    total: int
+    blocks: tuple[BlockInfo, ...]
+
+
+def _encode_blocked(kind: int, with_term_scores: bool, total: int,
+                    blocks: "list[tuple[int, int, float, bytes]]") -> bytes:
+    """Assemble the blocked wire format.
+
+    ``blocks`` holds ``(count, last_doc_id, bound, payload)`` per block.  The
+    layout is: a 4-byte header (magic, version, kind, flags), varint total and
+    block counts, the varint-length + CRC32-protected block directory, then
+    the block payloads back to back.  Both the directory and each payload
+    carry a CRC so bit-rot anywhere in the segment surfaces as a typed
+    :class:`~repro.errors.ChecksumError` on *both* storage backends (the file
+    backend's per-page checksum catches it one layer earlier).
+    """
+    directory = bytearray()
+    for count, last_doc_id, bound, payload in blocks:
+        directory += encode_varint(count)
+        directory += encode_varint(last_doc_id)
+        directory += _BOUND.pack(bound)
+        directory += encode_varint(len(payload))
+        directory += encode_varint(zlib.crc32(payload))
+    out = bytearray()
+    out.append(BLOCKED_MAGIC)
+    out.append(BLOCKED_VERSION)
+    out.append(kind)
+    out.append(1 if with_term_scores else 0)
+    out += encode_varint(total)
+    out += encode_varint(len(blocks))
+    out += encode_varint(len(directory))
+    out += encode_varint(zlib.crc32(bytes(directory)))
+    out += directory
+    for _count, _last, _bound, payload in blocks:
+        out += payload
+    return bytes(out)
+
+
+def _check_block_span(block_span: int) -> None:
+    if block_span < 1:
+        raise InvertedIndexError(f"block_span must be positive, got {block_span}")
+
+
+def encode_blocked_id_postings(postings: Sequence[Posting],
+                               with_term_scores: bool = False,
+                               block_span: int = DEFAULT_BLOCK_SPAN) -> bytes:
+    """Blocked variant of :func:`encode_id_postings`.
+
+    Each block is self-contained: its first document id is stored absolute so
+    a block decodes without its predecessors (and torn tails are detected per
+    block).  The block bound is the largest term score in the block.
+    """
+    _check_block_span(block_span)
+    previous = 0
+    for posting in postings:
+        if posting.doc_id < previous:
+            raise InvertedIndexError("ID-ordered postings must be sorted by doc id")
+        previous = posting.doc_id
+    blocks: list[tuple[int, int, float, bytes]] = []
+    for start in range(0, len(postings), block_span):
+        span = postings[start:start + block_span]
+        body = bytearray()
+        previous = 0
+        bound = 0.0
+        for posting in span:
+            body += encode_varint(posting.doc_id - previous)
+            previous = posting.doc_id
+            if with_term_scores:
+                body += _FLOAT.pack(posting.term_score)
+                if posting.term_score > bound:
+                    bound = posting.term_score
+        blocks.append((len(span), span[-1].doc_id, bound, bytes(body)))
+    return _encode_blocked(BLOCK_KIND_ID, with_term_scores, len(postings), blocks)
+
+
+def encode_blocked_scored_postings(postings: Sequence[ScoredPosting],
+                                   with_term_scores: bool = False,
+                                   block_span: int = DEFAULT_BLOCK_SPAN) -> bytes:
+    """Blocked variant of :func:`encode_scored_postings`.
+
+    Records keep the fixed ``<dI>`` layout; the block bound is the stored
+    score of the block's first record (lists are score-descending, so that is
+    the block maximum — what ``thresholdValueOf`` bounds at query time).
+    """
+    _check_block_span(block_span)
+    previous_score = None
+    for posting in postings:
+        if previous_score is not None and posting.score > previous_score:
+            raise InvertedIndexError("scored postings must be sorted by decreasing score")
+        previous_score = posting.score
+    record = _SCORED_TS if with_term_scores else _SCORED
+    blocks: list[tuple[int, int, float, bytes]] = []
+    for start in range(0, len(postings), block_span):
+        span = postings[start:start + block_span]
+        if with_term_scores:
+            body = b"".join(
+                record.pack(posting.score, posting.doc_id, posting.term_score)
+                for posting in span
+            )
+        else:
+            body = b"".join(record.pack(posting.score, posting.doc_id) for posting in span)
+        blocks.append((len(span), span[-1].doc_id, span[0].score, body))
+    return _encode_blocked(BLOCK_KIND_SCORED, with_term_scores, len(postings), blocks)
+
+
+def encode_blocked_chunk_runs(runs: Sequence[ChunkRun],
+                              with_term_scores: bool = False,
+                              block_span: int = DEFAULT_BLOCK_SPAN) -> bytes:
+    """Blocked variant of :func:`encode_chunk_runs`.
+
+    Runs are flattened into the same (decreasing chunk, increasing doc id)
+    posting order and re-grouped into fixed-span blocks; a run that straddles
+    a block boundary restarts as a fresh fragment (chunk id, count, absolute
+    first doc id) so every block decodes independently.  The block bound is
+    the block's largest chunk id — its first fragment's.
+    """
+    _check_block_span(block_span)
+    flat: list[tuple[int, int, float]] = []
+    previous_chunk = None
+    for run in runs:
+        if previous_chunk is not None and run.chunk_id >= previous_chunk:
+            raise InvertedIndexError("chunk runs must be sorted by decreasing chunk id")
+        previous_chunk = run.chunk_id
+        previous_doc = 0
+        for posting in run.postings:
+            if posting.doc_id < previous_doc:
+                raise InvertedIndexError(
+                    "postings within a chunk must be sorted by increasing doc id"
+                )
+            previous_doc = posting.doc_id
+            flat.append((run.chunk_id, posting.doc_id, posting.term_score))
+    blocks: list[tuple[int, int, float, bytes]] = []
+    total = len(flat)
+    for start in range(0, total, block_span):
+        span = flat[start:start + block_span]
+        body = bytearray()
+        index = 0
+        while index < len(span):
+            chunk_id = span[index][0]
+            end = index
+            while end < len(span) and span[end][0] == chunk_id:
+                end += 1
+            body += encode_varint(chunk_id)
+            body += encode_varint(end - index)
+            previous_doc = 0
+            for _chunk, doc_id, term_score in span[index:end]:
+                body += encode_varint(doc_id - previous_doc)
+                previous_doc = doc_id
+                if with_term_scores:
+                    body += _FLOAT.pack(term_score)
+            index = end
+        blocks.append((len(span), span[-1][1], float(span[0][0]), bytes(body)))
+    return _encode_blocked(BLOCK_KIND_CHUNK, with_term_scores, total, blocks)
+
+
+def _read_blocked_header(reader: LazyBytesReader, expected_kind: int) -> BlockDirectory:
+    """Parse the blocked header + directory through ``reader`` (CRC-verified)."""
+    head = reader.read_bytes(4)
+    if head[0] != BLOCKED_MAGIC:
+        raise ChecksumError(
+            f"blocked posting list: bad magic byte 0x{head[0]:02x}"
+        )
+    if head[1] != BLOCKED_VERSION:
+        raise InvertedIndexError(
+            f"blocked posting list: unsupported version {head[1]}"
+        )
+    if head[2] != expected_kind:
+        raise InvertedIndexError(
+            f"blocked posting list: kind {head[2]} where {expected_kind} was expected"
+        )
+    if head[3] > 1:
+        raise ChecksumError(f"blocked posting list: bad flags byte 0x{head[3]:02x}")
+    with_term_scores = bool(head[3] & 1)
+    total = reader.read_varint()
+    block_count = reader.read_varint()
+    directory_length = reader.read_varint()
+    directory_crc = reader.read_varint()
+    blob = reader.read_bytes(directory_length)
+    if zlib.crc32(blob) != directory_crc:
+        raise ChecksumError("blocked posting list: directory checksum mismatch")
+    blocks: list[BlockInfo] = []
+    offset = 0
+    for _ in range(block_count):
+        count, offset = decode_varint(blob, offset)
+        last_doc_id, offset = decode_varint(blob, offset)
+        if offset + 8 > len(blob):
+            raise ChecksumError("blocked posting list: truncated directory entry")
+        bound = _BOUND.unpack_from(blob, offset)[0]
+        offset += 8
+        length, offset = decode_varint(blob, offset)
+        crc, offset = decode_varint(blob, offset)
+        blocks.append(BlockInfo(count=count, last_doc_id=last_doc_id, bound=bound,
+                                length=length, crc=crc))
+    if offset != len(blob):
+        raise ChecksumError("blocked posting list: directory length mismatch")
+    if sum(block.count for block in blocks) != total:
+        raise ChecksumError("blocked posting list: posting count mismatch")
+    if any(block.count == 0 for block in blocks):
+        raise ChecksumError("blocked posting list: empty block")
+    return BlockDirectory(kind=head[2], with_term_scores=with_term_scores,
+                          total=total, blocks=tuple(blocks))
+
+
+def read_block_directory(data: bytes) -> BlockDirectory:
+    """Parse a blocked payload's header + directory from bytes (tests, benches)."""
+    return _read_blocked_header(LazyBytesReader(iter((data,))), _sniff_kind(data))
+
+
+def _sniff_kind(data: bytes) -> int:
+    if len(data) < 3:
+        raise InvertedIndexError("blocked posting list: payload too short")
+    return data[2]
+
+
+def _read_block_payload(reader: LazyBytesReader, block: BlockInfo) -> bytes:
+    payload = reader.read_bytes(block.length)
+    if zlib.crc32(payload) != block.crc:
+        raise ChecksumError("blocked posting list: block checksum mismatch")
+    return payload
+
+
+def _decode_id_block(payload: bytes, block: BlockInfo,
+                     with_term_scores: bool) -> "list[tuple[int, float]]":
+    out: list[tuple[int, float]] = []
+    append = out.append
+    offset = 0
+    doc_id = 0
+    size = len(payload)
+    for _ in range(block.count):
+        delta, offset = decode_varint(payload, offset)
+        doc_id += delta
+        if with_term_scores:
+            if offset + 4 > size:
+                raise ChecksumError("blocked posting list: truncated block")
+            append((doc_id, _FLOAT.unpack_from(payload, offset)[0]))
+            offset += 4
+        else:
+            append((doc_id, 0.0))
+    if offset != size or doc_id != block.last_doc_id:
+        raise ChecksumError("blocked posting list: block contents do not match header")
+    return out
+
+
+def _decode_scored_block(payload: bytes, block: BlockInfo,
+                         with_term_scores: bool) -> "list[tuple[int, float, float]]":
+    record = _SCORED_TS if with_term_scores else _SCORED
+    if len(payload) != block.count * record.size:
+        raise ChecksumError("blocked posting list: block contents do not match header")
+    if with_term_scores:
+        out = [(doc_id, score, term_score)
+               for score, doc_id, term_score in record.iter_unpack(payload)]
+    else:
+        out = [(doc_id, score, 0.0) for score, doc_id in record.iter_unpack(payload)]
+    if out[-1][0] != block.last_doc_id or out[0][1] != block.bound:
+        raise ChecksumError("blocked posting list: block contents do not match header")
+    return out
+
+
+def _decode_chunk_block(payload: bytes, block: BlockInfo,
+                        with_term_scores: bool) -> "list[tuple[int, int, float]]":
+    out: list[tuple[int, int, float]] = []
+    append = out.append
+    offset = 0
+    size = len(payload)
+    remaining = block.count
+    previous_chunk = None
+    while remaining:
+        chunk_id, offset = decode_varint(payload, offset)
+        fragment_count, offset = decode_varint(payload, offset)
+        if fragment_count == 0 or fragment_count > remaining:
+            raise ChecksumError("blocked posting list: bad chunk fragment length")
+        if previous_chunk is not None and chunk_id >= previous_chunk:
+            raise ChecksumError("blocked posting list: chunk fragments out of order")
+        previous_chunk = chunk_id
+        doc_id = 0
+        for _ in range(fragment_count):
+            delta, offset = decode_varint(payload, offset)
+            doc_id += delta
+            if with_term_scores:
+                if offset + 4 > size:
+                    raise ChecksumError("blocked posting list: truncated block")
+                append((chunk_id, doc_id, _FLOAT.unpack_from(payload, offset)[0]))
+                offset += 4
+            else:
+                append((chunk_id, doc_id, 0.0))
+        remaining -= fragment_count
+    if offset != size or out[-1][1] != block.last_doc_id or out[0][0] != int(block.bound):
+        raise ChecksumError("blocked posting list: block contents do not match header")
+    return out
+
+
+def _iter_blocked_lazy(reader: LazyBytesReader, kind: int, decode_block,
+                       prune=None, on_skip=None) -> Iterator:
+    """Shared blocked scan loop: decode block-at-a-time, stop at a pruned block.
+
+    ``prune(block)`` — when given — is consulted *before* the block's payload
+    bytes are read; because every blocked list is rank-ordered, a block whose
+    bound cannot beat the threshold means no later block can either, so the
+    scan ends there and the remaining pages are never fetched.  ``on_skip``
+    receives the number of blocks skipped that way (stats accounting).
+    """
+    if reader.exhausted:
+        return
+    directory = _read_blocked_header(reader, kind)
+    with_term_scores = directory.with_term_scores
+    blocks = directory.blocks
+    for index, block in enumerate(blocks):
+        if prune is not None and prune(block):
+            if on_skip is not None:
+                on_skip(len(blocks) - index)
+            return
+        yield from decode_block(_read_block_payload(reader, block), block,
+                                with_term_scores)
+
+
+def iter_blocked_id_postings_lazy(reader: LazyBytesReader, prune=None,
+                                  on_skip=None) -> Iterator[tuple[int, float]]:
+    """Blocked counterpart of :func:`iter_id_postings_lazy` (same tuples)."""
+    return _iter_blocked_lazy(reader, BLOCK_KIND_ID, _decode_id_block,
+                              prune=prune, on_skip=on_skip)
+
+
+def iter_blocked_scored_postings_lazy(reader: LazyBytesReader, prune=None,
+                                      on_skip=None) -> Iterator[tuple[int, float, float]]:
+    """Blocked counterpart of :func:`iter_scored_postings_lazy` (same tuples)."""
+    return _iter_blocked_lazy(reader, BLOCK_KIND_SCORED, _decode_scored_block,
+                              prune=prune, on_skip=on_skip)
+
+
+def iter_blocked_chunk_postings_lazy(reader: LazyBytesReader, prune=None,
+                                     on_skip=None) -> Iterator[tuple[int, int, float]]:
+    """Blocked counterpart of :func:`iter_chunk_postings_lazy` (same triples)."""
+    return _iter_blocked_lazy(reader, BLOCK_KIND_CHUNK, _decode_chunk_block,
+                              prune=prune, on_skip=on_skip)
+
+
+def decode_blocked_id_postings(data: bytes) -> list[Posting]:
+    """Eagerly decode a payload produced by :func:`encode_blocked_id_postings`."""
+    reader = LazyBytesReader(iter((data,)))
+    return [
+        Posting(doc_id=doc_id, term_score=term_score)
+        for doc_id, term_score in iter_blocked_id_postings_lazy(reader)
+    ]
+
+
+def decode_blocked_scored_postings(data: bytes) -> list[ScoredPosting]:
+    """Eagerly decode a payload produced by :func:`encode_blocked_scored_postings`."""
+    reader = LazyBytesReader(iter((data,)))
+    return [
+        ScoredPosting(doc_id=doc_id, score=score, term_score=term_score)
+        for doc_id, score, term_score in iter_blocked_scored_postings_lazy(reader)
+    ]
+
+
+def decode_blocked_chunk_runs(data: bytes) -> list[ChunkRun]:
+    """Eagerly decode a payload produced by :func:`encode_blocked_chunk_runs`.
+
+    Fragments of one chunk split across block boundaries are re-joined, so the
+    result compares equal to the runs given to the encoder.
+    """
+    reader = LazyBytesReader(iter((data,)))
+    runs: list[ChunkRun] = []
+    current_chunk: int | None = None
+    postings: list[Posting] = []
+    for chunk_id, doc_id, term_score in iter_blocked_chunk_postings_lazy(reader):
+        if chunk_id != current_chunk:
+            if current_chunk is not None:
+                runs.append(ChunkRun(chunk_id=current_chunk, postings=tuple(postings)))
+            current_chunk = chunk_id
+            postings = []
+        postings.append(Posting(doc_id=doc_id, term_score=term_score))
+    if current_chunk is not None:
+        runs.append(ChunkRun(chunk_id=current_chunk, postings=tuple(postings)))
+    return runs
 
 
 # ---------------------------------------------------------------------------

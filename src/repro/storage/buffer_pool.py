@@ -235,8 +235,14 @@ class BufferPool:
         """
         if page_ids is None:
             targets = list(self._resident_ids())
+        elif self._old is None:
+            # Inlined membership test: drop() over a large heap file's id set
+            # is on the cold-cache query path, so avoid a method call per id.
+            frames = self._frames
+            targets = [pid for pid in page_ids if pid in frames]
         else:
-            targets = [pid for pid in page_ids if self.contains(pid)]
+            new, old = self._new, self._old
+            targets = [pid for pid in page_ids if pid in new or pid in old]
         for page_id in targets:
             self.flush_page(page_id)
             self._discard(page_id)

@@ -59,6 +59,10 @@ class HeapFile:
     name: str = "heap"
     _segments: dict[int, SegmentHandle] = field(default_factory=dict)
     _next_segment_id: int = 0
+    # Lazily built, incrementally maintained page-id set; ``page_ids()`` is on
+    # the cold-cache query path (drop_from_cache before every timed query) and
+    # rebuilding it from every handle dominated the macro benchmark.
+    _page_id_cache: "set[int] | None" = field(default=None, repr=False, compare=False)
 
     # -- persistence ---------------------------------------------------------
 
@@ -106,6 +110,8 @@ class HeapFile:
         )
         self._segments[handle.segment_id] = handle
         self._next_segment_id += 1
+        if self._page_id_cache is not None:
+            self._page_id_cache.update(page_ids)
         return handle
 
     def read(self, handle: SegmentHandle) -> bytes:
@@ -135,6 +141,8 @@ class HeapFile:
             self.pool.drop({page_id})
             self.pool.disk.free(page_id)
         del self._segments[handle.segment_id]
+        if self._page_id_cache is not None:
+            self._page_id_cache.difference_update(handle.page_ids)
 
     def get(self, segment_id: int) -> SegmentHandle:
         """Look up a segment handle by id."""
@@ -145,10 +153,12 @@ class HeapFile:
 
     def page_ids(self) -> set[int]:
         """All page ids currently owned by this heap file."""
-        ids: set[int] = set()
-        for handle in self._segments.values():
-            ids.update(handle.page_ids)
-        return ids
+        if self._page_id_cache is None:
+            ids: set[int] = set()
+            for handle in self._segments.values():
+                ids.update(handle.page_ids)
+            self._page_id_cache = ids
+        return self._page_id_cache
 
     def drop_from_cache(self) -> None:
         """Evict every page of this heap file from the buffer pool.

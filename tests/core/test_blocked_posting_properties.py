@@ -1,0 +1,286 @@
+"""Property-based tests for the blocked posting codec.
+
+Mirrors the lazy-vs-eager suite in ``test_posting_properties.py`` for the
+blocked binary layout: round-trips for all three list kinds (including empty
+lists, single-element blocks and maximal varint values), page-size
+independence, torn tails, and single-byte bitrot — which must surface as a
+typed error or decode identically, never as silently different postings.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ChecksumError, InvertedIndexError
+from repro.core.posting import (
+    LazyBytesReader,
+    Posting,
+    ScoredPosting,
+    build_chunk_runs,
+    decode_blocked_chunk_runs,
+    decode_blocked_id_postings,
+    decode_blocked_scored_postings,
+    encode_blocked_chunk_runs,
+    encode_blocked_id_postings,
+    encode_blocked_scored_postings,
+    iter_blocked_chunk_postings_lazy,
+    iter_blocked_id_postings_lazy,
+    iter_blocked_scored_postings_lazy,
+    read_block_directory,
+)
+
+doc_ids = st.integers(min_value=0, max_value=2 ** 31 - 1)
+#: Includes the top of the varint range so multi-byte continuation paths and
+#: maximal-length varints are exercised.
+wide_doc_ids = st.integers(min_value=0, max_value=2 ** 62)
+term_scores = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+block_spans = st.sampled_from([1, 2, 3, 7, 64, 128])
+
+
+def paginate(data: bytes, page_size: int) -> list[bytes]:
+    """Split an encoded list into page-sized fragments (as a heap file would)."""
+    return [data[i:i + page_size] for i in range(0, len(data), page_size)]
+
+
+def reader_for(data: bytes, page_size: int) -> LazyBytesReader:
+    return LazyBytesReader(iter(paginate(data, page_size)))
+
+
+# ---------------------------------------------------------------------------
+# Round trips: eager and lazy, across block spans and page sizes
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ids=st.lists(wide_doc_ids, max_size=200, unique=True),
+    with_term_scores=st.booleans(),
+    block_span=block_spans,
+    page_size=st.integers(min_value=1, max_value=48),
+)
+def test_blocked_id_round_trip(ids, with_term_scores, block_span, page_size):
+    postings = [Posting(doc_id=i, term_score=0.5) for i in sorted(ids)]
+    data = encode_blocked_id_postings(
+        postings, with_term_scores=with_term_scores, block_span=block_span
+    )
+    decoded = decode_blocked_id_postings(data)
+    expected_ts = 0.5 if with_term_scores else 0.0
+    assert [(p.doc_id, p.term_score) for p in decoded] == [
+        (p.doc_id, expected_ts) for p in postings
+    ]
+    lazy = list(iter_blocked_id_postings_lazy(reader_for(data, page_size)))
+    assert lazy == [(p.doc_id, expected_ts) for p in postings]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(doc_ids, st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                  term_scores),
+        max_size=120,
+        unique_by=lambda entry: entry[0],
+    ),
+    with_term_scores=st.booleans(),
+    block_span=block_spans,
+    page_size=st.integers(min_value=1, max_value=48),
+)
+def test_blocked_scored_round_trip(entries, with_term_scores, block_span, page_size):
+    ordered = sorted(entries, key=lambda entry: (-entry[1], entry[0]))
+    postings = [
+        ScoredPosting(doc_id=doc, score=score, term_score=ts)
+        for doc, score, ts in ordered
+    ]
+    data = encode_blocked_scored_postings(
+        postings, with_term_scores=with_term_scores, block_span=block_span
+    )
+    decoded = decode_blocked_scored_postings(data)
+    expected = [
+        (p.doc_id, p.score, p.term_score if with_term_scores else 0.0)
+        for p in postings
+    ]
+    assert [(p.doc_id, p.score, p.term_score) for p in decoded] == expected
+    lazy = list(iter_blocked_scored_postings_lazy(reader_for(data, page_size)))
+    assert lazy == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    triples=st.lists(
+        st.tuples(doc_ids, st.integers(min_value=1, max_value=20), term_scores),
+        max_size=150,
+        unique_by=lambda entry: entry[0],
+    ),
+    with_term_scores=st.booleans(),
+    block_span=block_spans,
+    page_size=st.integers(min_value=1, max_value=48),
+)
+def test_blocked_chunk_round_trip(triples, with_term_scores, block_span, page_size):
+    runs = build_chunk_runs(triples)
+    data = encode_blocked_chunk_runs(
+        runs, with_term_scores=with_term_scores, block_span=block_span
+    )
+    expected_runs = [
+        (run.chunk_id,
+         tuple((p.doc_id, p.term_score if with_term_scores else 0.0)
+               for p in run.postings))
+        for run in runs
+    ]
+    decoded = decode_blocked_chunk_runs(data)
+    assert [
+        (run.chunk_id, tuple((p.doc_id, p.term_score) for p in run.postings))
+        for run in decoded
+    ] == expected_runs
+    lazy = list(iter_blocked_chunk_postings_lazy(reader_for(data, page_size)))
+    assert lazy == [
+        (chunk_id, doc_id, ts)
+        for chunk_id, postings in expected_runs
+        for doc_id, ts in postings
+    ]
+
+
+def test_empty_lists_round_trip():
+    assert decode_blocked_id_postings(encode_blocked_id_postings([])) == []
+    assert decode_blocked_scored_postings(encode_blocked_scored_postings([])) == []
+    assert decode_blocked_chunk_runs(encode_blocked_chunk_runs([])) == []
+    for data, it in [
+        (encode_blocked_id_postings([]), iter_blocked_id_postings_lazy),
+        (encode_blocked_scored_postings([]), iter_blocked_scored_postings_lazy),
+        (encode_blocked_chunk_runs([]), iter_blocked_chunk_postings_lazy),
+    ]:
+        assert list(it(reader_for(data, 7))) == []
+        assert read_block_directory(data).blocks == ()
+
+
+def test_single_element_blocks_have_one_posting_each():
+    postings = [Posting(doc_id=i * 3) for i in range(10)]
+    data = encode_blocked_id_postings(postings, block_span=1)
+    directory = read_block_directory(data)
+    assert len(directory.blocks) == 10
+    assert all(block.count == 1 for block in directory.blocks)
+    assert [b.last_doc_id for b in directory.blocks] == [p.doc_id for p in postings]
+
+
+# ---------------------------------------------------------------------------
+# Torn tails: truncated payloads fail loudly with a typed error
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ids=st.lists(doc_ids, min_size=4, max_size=60, unique=True),
+    block_span=st.sampled_from([1, 3, 8]),
+    page_size=st.integers(min_value=1, max_value=32),
+    data=st.data(),
+)
+def test_torn_tail_raises_typed_error(ids, block_span, page_size, data):
+    postings = [Posting(doc_id=i) for i in sorted(ids)]
+    encoded = encode_blocked_id_postings(postings, block_span=block_span)
+    cut = data.draw(st.integers(min_value=1, max_value=len(encoded) - 1))
+    reader = reader_for(encoded[:cut], page_size)
+    expected = [(p.doc_id, 0.0) for p in postings]
+    produced = []
+    with pytest.raises((ChecksumError, InvertedIndexError)):
+        for item in iter_blocked_id_postings_lazy(reader):
+            produced.append(item)
+    # Whatever decoded before the error must be a prefix of the true sequence;
+    # CRC-checked blocks never emit garbage postings.
+    assert produced == expected[: len(produced)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    triples=st.lists(
+        st.tuples(doc_ids, st.integers(min_value=1, max_value=10), term_scores),
+        min_size=4,
+        max_size=60,
+        unique_by=lambda entry: entry[0],
+    ),
+    block_span=st.sampled_from([1, 3, 8]),
+    page_size=st.integers(min_value=1, max_value=32),
+    data=st.data(),
+)
+def test_torn_chunk_tail_raises_typed_error(triples, block_span, page_size, data):
+    runs = build_chunk_runs(triples)
+    encoded = encode_blocked_chunk_runs(runs, block_span=block_span)
+    cut = data.draw(st.integers(min_value=1, max_value=len(encoded) - 1))
+    produced = []
+    with pytest.raises((ChecksumError, InvertedIndexError)):
+        for item in iter_blocked_chunk_postings_lazy(reader_for(encoded[:cut], page_size)):
+            produced.append(item)
+    expected = [
+        (run.chunk_id, p.doc_id, 0.0) for run in runs for p in run.postings
+    ]
+    assert produced == expected[: len(produced)]
+
+
+# ---------------------------------------------------------------------------
+# Bitrot: a flipped byte is detected or provably harmless, never silent garbage
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(doc_ids, st.floats(min_value=0, max_value=1e4, allow_nan=False)),
+        min_size=1,
+        max_size=50,
+        unique_by=lambda entry: entry[0],
+    ),
+    block_span=st.sampled_from([1, 4, 16]),
+    data=st.data(),
+)
+def test_bitrot_detected_or_identical(entries, block_span, data):
+    ordered = sorted(entries, key=lambda entry: (-entry[1], entry[0]))
+    postings = [ScoredPosting(doc_id=doc, score=score) for doc, score in ordered]
+    encoded = bytearray(encode_blocked_scored_postings(postings, block_span=block_span))
+    position = data.draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    encoded[position] ^= flip
+    reference = [(p.doc_id, p.score, 0.0) for p in postings]
+    try:
+        decoded = list(iter_blocked_scored_postings_lazy(reader_for(bytes(encoded), 16)))
+    except (ChecksumError, InvertedIndexError):
+        return
+    assert decoded == reference
+
+
+# ---------------------------------------------------------------------------
+# Prune hooks: terminal semantics and skip accounting
+# ---------------------------------------------------------------------------
+
+
+def test_prune_is_terminal_and_counts_skipped_blocks():
+    postings = [
+        ScoredPosting(doc_id=i, score=float(100 - i)) for i in range(40)
+    ]
+    data = encode_blocked_scored_postings(postings, block_span=8)
+    directory = read_block_directory(data)
+    assert len(directory.blocks) == 5
+
+    seen_bounds = []
+    skipped = []
+
+    def prune(block):
+        seen_bounds.append(block.bound)
+        return len(seen_bounds) == 3  # prune at the third block
+
+    decoded = list(iter_blocked_scored_postings_lazy(
+        reader_for(data, 16), prune=prune, on_skip=skipped.append
+    ))
+    # Blocks 0 and 1 decode; blocks 2, 3, 4 are skipped without being read.
+    assert [d[0] for d in decoded] == list(range(16))
+    assert skipped == [3]
+    # The prune callback is consulted once per block until it fires — never
+    # for the blocks after the terminal stop.
+    assert len(seen_bounds) == 3
+
+
+def test_prune_never_fires_decodes_everything():
+    postings = [ScoredPosting(doc_id=i, score=float(50 - i)) for i in range(30)]
+    data = encode_blocked_scored_postings(postings, block_span=4)
+    skipped = []
+    decoded = list(iter_blocked_scored_postings_lazy(
+        reader_for(data, 16), prune=lambda block: False, on_skip=skipped.append
+    ))
+    assert len(decoded) == 30
+    assert skipped == []

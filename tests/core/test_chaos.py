@@ -197,6 +197,61 @@ class TestQuarantine:
         assert not index.search([good, bad], k=5).stats.degraded
         index.close()
 
+    def test_blocked_payload_bitrot_quarantines_the_shard(self, tmp_path):
+        """Silent page corruption in a blocked long list is a hard fault.
+
+        A flipped byte below the page layer fails the codec's per-block CRC
+        during the scan; :class:`ChecksumError` is in ``HARD_FAULT_ERRORS``,
+        so the router quarantines the shard and degrades the query instead of
+        returning silently wrong results.  Restoring the bytes and reopening
+        the shard fully revives it.
+        """
+        from repro.storage.sharding import shard_of_term as term_shard
+
+        hot = next(f"hot{i}" for i in range(100) if term_shard(f"hot{i}", 2) == 1)
+        rng = random.Random(7)
+        # blocked_postings is pinned (not left to REPRO_BLOCKED_POSTINGS):
+        # the per-block CRC under test only exists in the blocked layout, and
+        # the option persists through the app blob, so the reopen below keeps
+        # decoding the same way whatever the environment flag says.
+        index = SVRTextIndex(method="id", path=str(tmp_path / "i"), shards=2,
+                             cache_pages=256, page_size=256,
+                             blocked_postings=True)
+        # Widely spaced doc ids make the blocked list span several pages.
+        for doc_id in range(600):
+            index.add_document_terms(doc_id * 9973, [hot, f"x{doc_id % 5}"],
+                                     rng.uniform(1.0, 500.0))
+        index.finalize()
+        index.checkpoint()
+        index.close()
+
+        index = SVRTextIndex.open(str(tmp_path / "i"))
+        sharded_handle = index.index._segments[hot]
+        assert sharded_handle.shard == 1
+        page_id = sharded_handle.handle.page_ids[-1]
+        disk = index.env.shards[1].disk
+        page = disk.peek(page_id)
+        pristine = page.data
+        mutated = bytearray(pristine)
+        mutated[len(mutated) // 2] ^= 0x41
+        page.write(bytes(mutated))
+        disk.write(page)
+
+        response = index.search([hot], k=700)
+        assert response.stats.degraded
+        assert 1 in index.quarantined_shards()
+        health = [h for h in index.shard_health() if h.shard == 1][0]
+        assert health.quarantined
+
+        # Restore the bytes; reopening the shard lifts the quarantine and the
+        # scan decodes cleanly again.
+        page.write(pristine)
+        disk.write(page)
+        index.reopen_shard(1)
+        assert not index.degraded
+        assert not index.search([hot], k=700).stats.degraded
+        index.close()
+
     def test_reopen_requires_durable_backend(self):
         index = _build(path=None)
         index.router.quarantine_shard(1, "test")
