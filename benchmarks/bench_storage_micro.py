@@ -39,11 +39,12 @@ from repro.core.posting import (  # noqa: E402
     ChunkRun,
     LazyBytesReader,
     Posting,
+    block_codec_from_environ,
     build_rekey_operations,
-    encode_chunk_runs,
-    encode_id_postings,
-    iter_chunk_postings_lazy,
-    iter_id_postings_lazy,
+    encode_blocked_chunk_runs,
+    encode_blocked_id_postings,
+    iter_blocked_chunk_postings_lazy,
+    iter_blocked_id_postings_lazy,
 )
 from repro.storage.environment import StorageEnvironment  # noqa: E402
 
@@ -170,29 +171,38 @@ def bench_btree_batch_update(docs: int, terms: int, updates: int, **_: object) -
 def bench_decode_id_list(decode_postings: int, **_: object) -> dict:
     """Full lazy scan of one long ID-ordered inverted list, term scores included.
 
-    The list is written to a heap file and decoded page-at-a-time through
-    ``LazyBytesReader`` — the exact code path of the ID/ID-TermScore query scan.
+    The list is written to a heap file in the blocked layout and decoded
+    page-at-a-time through ``LazyBytesReader`` — the exact code path of the
+    ID/ID-TermScore query scan under the production (blocked) codec.  The
+    block payload codec follows ``REPRO_BLOCK_CODEC``, so running the bench
+    with ``groupvarint`` vs the ``varbyte`` default measures the group-varint
+    decode speedup directly; ``extra["codec"]`` records which one was timed.
     """
     env = StorageEnvironment(cache_pages=65536, page_size=4096)
     heap = env.create_heapfile("bench.longlists")
     postings = [
         Posting(doc_id=3 * index + 1, term_score=0.25) for index in range(decode_postings)
     ]
-    handle = heap.write(encode_id_postings(postings, with_term_scores=True))
+    handle = heap.write(encode_blocked_id_postings(postings, with_term_scores=True))
     rounds = 3
     operations = 0
     start = time.perf_counter()
     for _ in range(rounds):
         reader = LazyBytesReader(heap.iter_pages(handle))
-        for posting in iter_id_postings_lazy(reader):
+        for posting in iter_blocked_id_postings_lazy(reader):
             operations += 1
     elapsed = time.perf_counter() - start
     checksum = postings[-1].doc_id
-    return {"seconds": elapsed, "operations": operations, "checksum": checksum}
+    return {"seconds": elapsed, "operations": operations, "checksum": checksum,
+            "extra": {"codec": block_codec_from_environ()}}
 
 
 def bench_decode_chunk_list(decode_postings: int, **_: object) -> dict:
-    """Full lazy scan of one chunked long list (the Chunk-method query scan)."""
+    """Full lazy scan of one blocked chunked long list (the Chunk query scan).
+
+    Codec selection follows ``REPRO_BLOCK_CODEC`` exactly as in
+    :func:`bench_decode_id_list`.
+    """
     env = StorageEnvironment(cache_pages=65536, page_size=4096)
     heap = env.create_heapfile("bench.chunklists")
     chunk_size = 512
@@ -202,16 +212,17 @@ def bench_decode_chunk_list(decode_postings: int, **_: object) -> dict:
         chunk = tuple(Posting(doc_id=doc_id + 2 * i) for i in range(chunk_size))
         doc_id += 2 * chunk_size
         runs.append(ChunkRun(chunk_id=chunk_id, postings=chunk))
-    handle = heap.write(encode_chunk_runs(runs))
+    handle = heap.write(encode_blocked_chunk_runs(runs))
     rounds = 3
     operations = 0
     start = time.perf_counter()
     for _ in range(rounds):
         reader = LazyBytesReader(heap.iter_pages(handle))
-        for _chunk_id, _doc_id, _term_score in iter_chunk_postings_lazy(reader):
+        for _chunk_id, _doc_id, _term_score in iter_blocked_chunk_postings_lazy(reader):
             operations += 1
     elapsed = time.perf_counter() - start
-    return {"seconds": elapsed, "operations": operations}
+    return {"seconds": elapsed, "operations": operations,
+            "extra": {"codec": block_codec_from_environ()}}
 
 
 def bench_prefix_scan(docs: int, terms: int, **_: object) -> dict:
@@ -343,6 +354,12 @@ def bench_fault_overhead(macro_docs: int, **_: object) -> dict:
     is tracked — and ``extra["attached_inert_vs_disabled"]`` reports the
     attached/disabled wall-clock ratio measured in this run (the worst-case
     ceiling: a *firing* plan costs more, a detached one costs the fast path).
+
+    ``extra["disabled_vs_query_macro"]`` anchors the entry to a *same-run*
+    memory-backed :func:`bench_query_macro` measurement: comparing two
+    separate trajectory entries drifted with every unrelated macro-path
+    change, which muddied the budget check; measuring both sides in one
+    invocation removes that confound.
     """
     import shutil
     import tempfile
@@ -383,10 +400,18 @@ def bench_fault_overhead(macro_docs: int, **_: object) -> dict:
     finally:
         shutil.rmtree(storage_dir, ignore_errors=True)
     ratio = attached / disabled if disabled else 0.0
+    macro = bench_query_macro(macro_docs)
+    macro_ops_per_sec = macro["operations"] / macro["seconds"]
+    disabled_ops_per_sec = operations / disabled if disabled else 0.0
     return {
         "seconds": disabled,
         "operations": operations,
-        "extra": {"attached_inert_vs_disabled": round(ratio, 3)},
+        "extra": {
+            "attached_inert_vs_disabled": round(ratio, 3),
+            "disabled_vs_query_macro": round(
+                disabled_ops_per_sec / macro_ops_per_sec, 3
+            ) if macro_ops_per_sec else 0.0,
+        },
     }
 
 
@@ -695,15 +720,24 @@ def _git_revision() -> str:
 
 
 def _environment() -> str:
-    """Coarse execution-environment tag for apples-to-apples comparisons.
+    """Execution-environment tag for apples-to-apples comparisons.
 
     Absolute wall-clock differs wildly between a dev machine and a shared CI
     runner, so the regression gate only ever compares entries recorded in the
-    same environment.
+    same environment.  Beyond the coarse ci/local split the tag carries the
+    dimensions that actually move these numbers between hosts: the core count
+    (the parallel throughput entries are meaningless without it), the Python
+    minor version, and ``PYTHONHASHSEED`` (hash randomisation perturbs dict
+    iteration order in the build paths).
     """
     import os
 
-    return "ci" if os.environ.get("CI") else "local"
+    base = "ci" if os.environ.get("CI") else "local"
+    return (
+        f"{base}/cores={os.cpu_count()}"
+        f"/py{sys.version_info.major}.{sys.version_info.minor}"
+        f"/hashseed={os.environ.get('PYTHONHASHSEED', 'random')}"
+    )
 
 
 def load_trajectory() -> list[dict]:
@@ -743,13 +777,23 @@ def latest_entry_for_scale(trajectory: list[dict], scale: str,
                            environment: str) -> dict | None:
     """Most recent entry with the same scale *and* environment.
 
-    Entries written before the environment tag existed default to "local".
+    Entries written before the environment tag existed default to "local";
+    entries written before the tag grew its ``/cores=…`` qualifiers carry the
+    bare ``ci``/``local`` token, which still matches a current tag with the
+    same base — a strictly *looser* comparison than the full tag, used only
+    as a fallback when no fully matching entry exists.
     """
+    base = environment.split("/", 1)[0]
+    fallback = None
     for entry in reversed(trajectory):
-        if (entry.get("scale") == scale
-                and entry.get("environment", "local") == environment):
+        if entry.get("scale") != scale:
+            continue
+        recorded = entry.get("environment", "local")
+        if recorded == environment:
             return entry
-    return None
+        if fallback is None and recorded == base:
+            fallback = entry
+    return fallback
 
 
 def main() -> int:

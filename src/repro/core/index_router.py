@@ -49,6 +49,7 @@ from typing import Any, Iterable
 
 from repro.core.indexes.base import InvertedIndex, QueryResponse, QueryStats, UpdateStats
 from repro.core.indexes.registry import create_index
+from repro.core.list_cache import list_cache_pages_from_environ
 from repro.errors import (
     HARD_FAULT_ERRORS,
     ExecutorError,
@@ -188,10 +189,30 @@ class IndexRouter:
               env: "StorageEnvironment | ShardedEnvironment | None" = None,
               threads: int = 1, deterministic: bool = False,
               **options: Any) -> "IndexRouter":
-        """Create a sharded environment plus an index method routed over it."""
+        """Create a sharded environment plus an index method routed over it.
+
+        When the hot-term list cache is enabled (``list_cache_pages`` option
+        or ``REPRO_LIST_CACHE_PAGES``), its budget is carved *out of*
+        ``cache_pages`` before the environment is sized, so a cache-on
+        configuration holds the same total memory as cache-off — the cache
+        competes with the buffer pool rather than adding on top of it.
+        """
+        list_cache_pages = options.get("list_cache_pages")
+        if list_cache_pages is None:
+            list_cache_pages = list_cache_pages_from_environ()
+            options["list_cache_pages"] = list_cache_pages
         if env is None:
+            pool_pages = cache_pages
+            if list_cache_pages:
+                if list_cache_pages >= cache_pages:
+                    raise StorageError(
+                        f"list_cache_pages ({list_cache_pages}) must be smaller "
+                        f"than cache_pages ({cache_pages}) — the hot-term cache "
+                        "budget is split from the buffer pool, not added to it"
+                    )
+                pool_pages = cache_pages - list_cache_pages
             env = ShardedEnvironment(
-                shard_count=shard_count, cache_pages=cache_pages, page_size=page_size
+                shard_count=shard_count, cache_pages=pool_pages, page_size=page_size
             )
         if documents is None:
             documents = DocumentStore()
@@ -301,6 +322,9 @@ class IndexRouter:
         with self._health_lock:
             self._shard_failures[shard] = self._shard_failures.get(shard, 0) + 1
             self._quarantined.setdefault(shard, reason)
+        # Decoded postings filled from a now-untrustworthy shard must not
+        # outlive the quarantine decision.
+        self.index.invalidate_list_cache_shard(shard)
 
     def _quarantine_from_error(self, error: BaseException) -> bool:
         """Quarantine the failure domain a hard error is tagged with.
@@ -379,6 +403,9 @@ class IndexRouter:
                 self._pool.revive(shard)
             with self._health_lock:
                 self._quarantined.pop(shard, None)
+            # The recovered shard may have rolled back past the postings any
+            # cached entry was decoded from.
+            self.index.invalidate_list_cache_shard(shard)
 
     # -- delegated InvertedIndex API ----------------------------------------------
 
@@ -480,6 +507,18 @@ class IndexRouter:
         retry is safe).  A healthy router runs the exact pre-existing path.
         """
         keywords = list(keywords)
+        if self._lock is None and not self._quarantined:
+            # Single-route fast lane (threads=1, healthy): no latch context to
+            # enter, no degradation filtering, no retry-loop bookkeeping —
+            # straight into the method's query path.  A hard shard-tagged
+            # fault still quarantines on the way out, and the retry re-enters
+            # through the full path (``_quarantined`` is now non-empty).
+            try:
+                return self.index.query(keywords, k=k, conjunctive=conjunctive)
+            except ReproError as exc:
+                if not self._quarantine_from_error(exc):
+                    raise
+                return self.query(keywords, k, conjunctive)
         attempts = self.shard_count + 1
         while True:
             if self._quarantined:

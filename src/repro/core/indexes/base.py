@@ -30,7 +30,13 @@ from repro.errors import (
     ReproError,
     StorageError,
 )
-from repro.core.posting import blocked_postings_enabled
+from repro.core.list_cache import InvertedListCache, list_cache_pages_from_environ
+from repro.core.posting import (
+    LazyBytesReader,
+    block_seeking_enabled,
+    blocked_postings_enabled,
+    read_blocked_total,
+)
 from repro.core.result_heap import HeapThreshold
 from repro.storage.environment import StorageEnvironment
 from repro.storage.sharding import ShardedEnvironment, ShardedKVStore
@@ -108,6 +114,28 @@ class _StagedDocument:
     term_frequencies: Mapping[str, int] = field(default_factory=dict)
 
 
+class _TermPlan:
+    """One term's reusable scan-plan object.
+
+    Built once per ``(index, term)`` by :meth:`InvertedIndex._make_term_plan`
+    and cached on the index.  The plan closes over nothing but the index and
+    the term, so it never goes stale — all storage access happens inside the
+    stream it constructs.  Invoking the plan with the query-specific inputs
+    (term position, stats sink, shared pruning threshold) builds a fresh scan
+    iterator for that query.
+    """
+
+    __slots__ = ("term", "_build")
+
+    def __init__(self, term: str, build) -> None:
+        self.term = term
+        self._build = build
+
+    def __call__(self, term_index: int, stats: "QueryStats",
+                 threshold: "HeapThreshold | None"):
+        return self._build(term_index, stats, threshold)
+
+
 class InvertedIndex(abc.ABC):
     """Abstract base class of all index methods.
 
@@ -137,6 +165,20 @@ class InvertedIndex(abc.ABC):
         beat the result-heap threshold.  Only effective with the blocked
         codec; the pruning-equivalence tests turn it off to compare against
         the unpruned scan over the *same* payloads.
+    block_seeking:
+        Whether conjunctive queries over the blocked ID layout may *jump*
+        scans to the first viable block using the directory's ``last_doc_id``
+        entries (DAAT ``next_geq`` cursors) instead of merging every posting.
+        ``None`` resolves :func:`block_seeking_enabled`
+        (``REPRO_BLOCK_SEEKING``, default off): seeking preserves the top-k
+        but changes which pages a scan touches, so the pinned fig7/fig10
+        fingerprints keep it off.
+    list_cache_pages:
+        Byte budget of the hot-term decoded-postings cache, expressed in
+        pages (see :mod:`repro.core.list_cache`).  ``None`` resolves
+        ``REPRO_LIST_CACHE_PAGES``; ``0`` disables the cache.  The router's
+        build path carves this out of ``cache_pages`` so total memory stays
+        comparable across configurations.
     """
 
     #: Registry name of the method; subclasses override.
@@ -147,7 +189,9 @@ class InvertedIndex(abc.ABC):
     def __init__(self, env: "StorageEnvironment | ShardedEnvironment",
                  documents: DocumentStore, name: str = "svr",
                  blocked_postings: "bool | None" = None,
-                 block_max_pruning: bool = True) -> None:
+                 block_max_pruning: bool = True,
+                 block_seeking: "bool | None" = None,
+                 list_cache_pages: "int | None" = None) -> None:
         self.env = env
         self.documents = documents
         self.name = name
@@ -156,6 +200,12 @@ class InvertedIndex(abc.ABC):
             else bool(blocked_postings)
         )
         self.block_max_pruning = bool(block_max_pruning)
+        self.block_seeking = (
+            block_seeking_enabled() if block_seeking is None
+            else bool(block_seeking)
+        )
+        self.list_cache = self._make_list_cache(list_cache_pages)
+        self._plan_cache: "dict[str, _TermPlan]" = {}
         self.score_table = self._create_kvstore(f"{name}.score", key_shard="doc")
         self.deleted_table = self._create_kvstore(f"{name}.deleted", key_shard="doc")
         self.update_stats = UpdateStats()
@@ -208,6 +258,77 @@ class InvertedIndex(abc.ABC):
             store.drop_from_cache(accounted=accounted)
         else:
             self.env.pool.drop(store.page_ids(accounted=accounted))
+
+    # ------------------------------------------------------------------
+    # Hot-term list cache + directory-served planner estimates
+    # ------------------------------------------------------------------
+
+    def _make_list_cache(self, list_cache_pages: "int | None") -> "InvertedListCache | None":
+        pages = (list_cache_pages_from_environ() if list_cache_pages is None
+                 else int(list_cache_pages))
+        if pages <= 0:
+            return None
+        page_size = getattr(self.env, "page_size", None)
+        if page_size is None:
+            page_size = self.env.disk.page_size
+        return InvertedListCache(budget_bytes=pages * page_size)
+
+    def _invalidate_list_cache(self) -> None:
+        """Drop every hot-term cache entry; called by every write entry point."""
+        if self.list_cache is not None:
+            self.list_cache.invalidate()
+
+    def invalidate_list_cache_shard(self, shard: "int | None") -> None:
+        """Drop one shard's hot-term cache entries (quarantine, reopen)."""
+        if self.list_cache is not None:
+            self.list_cache.invalidate_shard(shard)
+
+    def _cached_long_postings(self, heapfile, handle, term: str, decode):
+        """Serve ``term``'s decoded long list from the hot-term cache.
+
+        Returns the decoded posting list on a hit, fills the cache through
+        the accounting-free peek path on a miss, and returns ``None`` when
+        the cache is off or the segment exceeds the whole budget (the caller
+        falls back to the normal charged page scan).  Decode failures during
+        a fill are shard-tagged exactly like scan failures, so the router's
+        quarantine logic sees the same fault surface either way.
+        """
+        cache = self.list_cache
+        if cache is None:
+            return None
+        shard = getattr(handle, "shard", None)
+        postings = cache.get(shard, term)
+        if postings is not None:
+            return postings
+        if handle.length > cache.budget_bytes:
+            return None
+        reader = LazyBytesReader(heapfile.peek_pages(handle))
+        postings = list(self._tag_scan_errors(handle, decode(reader)))
+        cache.put(shard, term, postings, nbytes=handle.length)
+        return postings
+
+    def estimate_term_list_length(self, term: str) -> "int | None":
+        """Planner estimate of a term's long-list posting count.
+
+        Served from the blocked header alone — four fixed bytes plus one
+        varint on the segment's first page, read through the peek path so the
+        estimate costs zero accounted I/O (``pages_read``-free).  Returns
+        ``None`` when the method has no per-term segments, the payload
+        predates the blocked format, or the header is unreadable; ``0`` when
+        the term has no long list at all.
+        """
+        segments = getattr(self, "_segments", None)
+        long_lists = getattr(self, "_long_lists", None)
+        if segments is None or long_lists is None:
+            return None
+        handle = segments.get(term)
+        if handle is None:
+            return 0
+        reader = LazyBytesReader(long_lists.peek_pages(handle))
+        try:
+            return read_blocked_total(reader)
+        except ReproError:
+            return None
 
     # ------------------------------------------------------------------
     # Build
@@ -286,6 +407,7 @@ class InvertedIndex(abc.ABC):
             raise DocumentNotFoundError(f"document {doc_id} is not indexed")
         self.score_table.put(doc_id, new_score)
         self.update_stats.score_updates += 1
+        self._invalidate_list_cache()
         self._after_score_update(doc_id, old_score, new_score)
 
     def apply_batch(self, updates: Iterable[tuple[int, float]]) -> int:
@@ -321,6 +443,7 @@ class InvertedIndex(abc.ABC):
             return 0
         self.score_table.put_many(sorted(pending.items()))
         self.update_stats.score_updates += len(changes)
+        self._invalidate_list_cache()
         self._after_score_batch(changes)
         return len(changes)
 
@@ -336,6 +459,7 @@ class InvertedIndex(abc.ABC):
         self.deleted_table.delete_if_present(doc_id)
         self.score_table.put(doc_id, score)
         self.update_stats.documents_inserted += 1
+        self._invalidate_list_cache()
         self._after_insert(doc_id, score)
 
     def delete_document(self, doc_id: int) -> None:
@@ -345,6 +469,7 @@ class InvertedIndex(abc.ABC):
             raise DocumentNotFoundError(f"document {doc_id} is not indexed")
         self.deleted_table.put(doc_id, True)
         self.update_stats.documents_deleted += 1
+        self._invalidate_list_cache()
         self._after_delete(doc_id)
 
     def update_content(self, doc_id: int, new_terms: Iterable[str]) -> None:
@@ -356,6 +481,7 @@ class InvertedIndex(abc.ABC):
         new_document = Document.from_terms(doc_id, new_terms)
         self.documents.replace(new_document)
         self.update_stats.content_updates += 1
+        self._invalidate_list_cache()
         self._after_content_update(doc_id, old_document, new_document)
 
     # ------------------------------------------------------------------
@@ -480,7 +606,11 @@ class InvertedIndex(abc.ABC):
 
         return tagged()
 
-    @abc.abstractmethod
+    #: Bound on the reusable per-term plan cache.  Plan objects are tiny
+    #: (a term string plus one bound callable), so the cap only guards a
+    #: pathological ad-hoc workload from growing the dict to vocabulary size.
+    _PLAN_CACHE_LIMIT = 4096
+
     def _term_scan_plans(self, terms: list[str], stats_for,
                          threshold: "HeapThreshold | None" = None) -> "list[tuple[str, Any]]":
         """One ``(routing_term, build_stream)`` pair per query term.
@@ -499,6 +629,36 @@ class InvertedIndex(abc.ABC):
         consult ``threshold.floor`` before each blocked payload block and end
         the scan when the block's bound cannot make the top-k any more —
         the MaxScore/WAND-style skip step.
+
+        The per-term plan itself (:class:`_TermPlan`, built by the
+        method-specific :meth:`_make_term_plan` hook) is reusable and cached
+        on the index: repeat queries over the same terms re-invoke the same
+        plan objects with fresh query inputs instead of re-allocating the
+        planning closures every time.
+        """
+        cache = self._plan_cache
+        pairs: "list[tuple[str, Any]]" = []
+        for index, term in enumerate(terms):
+            plan = cache.get(term)
+            if plan is None:
+                if len(cache) >= self._PLAN_CACHE_LIMIT:
+                    cache.clear()
+                plan = cache[term] = self._make_term_plan(term)
+            pairs.append((
+                term,
+                lambda plan=plan, index=index, stats=stats_for(index):
+                    plan(index, stats, threshold),
+            ))
+        return pairs
+
+    @abc.abstractmethod
+    def _make_term_plan(self, term: str) -> "_TermPlan":
+        """The reusable scan-plan object for ``term``.
+
+        Called at most once per term per index instance (the base class
+        caches the result); the plan must close over nothing but the index
+        and the term so it can never go stale — every storage access happens
+        inside the stream it builds at invocation time.
         """
 
     @abc.abstractmethod
@@ -640,7 +800,27 @@ class InvertedIndex(abc.ABC):
         return self.documents.get(doc_id).distinct_terms
 
     def _live_score(self, doc_id: int) -> float | None:
-        """Score-table lookup used during query processing (skips deleted docs)."""
+        """Score-table lookup used during query processing (skips deleted docs).
+
+        With the hot-term cache enabled the lookup is memoised per document:
+        scores are immutable between writes (every write entry point
+        invalidates the cache, clearing the memo with it), and query
+        processing probes the same hot documents over and over.  The memo is
+        never consulted on the cache-off fidelity path, whose page accounting
+        is pinned by the fig7/table1 fingerprints.
+        """
+        cache = self.list_cache
+        if cache is None:
+            if self.deleted_table.contains(doc_id):
+                return None
+            return self.score_table.get(doc_id, default=None)
+        memo = cache.scores
+        if doc_id in memo:
+            return memo[doc_id]
         if self.deleted_table.contains(doc_id):
-            return None
-        return self.score_table.get(doc_id, default=None)
+            score = None
+        else:
+            score = self.score_table.get(doc_id, default=None)
+        if len(memo) < cache.SCORE_MEMO_LIMIT:
+            memo[doc_id] = score
+        return score

@@ -20,7 +20,7 @@ import heapq
 from typing import Callable, Iterator, Sequence
 
 from repro.errors import InvertedIndexError
-from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats, _StagedDocument
+from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats, _StagedDocument, _TermPlan
 from repro.core.indexes.chunking import ChunkMap, ratio_chunks
 from repro.core.posting import (
     LazyBytesReader,
@@ -65,10 +65,14 @@ class ChunkIndex(InvertedIndex):
                  min_chunk_size: int = 100,
                  chunk_strategy: ChunkStrategy | None = None,
                  blocked_postings: "bool | None" = None,
-                 block_max_pruning: bool = True) -> None:
+                 block_max_pruning: bool = True,
+                 block_seeking: "bool | None" = None,
+                 list_cache_pages: "int | None" = None) -> None:
         super().__init__(env, documents, name=name,
                          blocked_postings=blocked_postings,
-                         block_max_pruning=block_max_pruning)
+                         block_max_pruning=block_max_pruning,
+                         block_seeking=block_seeking,
+                         list_cache_pages=list_cache_pages)
         if chunk_strategy is None and chunk_ratio <= 1.0:
             raise InvertedIndexError(f"chunk_ratio must be greater than 1, got {chunk_ratio}")
         self.chunk_ratio = float(chunk_ratio)
@@ -215,14 +219,12 @@ class ChunkIndex(InvertedIndex):
 
     # -- query (Algorithm 2 with chunks) ----------------------------------------------------
 
-    def _term_scan_plans(self, terms: list[str], stats_for,
-                         threshold: "HeapThreshold | None" = None):
-        return [
-            (term,
-             lambda index=index, term=term, stats=stats_for(index):
-                 self._term_stream(index, term, stats, threshold))
-            for index, term in enumerate(terms)
-        ]
+    def _make_term_plan(self, term: str) -> _TermPlan:
+        return _TermPlan(
+            term,
+            lambda index, stats, threshold:
+                self._term_stream(index, term, stats, threshold),
+        )
 
     def _merge_term_streams(self, streams: list, terms: list[str], k: int,
                             conjunctive: bool, stats: QueryStats,
@@ -327,6 +329,18 @@ class ChunkIndex(InvertedIndex):
         handle = self._segments.get(term)
         if handle is None:
             return
+        if self.blocked_postings:
+            cached = self._cached_long_postings(
+                self._long_lists, handle, term, iter_blocked_chunk_postings_lazy
+            )
+            if cached is not None:
+                # Served from memory: no pages to save, so the block-max skip
+                # step is moot — the merge still stops pulling at its own
+                # stopping rule (the stream stays lazy).
+                for posting in cached:
+                    stats.postings_scanned += 1
+                    yield posting
+                return
         reader = LazyBytesReader(self._long_lists.iter_pages(handle))
         if self.blocked_postings:
             prune = None

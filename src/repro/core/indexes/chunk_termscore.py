@@ -45,11 +45,15 @@ class ChunkTermScoreIndex(ChunkIndex):
                  name: str = "svr", chunk_ratio: float = 6.12, min_chunk_size: int = 100,
                  chunk_strategy=None, term_weight: float = 1.0,
                  fancy_size: int = 50, blocked_postings: "bool | None" = None,
-                 block_max_pruning: bool = True) -> None:
+                 block_max_pruning: bool = True,
+                 block_seeking: "bool | None" = None,
+                 list_cache_pages: "int | None" = None) -> None:
         super().__init__(env, documents, name=name, chunk_ratio=chunk_ratio,
                          min_chunk_size=min_chunk_size, chunk_strategy=chunk_strategy,
                          blocked_postings=blocked_postings,
-                         block_max_pruning=block_max_pruning)
+                         block_max_pruning=block_max_pruning,
+                         block_seeking=block_seeking,
+                         list_cache_pages=list_cache_pages)
         self.term_weight = float(term_weight)
         self.fancy_size = int(fancy_size)
         # Fancy lists: (term, doc_id) -> term_score; small and cache-resident.

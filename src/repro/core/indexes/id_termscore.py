@@ -30,10 +30,14 @@ class IDTermScoreIndex(IDIndex):
     def __init__(self, env: StorageEnvironment, documents: DocumentStore,
                  name: str = "svr", term_weight: float = 1.0,
                  blocked_postings: "bool | None" = None,
-                 block_max_pruning: bool = True) -> None:
+                 block_max_pruning: bool = True,
+                 block_seeking: "bool | None" = None,
+                 list_cache_pages: "int | None" = None) -> None:
         super().__init__(env, documents, name=name,
                          blocked_postings=blocked_postings,
-                         block_max_pruning=block_max_pruning)
+                         block_max_pruning=block_max_pruning,
+                         block_seeking=block_seeking,
+                         list_cache_pages=list_cache_pages)
         self.term_weight = float(term_weight)
 
     def _normalized_tf(self, doc_id: int, term: str) -> float:

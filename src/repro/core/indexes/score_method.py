@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats, _StagedDocument
+from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats, _StagedDocument, _TermPlan
 from repro.core.posting import build_rekey_operations
 from repro.core.result_heap import HeapThreshold, ResultHeap, merge_ranked_streams
 from repro.storage.environment import StorageEnvironment
@@ -30,13 +30,18 @@ class ScoreIndex(InvertedIndex):
 
     def __init__(self, env: StorageEnvironment, documents: DocumentStore,
                  name: str = "svr", blocked_postings: "bool | None" = None,
-                 block_max_pruning: bool = True) -> None:
+                 block_max_pruning: bool = True,
+                 block_seeking: "bool | None" = None,
+                 list_cache_pages: "int | None" = None) -> None:
         # The clustered score lists live in a B+-tree, not heap-file payloads,
-        # so the blocked codec (and its block-max skip step) does not apply;
-        # the flags are accepted for constructor uniformity across methods.
+        # so the blocked codec (and its block-max skip step, seeking, and the
+        # hot-term cache) does not apply; the flags are accepted for
+        # constructor uniformity across methods.
         super().__init__(env, documents, name=name,
                          blocked_postings=blocked_postings,
-                         block_max_pruning=block_max_pruning)
+                         block_max_pruning=block_max_pruning,
+                         block_seeking=block_seeking,
+                         list_cache_pages=list_cache_pages)
         # Key: (term, -score, doc_id) -> None.  Negating the score makes the
         # B+-tree's ascending key order correspond to descending score order.
         self._lists = self._create_kvstore(f"{name}.scorelists", key_shard="term")
@@ -138,23 +143,19 @@ class ScoreIndex(InvertedIndex):
 
     # -- query --------------------------------------------------------------------
 
-    def _term_scan_plans(self, terms: list[str], stats_for,
-                         threshold: "HeapThreshold | None" = None):
-        del threshold  # clustered lists hold exact scores; the merge's own
-        # score-order early termination already stops at the optimal point.
+    def _make_term_plan(self, term: str) -> _TermPlan:
+        def build(index: int, stats: QueryStats, threshold) -> Iterator[tuple[float, int, int]]:
+            del threshold  # clustered lists hold exact scores; the merge's own
+            # score-order early termination already stops at the optimal point.
+            return self._stream_list(term, index, stats)
 
-        def make_plan(index: int, term: str, stats: QueryStats):
-            def stream() -> Iterator[tuple[float, int, int]]:
-                for (_term, neg_score, doc_id), _ in self._lists.prefix_items((term,)):
-                    stats.postings_scanned += 1
-                    yield neg_score, doc_id, index
+        return _TermPlan(term, build)
 
-            return stream
-
-        return [
-            (term, make_plan(index, term, stats_for(index)))
-            for index, term in enumerate(terms)
-        ]
+    def _stream_list(self, term: str, index: int,
+                     stats: QueryStats) -> Iterator[tuple[float, int, int]]:
+        for (_term, neg_score, doc_id), _ in self._lists.prefix_items((term,)):
+            stats.postings_scanned += 1
+            yield neg_score, doc_id, index
 
     def _merge_term_streams(self, streams: list, terms: list[str], k: int,
                             conjunctive: bool, stats: QueryStats,

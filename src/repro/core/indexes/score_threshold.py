@@ -21,7 +21,7 @@ import heapq
 from typing import Iterator
 
 from repro.errors import InvertedIndexError
-from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats, _StagedDocument
+from repro.core.indexes.base import InvertedIndex, QueryResult, QueryStats, _StagedDocument, _TermPlan
 from repro.core.posting import (
     LazyBytesReader,
     ScoredPosting,
@@ -56,10 +56,14 @@ class ScoreThresholdIndex(InvertedIndex):
     def __init__(self, env: StorageEnvironment, documents: DocumentStore,
                  name: str = "svr", threshold_ratio: float = 11.24,
                  blocked_postings: "bool | None" = None,
-                 block_max_pruning: bool = True) -> None:
+                 block_max_pruning: bool = True,
+                 block_seeking: "bool | None" = None,
+                 list_cache_pages: "int | None" = None) -> None:
         super().__init__(env, documents, name=name,
                          blocked_postings=blocked_postings,
-                         block_max_pruning=block_max_pruning)
+                         block_max_pruning=block_max_pruning,
+                         block_seeking=block_seeking,
+                         list_cache_pages=list_cache_pages)
         if threshold_ratio < 1.0:
             raise InvertedIndexError(
                 f"threshold_ratio must be >= 1.0, got {threshold_ratio}"
@@ -167,14 +171,12 @@ class ScoreThresholdIndex(InvertedIndex):
 
     # -- query (Algorithm 2) ----------------------------------------------------------------
 
-    def _term_scan_plans(self, terms: list[str], stats_for,
-                         threshold: "HeapThreshold | None" = None):
-        return [
-            (term,
-             lambda index=index, term=term, stats=stats_for(index):
-                 self._term_stream(index, term, stats, threshold))
-            for index, term in enumerate(terms)
-        ]
+    def _make_term_plan(self, term: str) -> _TermPlan:
+        return _TermPlan(
+            term,
+            lambda index, stats, threshold:
+                self._term_stream(index, term, stats, threshold),
+        )
 
     def _merge_term_streams(self, streams: list, terms: list[str], k: int,
                             conjunctive: bool, stats: QueryStats,
@@ -271,6 +273,18 @@ class ScoreThresholdIndex(InvertedIndex):
         handle = self._segments.get(term)
         if handle is None:
             return
+        if self.blocked_postings:
+            cached = self._cached_long_postings(
+                self._long_lists, handle, term, iter_blocked_scored_postings_lazy
+            )
+            if cached is not None:
+                # Served from memory: no pages to save, so the block-max skip
+                # step is moot — the merge still stops pulling at its own
+                # termination condition (the stream stays lazy).
+                for posting in cached:
+                    stats.postings_scanned += 1
+                    yield posting
+                return
         reader = LazyBytesReader(self._long_lists.iter_pages(handle))
         if self.blocked_postings:
             prune = None

@@ -42,7 +42,11 @@ def _capture_index_state(index: InvertedIndex) -> dict[str, Any]:
     return {
         key: value
         for key, value in vars(index).items()
-        if key not in ("env", "documents") and not isinstance(value, _STORE_TYPES)
+        # ``list_cache`` and ``_plan_cache`` are ephemeral by design: a
+        # recovered index starts with a cold hot-term cache (its entries may
+        # predate the recovery point) and rebuilds its per-term scan plans.
+        if key not in ("env", "documents", "list_cache", "_plan_cache")
+        and not isinstance(value, _STORE_TYPES)
     }
 
 
