@@ -415,6 +415,71 @@ def bench_fault_overhead(macro_docs: int, **_: object) -> dict:
     }
 
 
+def bench_obs_overhead(macro_docs: int, **_: object) -> dict:
+    """Cost of the observability layer on the hot memory-backed query path.
+
+    Two interleaved passes over the :func:`bench_query_macro` rig: one with
+    tracing disabled (production default — every ``span()`` takes the
+    ``tracing_enabled()`` fast path and only the always-on metrics registry
+    records) and one under ``set_tracing(True)`` (full span trees, per-term
+    slow-query attribution, block-scan spans).  ``seconds``/``operations``
+    report the untraced pass — directly comparable to ``query_macro`` across
+    trajectory entries — and ``extra["traced_vs_untraced"]`` reports the
+    traced/untraced wall-clock ratio measured in this run (the acceptance
+    budget is <= 1.05).
+
+    ``extra["untraced_vs_query_macro"]`` anchors the entry to a *same-run*
+    :func:`bench_query_macro` measurement, mirroring ``fault_overhead``:
+    same-run anchoring avoids the drift that comparing two separate
+    trajectory entries would reintroduce.
+    """
+    from repro.obs.trace import SLOW_QUERIES, set_tracing
+
+    index, corpus = _build_macro_index(shards=1, macro_docs=macro_docs)
+    queries = _macro_queries(corpus)
+    for query in queries:  # warm the Score table / short lists
+        index.search(query.keywords, k=query.k, conjunctive=query.conjunctive)
+    rounds = 3
+    operations = 0
+    untraced = traced = 0.0
+    previous = set_tracing(False)
+    try:
+        for _ in range(rounds):
+            set_tracing(False)
+            start = time.perf_counter()
+            for query in queries:
+                index.drop_long_list_cache()
+                index.search(query.keywords, k=query.k,
+                             conjunctive=query.conjunctive)
+                operations += 1
+            untraced += time.perf_counter() - start
+            set_tracing(True)
+            start = time.perf_counter()
+            for query in queries:
+                index.drop_long_list_cache()
+                index.search(query.keywords, k=query.k,
+                             conjunctive=query.conjunctive)
+            traced += time.perf_counter() - start
+    finally:
+        set_tracing(previous)
+        SLOW_QUERIES.clear()
+    index.close()
+    ratio = traced / untraced if untraced else 0.0
+    macro = bench_query_macro(macro_docs)
+    macro_ops_per_sec = macro["operations"] / macro["seconds"]
+    untraced_ops_per_sec = operations / untraced if untraced else 0.0
+    return {
+        "seconds": untraced,
+        "operations": operations,
+        "extra": {
+            "traced_vs_untraced": round(ratio, 3),
+            "untraced_vs_query_macro": round(
+                untraced_ops_per_sec / macro_ops_per_sec, 3
+            ) if macro_ops_per_sec else 0.0,
+        },
+    }
+
+
 def bench_sharded_query_throughput(macro_docs: int, **_: object) -> dict:
     """Mixed multi-client traffic against the 4-shard term-partitioned engine.
 
@@ -696,6 +761,7 @@ BENCHES = {
     "query_macro": bench_query_macro,
     "file_backed_query_macro": bench_file_backed_query_macro,
     "fault_overhead": bench_fault_overhead,
+    "obs_overhead": bench_obs_overhead,
     "sharded_query_throughput": bench_sharded_query_throughput,
     "parallel_query_throughput": bench_parallel_query_throughput,
     "block_skip_query": bench_block_skip_query,

@@ -77,6 +77,31 @@ class OperationMetrics:
         self.merge(measured)
         self.operations += operations - measured.operations
 
+    def export_into(self, registry, prefix: str = "bench") -> None:
+        """Publish this metrics object as gauges on an obs registry.
+
+        Gauges, not counters: re-exporting after more operations overwrites
+        the series with the latest totals instead of double-counting.  The
+        ``label`` becomes a series label; ``extra`` entries export under
+        ``<prefix>.extra.<key>``.
+        """
+        labels = {"bench": self.label} if self.label else {}
+        registry.set_gauge(f"{prefix}.operations",
+                           float(self.operations), **labels)
+        registry.set_gauge(f"{prefix}.wall_ms", self.wall_ms, **labels)
+        registry.set_gauge(f"{prefix}.pages_read",
+                           float(self.pages_read), **labels)
+        registry.set_gauge(f"{prefix}.pages_written",
+                           float(self.pages_written), **labels)
+        registry.set_gauge(f"{prefix}.pool_hits",
+                           float(self.pool_hits), **labels)
+        registry.set_gauge(f"{prefix}.estimated_io_ms",
+                           self.estimated_io_ms, **labels)
+        registry.set_gauge(f"{prefix}.avg_wall_ms", self.avg_wall_ms, **labels)
+        for key in sorted(self.extra):
+            registry.set_gauge(f"{prefix}.extra.{key}",
+                               float(self.extra[key]), **labels)
+
     def as_row(self) -> dict[str, float | int | str]:
         """Flattened representation used by the reporting module.
 

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import deque
 from contextlib import nullcontext
 from dataclasses import dataclass
@@ -60,6 +61,9 @@ from repro.errors import (
 )
 from repro.exec import ExecutorPool, ReadWriteLock, pump_plans
 from repro.exec.fanout import DEFAULT_BLOCK_SIZE, INITIAL_BLOCK_SIZE
+from repro.obs.events import emit as obs_emit
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SLOW_QUERIES, current_span, span, tracing_enabled
 from repro.storage.environment import IOSnapshot, StorageEnvironment
 from repro.storage.sharding import (
     ShardedEnvironment,
@@ -166,6 +170,11 @@ class IndexRouter:
         self._quarantined: dict[int, str] = {}
         self._shard_failures: dict[int, int] = {}
         self._health_lock = threading.Lock()
+        #: Engine-wide metrics registry: the router, the executor pool and
+        #: the hot-term list cache all feed it (see :mod:`repro.obs`).
+        self.metrics = MetricsRegistry()
+        if index.list_cache is not None:
+            index.list_cache.metrics = self.metrics
         if self.threads > 1 and not isinstance(self.env, ShardedEnvironment):
             # Without the facade layer there are no per-shard latches to
             # protect concurrent readers; run serialized instead of unsafely.
@@ -173,6 +182,7 @@ class IndexRouter:
         self.deterministic = bool(deterministic)
         if self.threads > 1:
             self._pool = ExecutorPool(self.shard_count, threads=self.threads)
+            self._pool.metrics = self.metrics
             self._lock = ReadWriteLock()
             if isinstance(self.env, ShardedEnvironment) and not self.deterministic:
                 # Deterministic mode serializes whole operations, so the
@@ -321,10 +331,14 @@ class IndexRouter:
             )
         with self._health_lock:
             self._shard_failures[shard] = self._shard_failures.get(shard, 0) + 1
+            newly = shard not in self._quarantined
             self._quarantined.setdefault(shard, reason)
         # Decoded postings filled from a now-untrustworthy shard must not
         # outlive the quarantine decision.
         self.index.invalidate_list_cache_shard(shard)
+        if newly:
+            self.metrics.inc("shard.quarantined", shard=shard)
+            obs_emit("quarantine", shard=shard, reason=reason)
 
     def _quarantine_from_error(self, error: BaseException) -> bool:
         """Quarantine the failure domain a hard error is tagged with.
@@ -402,10 +416,12 @@ class IndexRouter:
             if self._pool is not None:
                 self._pool.revive(shard)
             with self._health_lock:
-                self._quarantined.pop(shard, None)
+                was_quarantined = self._quarantined.pop(shard, None) is not None
             # The recovered shard may have rolled back past the postings any
             # cached entry was decoded from.
             self.index.invalidate_list_cache_shard(shard)
+            self.metrics.inc("shard.reopened", shard=shard)
+            obs_emit("reopen", shard=shard, lifted_quarantine=was_quarantined)
 
     # -- delegated InvertedIndex API ----------------------------------------------
 
@@ -432,6 +448,7 @@ class IndexRouter:
             self._guard_write(
                 lambda: self.index.add_document(doc_id, score, terms=terms)
             )
+        self.metrics.inc("write.ops", op="add_document")
 
     def finalize(self) -> None:
         with self._write_ctx():
@@ -465,16 +482,32 @@ class IndexRouter:
         self._check_writable(doc_id=doc_id)
         with self._write_ctx():
             self._guard_write(lambda: self.index.update_score(doc_id, new_score))
+        self.metrics.inc("write.ops", op="update_score")
 
     def apply_batch(self, updates: Iterable[tuple[int, float]]) -> int:
         updates = list(updates)
         if self._quarantined:
             for doc_id, _score in updates:
                 self._check_writable(doc_id=doc_id)
-        if not self.parallel:
-            with self._write_ctx():
-                return self._guard_write(lambda: self.index.apply_batch(updates))
-        return self._guard_write(lambda: self._apply_batch_combined(updates))
+        started = time.perf_counter()
+        with span("write.window", updates=len(updates)):
+            if not self.parallel:
+                with self._write_ctx():
+                    applied = self._guard_write(
+                        lambda: self.index.apply_batch(updates)
+                    )
+            else:
+                applied = self._guard_write(
+                    lambda: self._apply_batch_combined(updates)
+                )
+        self.metrics.observe(
+            "update.window_ms", (time.perf_counter() - started) * 1000.0
+        )
+        self.metrics.add_many({
+            "update.windows": 1.0,
+            "update.count": float(applied),
+        })
+        return applied
 
     def insert_document(self, doc_id: int, terms: Iterable[str], score: float) -> None:
         terms = self._check_writable(doc_id=doc_id, terms=terms)
@@ -482,11 +515,13 @@ class IndexRouter:
             self._guard_write(
                 lambda: self.index.insert_document(doc_id, terms, score)
             )
+        self.metrics.inc("write.ops", op="insert_document")
 
     def delete_document(self, doc_id: int) -> None:
         self._check_writable(doc_id=doc_id)
         with self._write_ctx():
             self._guard_write(lambda: self.index.delete_document(doc_id))
+        self.metrics.inc("write.ops", op="delete_document")
 
     def update_content(self, doc_id: int, new_terms: Iterable[str]) -> None:
         # A content update touches the document's *old* terms (looked up via
@@ -495,6 +530,7 @@ class IndexRouter:
         self._check_writable(doc_id=doc_id)
         with self._write_ctx():
             self._guard_write(lambda: self.index.update_content(doc_id, new_terms))
+        self.metrics.inc("write.ops", op="update_content")
 
     def query(self, keywords: Iterable[str], k: int,
               conjunctive: bool = True) -> QueryResponse:
@@ -505,8 +541,67 @@ class IndexRouter:
         shard-tagged fault *during* evaluation quarantines the shard and the
         query retries without it (reads never mutate index state, so the
         retry is safe).  A healthy router runs the exact pre-existing path.
+
+        The wrapper here is pure observability: it times the evaluation into
+        the ``query.*`` metrics and, when tracing is on, roots the query's
+        span tree and offers it to the slow-query log.  The engine work all
+        lives in :meth:`_query_impl`.
         """
         keywords = list(keywords)
+        if not tracing_enabled():
+            started = time.perf_counter()
+            response = self._query_impl(keywords, k, conjunctive)
+            self._record_query(response.stats,
+                               (time.perf_counter() - started) * 1000.0)
+            return response
+        with span("query", keywords=tuple(keywords), k=k,
+                  conjunctive=conjunctive) as root:
+            started = time.perf_counter()
+            response = self._query_impl(keywords, k, conjunctive)
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self._record_query(response.stats, elapsed_ms)
+        if root is not None:
+            SLOW_QUERIES.maybe_record(
+                root, keywords, self._term_attribution(root, response.stats)
+            )
+        return response
+
+    def _record_query(self, stats: QueryStats, elapsed_ms: float) -> None:
+        """Fold one finished query into the registry (one lock trip each way)."""
+        self.metrics.observe("query.latency_ms", elapsed_ms)
+        values = {
+            "query.count": 1.0,
+            "query.pages_read": float(stats.pages_read),
+            "query.pool_hits": float(stats.pool_hits),
+            "query.postings_scanned": float(stats.postings_scanned),
+            "query.blocks_skipped": float(stats.blocks_skipped),
+        }
+        if stats.degraded:
+            values["query.degraded"] = 1.0
+        self.metrics.add_many(values)
+
+    @staticmethod
+    def _term_attribution(root, stats: QueryStats) -> dict:
+        """Per-term page/block attribution for the slow-query log.
+
+        The fan-out path tags its span with exact per-term scan stats; the
+        serial path has only the aggregate, reported under ``"*"``.
+        """
+        nodes = [root]
+        while nodes:
+            node = nodes.pop()
+            term_stats = node.tags.get("term_stats")
+            if term_stats is not None:
+                return term_stats
+            nodes.extend(node.children)
+        return {"*": {
+            "pages_read": stats.pages_read,
+            "postings_scanned": stats.postings_scanned,
+            "blocks_skipped": stats.blocks_skipped,
+        }}
+
+    def _query_impl(self, keywords: list, k: int,
+                    conjunctive: bool) -> QueryResponse:
         if self._lock is None and not self._quarantined:
             # Single-route fast lane (threads=1, healthy): no latch context to
             # enter, no degradation filtering, no retry-loop bookkeeping —
@@ -518,7 +613,7 @@ class IndexRouter:
             except ReproError as exc:
                 if not self._quarantine_from_error(exc):
                     raise
-                return self.query(keywords, k, conjunctive)
+                return self._query_impl(keywords, k, conjunctive)
         attempts = self.shard_count + 1
         while True:
             if self._quarantined:
@@ -613,7 +708,46 @@ class IndexRouter:
             stats.page_writes = sum(delta.page_writes for delta in deltas)
             stats.pool_hits = sum(delta.pool_hits for delta in deltas)
             stats.estimated_io_ms = sum(delta.cost_ms() for delta in deltas)
+            self._record_fanout_shards(terms, per_term, deltas)
             return QueryResponse(results=tuple(results), stats=stats)
+
+    def _record_fanout_shards(self, terms: list, per_term: "list[QueryStats]",
+                              deltas: list) -> None:
+        """Per-shard ``shard.*`` attribution for one fanned-out query.
+
+        Only the fan-out path records per-shard metrics: it already paid for
+        the epoch snapshot the page/pool attribution is derived from, whereas
+        the serial fast lane would have to add shard snapshots to its hot
+        path just to feed them.  Serial deployments still get per-shard
+        list-cache and lifetime-I/O series.
+        """
+        per_shard: "dict[int, dict[str, float]]" = {}
+        for term, scan_stats in zip(terms, per_term):
+            bucket = per_shard.setdefault(self.shard_of_term(term), {
+                "shard.postings_scanned": 0.0,
+                "shard.blocks_skipped": 0.0,
+            })
+            bucket["shard.postings_scanned"] += float(scan_stats.postings_scanned)
+            bucket["shard.blocks_skipped"] += float(scan_stats.blocks_skipped)
+        for shard, delta in enumerate(deltas):
+            if delta.page_reads or delta.pool_hits:
+                bucket = per_shard.setdefault(shard, {})
+                bucket["shard.pages_read"] = float(delta.page_reads)
+                bucket["shard.pool_hits"] = float(delta.pool_hits)
+        for shard, values in per_shard.items():
+            self.metrics.add_many(values, shard=shard)
+        if tracing_enabled():
+            node = current_span()
+            if node is not None:
+                node.tags["term_stats"] = {
+                    term: {
+                        "shard": self.shard_of_term(term),
+                        "postings_scanned": scan_stats.postings_scanned,
+                        "blocks_skipped": scan_stats.blocks_skipped,
+                        "chunks_scanned": scan_stats.chunks_scanned,
+                    }
+                    for term, scan_stats in zip(terms, per_term)
+                }
 
     # -- combined update windows -----------------------------------------------------
 
@@ -667,8 +801,13 @@ class IndexRouter:
         combined: list = []
         for waiting in drained:
             combined.extend(waiting.updates)
+        if len(drained) > 1:
+            self.metrics.inc("update.windows_combined",
+                             value=float(len(drained) - 1))
         try:
-            applied = self.index.apply_batch(combined)
+            with span("write.combine", windows=len(drained),
+                      updates=len(combined)):
+                applied = self.index.apply_batch(combined)
         except BaseException:
             # A bad update in one window must not fail its neighbours:
             # fall back to per-window application so each ticket gets its

@@ -38,6 +38,7 @@ from repro.core.posting import (
     read_blocked_total,
 )
 from repro.core.result_heap import HeapThreshold
+from repro.obs.trace import span
 from repro.storage.environment import StorageEnvironment
 from repro.storage.sharding import ShardedEnvironment, ShardedKVStore
 from repro.text.documents import Document, DocumentStore
@@ -561,11 +562,14 @@ class InvertedIndex(abc.ABC):
         constructs the streams inline, in term order, exactly as the
         pre-refactor monolithic implementations did.
         """
-        threshold = self._make_query_threshold()
-        plans = self._term_scan_plans(terms, lambda term_index: stats, threshold)
-        streams = [plan() for _term, plan in plans]
-        return self._merge_term_streams(streams, terms, k, conjunctive, stats,
-                                        threshold)
+        with span("query.plan", terms=len(terms)):
+            threshold = self._make_query_threshold()
+            plans = self._term_scan_plans(terms, lambda term_index: stats,
+                                          threshold)
+            streams = [plan() for _term, plan in plans]
+        with span("query.merge", k=k):
+            return self._merge_term_streams(streams, terms, k, conjunctive,
+                                            stats, threshold)
 
     def _make_query_threshold(self) -> "HeapThreshold | None":
         """Per-query shared threshold for block-max pruning, or ``None``.

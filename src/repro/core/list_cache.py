@@ -98,15 +98,31 @@ class InvertedListCache:
     #: :meth:`invalidate`.  Only consulted when the cache is enabled, so the
     #: cache-off fidelity path never sees it.
     scores: "dict[int, float | None]" = field(default_factory=dict, repr=False)
+    #: Optional :class:`~repro.obs.metrics.MetricsRegistry` (duck-typed)
+    #: attached by the router.  The local :class:`ListCacheStats` counters are
+    #: per-instance and lock-free (fine on the single-writer paths); the
+    #: registry aggregates the same events *race-free* and per shard, which
+    #: is what dashboards read.
+    metrics: "object | None" = field(default=None, repr=False, compare=False)
+
+    def _note(self, name: str, shard: "int | None") -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            if shard is None:
+                metrics.inc(name)
+            else:
+                metrics.inc(name, shard=shard)
 
     def get(self, shard: "int | None", term: str) -> "list | None":
         """The cached postings for ``(shard, term)``, or ``None`` on a miss."""
         entry = self._entries.get((shard, term))
         if entry is None:
             self.stats.misses += 1
+            self._note("list_cache.misses", shard)
             return None
         self._entries.move_to_end((shard, term))
         self.stats.hits += 1
+        self._note("list_cache.hits", shard)
         return entry[1]
 
     def put(self, shard: "int | None", term: str, postings: list,
@@ -121,9 +137,10 @@ class InvertedListCache:
         self._entries[key] = (nbytes, postings)
         self.used_bytes += nbytes
         while self.used_bytes > self.budget_bytes:
-            _key, (evicted_bytes, _postings) = self._entries.popitem(last=False)
+            evicted_key, (evicted_bytes, _postings) = self._entries.popitem(last=False)
             self.used_bytes -= evicted_bytes
             self.stats.evictions += 1
+            self._note("list_cache.evictions", evicted_key[0])
         return True
 
     def invalidate(self) -> None:

@@ -322,6 +322,20 @@ class SVRTextIndex:
         """Checksum-verify data at rest (see ``StorageEnvironment.scrub``)."""
         return self.env.scrub()
 
+    # -- observability ---------------------------------------------------------------
+
+    def observability(self) -> dict:
+        """One structured snapshot of the whole engine's observable state.
+
+        Metrics registry, per-shard lifetime I/O, list-cache occupancy, WAL
+        and fault counters, shard health, recent events and slow queries —
+        everything the :mod:`repro.obs.dump` CLI renders.  Reading it
+        performs no storage accesses (counter reads only).
+        """
+        from repro.obs.snapshot import observability_snapshot
+
+        return observability_snapshot(self)
+
     @property
     def degraded(self) -> bool:
         """Whether quarantined shards are making answers partial."""

@@ -227,3 +227,7 @@ class WorkloadError(ReproError):
 
 class BenchmarkError(ReproError):
     """An experiment definition or run failed."""
+
+
+class ObservabilityError(ReproError):
+    """An observability component (histogram, registry, exporter) was misused."""

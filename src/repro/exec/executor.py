@@ -25,6 +25,7 @@ from repro.errors import (
     ShardTimeoutError,
     StorageError,
 )
+from repro.obs.trace import bind_current, tracing_enabled
 
 
 class ShardFuture:
@@ -39,7 +40,7 @@ class ShardFuture:
     latch, so the single-access discipline is preserved either way).
     """
 
-    __slots__ = ("_event", "_result", "_exception", "_fn", "_claim")
+    __slots__ = ("_event", "_result", "_exception", "_fn", "_claim", "_steal_note")
 
     def __init__(self, fn: "Callable[[], Any] | None" = None) -> None:
         self._event = threading.Event()
@@ -47,6 +48,9 @@ class ShardFuture:
         self._exception: BaseException | None = None
         self._fn = fn
         self._claim = threading.Lock() if fn is not None else None
+        #: Optional observability callback fired when a caller steals the
+        #: task (set by the pool when a metrics registry is attached).
+        self._steal_note: "Callable[[], None] | None" = None
 
     @classmethod
     def completed(cls, result: Any) -> "ShardFuture":
@@ -108,6 +112,8 @@ class ShardFuture:
         calling thread instead of waiting for the worker.
         """
         if steal and not self._event.is_set() and self._try_claim():
+            if self._steal_note is not None:
+                self._steal_note()
             self._run_claimed()
         if not self._event.wait(timeout):
             raise ShardTimeoutError("shard task did not complete in time")
@@ -218,6 +224,10 @@ class ExecutorPool:
         if scatter is None:
             scatter = (os.cpu_count() or 1) > 1
         self.scatter = bool(scatter)
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry` (duck-typed)
+        #: attached by the router; when set, submissions/steals/revivals feed
+        #: ``exec.*`` counters.
+        self.metrics = None
         self._closed = False
         if self.threads <= 1:
             self._executors: list[ShardExecutor] = []
@@ -251,16 +261,29 @@ class ExecutorPool:
         """
         executor = self.executor_for(shard)
         if executor is None:
+            # Inline mode runs on the calling thread, where any open trace
+            # span is already current — no context binding needed.
             try:
                 return ShardFuture.completed(fn())
             except BaseException as exc:
                 return ShardFuture.failed(exc)
+        if tracing_enabled():
+            # Carry the submitting thread's current span into the task, so
+            # spans the task opens land under the query/window that caused it
+            # — on the worker thread, or on whichever caller steals the task
+            # (the binding travels inside the submitted closure).
+            fn = bind_current(fn)
+        metrics = self.metrics
         try:
-            return executor.submit(fn)
+            future = executor.submit(fn)
         except ExecutorClosedError as exc:
             if exc.shard is None:
                 exc.shard = shard
             raise
+        if metrics is not None:
+            metrics.inc("exec.submitted", shard=shard)
+            future._steal_note = lambda: metrics.inc("exec.steals", shard=shard)
+        return future
 
     def kill_executor(self, shard: int) -> bool:
         """Chaos hook: kill the executor owning ``shard`` (inline: ``False``)."""
@@ -283,6 +306,8 @@ class ExecutorPool:
         if not executor.dead:
             return False
         self._executors[index] = ShardExecutor(name=executor.name)
+        if self.metrics is not None:
+            self.metrics.inc("exec.revived", shard=shard)
         return True
 
     def run_on(self, shard: int, fn: Callable[[], Any]) -> Any:

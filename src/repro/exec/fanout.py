@@ -22,6 +22,7 @@ from itertools import islice
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.exec.executor import ExecutorPool, ShardFuture
+from repro.obs.trace import span
 
 #: Default cap on postings materialized per executor round trip.  Blocks
 #: start small and double per pull (see ``StreamPump``), so short
@@ -100,19 +101,32 @@ class StreamPump:
         return block
 
     def _open_and_pull(self) -> list:
-        if self._latch is not None:
-            with self._latch:
+        # The spans here record under the submitting query's tree: the pool
+        # bound the query's current span into this callable at dispatch time
+        # (or, with lazy thunks, the merge thread's own span is current).
+        with span("shard.scan", shard=self._shard) as node:
+            if self._latch is not None:
+                with self._latch:
+                    self._stream = self._plan()
+                    block = self._take_block()
+            else:
                 self._stream = self._plan()
-                return self._take_block()
-        self._stream = self._plan()
-        return self._take_block()
+                block = self._take_block()
+            if node is not None:
+                node.tags["postings"] = len(block)
+            return block
 
     def _pull(self) -> list:
         assert self._stream is not None
-        if self._latch is not None:
-            with self._latch:
-                return self._take_block()
-        return self._take_block()
+        with span("scan.block", shard=self._shard) as node:
+            if self._latch is not None:
+                with self._latch:
+                    block = self._take_block()
+            else:
+                block = self._take_block()
+            if node is not None:
+                node.tags["postings"] = len(block)
+            return block
 
     # -- coordinator-side ------------------------------------------------------
 

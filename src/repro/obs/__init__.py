@@ -1,0 +1,65 @@
+"""Unified observability layer: tracing, metrics, events, exporters.
+
+The engine's telemetry used to be fragmented — ``QueryStats`` per query,
+``ShardLoad`` per run, fault counters per injector, buffer-pool stats per
+shard — each with its own dialect.  This package is the shared substrate:
+
+* :mod:`repro.obs.trace` — per-query / per-window span trees propagated
+  through the executor pool into worker threads, plus a slow-query log;
+* :mod:`repro.obs.metrics` — a thread-safe registry of counters, gauges and
+  fixed-bucket latency histograms fed by the router, executors, caches, the
+  WAL and the retry/quarantine paths;
+* :mod:`repro.obs.events` — a ring-buffered structured event log for
+  lifecycle events (quarantine, reopen, recovery, checkpoint, escalation);
+* :mod:`repro.obs.histogram` — the one percentile/histogram implementation
+  every consumer (service driver, bench reporting, registry) shares;
+* :mod:`repro.obs.snapshot` / :mod:`repro.obs.dump` — JSON and
+  Prometheus-style exporters and the ``python -m repro.obs.dump`` CLI.
+
+Two invariants the test suite pins:
+
+* **Accounting invisibility** — nothing in this package performs a storage
+  access.  Spans and metrics record wall-clock and *existing* counter values,
+  so fig7/table1 I/O fingerprints are bit-identical with tracing enabled.
+* **Near-free when disabled** — every instrumentation site is a no-op branch
+  when ``REPRO_TRACE`` is unset (spans) or collapses to one dict update per
+  operation (metrics); the ``obs_overhead`` bench keeps the macro-query
+  overhead within 5%.
+"""
+
+from repro.obs.events import Event, EventLog, EVENTS, emit
+from repro.obs.histogram import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    LatencyHistogram,
+    percentile,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    SLOW_QUERIES,
+    SlowQueryLog,
+    Span,
+    bind_current,
+    current_span,
+    set_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "EVENTS",
+    "Event",
+    "EventLog",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "SLOW_QUERIES",
+    "SlowQueryLog",
+    "Span",
+    "bind_current",
+    "current_span",
+    "emit",
+    "percentile",
+    "set_tracing",
+    "span",
+    "tracing_enabled",
+]

@@ -1,0 +1,92 @@
+"""Ring-buffered structured event log for engine lifecycle events.
+
+Queries and updates are *metrics* (high-rate, aggregated); quarantines,
+reopens, recoveries, checkpoints and fault escalations are *events* —
+individually interesting, low-rate, and worth keeping verbatim.  The
+:class:`EventLog` is a bounded deque of :class:`Event` records, each with a
+monotonically increasing sequence number, a kind, an optional shard tag and
+free-form fields.
+
+The log is process-global (:data:`EVENTS`): emission sites live deep in the
+storage and fault layers where no router reference exists, and an operator
+debugging a quarantine wants one stream, not one per engine instance.  The
+ring bound (512) keeps a traced tier-1 run's memory flat.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+_DEFAULT_CAPACITY = 512
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured lifecycle event."""
+
+    seq: int
+    kind: str
+    shard: "int | None"
+    timestamp: float
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "shard": self.shard,
+            "timestamp": round(self.timestamp, 6),
+            **self.fields,
+        }
+
+
+class EventLog:
+    """Thread-safe bounded event ring."""
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY) -> None:
+        self._lock = threading.Lock()
+        self._entries: "deque[Event]" = deque(maxlen=capacity)
+        self._seq = itertools.count(1)
+
+    def emit(self, kind: str, shard: "int | None" = None, **fields: object) -> Event:
+        event = Event(
+            seq=next(self._seq),
+            kind=kind,
+            shard=shard,
+            timestamp=time.time(),
+            fields={key: value for key, value in fields.items()},
+        )
+        with self._lock:
+            self._entries.append(event)
+        return event
+
+    def events(self, kind: "str | None" = None,
+               shard: "int | None" = None) -> list[Event]:
+        with self._lock:
+            entries = list(self._entries)
+        if kind is not None:
+            entries = [event for event in entries if event.kind == kind]
+        if shard is not None:
+            entries = [event for event in entries if event.shard == shard]
+        return entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: The process-wide event log every emission site writes to.
+EVENTS = EventLog()
+
+
+def emit(kind: str, shard: "int | None" = None, **fields: object) -> Event:
+    """Emit onto the process-wide log (the one-liner the storage layer uses)."""
+    return EVENTS.emit(kind, shard=shard, **fields)

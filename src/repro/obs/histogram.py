@@ -1,0 +1,129 @@
+"""Percentiles and fixed-bucket latency histograms.
+
+This module is the *single* percentile implementation in the repository:
+:func:`percentile` is the exact nearest-rank estimator the service driver has
+always used (re-exported from :mod:`repro.workloads.service` for
+compatibility), and :class:`LatencyHistogram` is the streaming counterpart
+the metrics registry aggregates into — fixed bucket bounds, O(1) memory,
+quantiles estimated at bucket granularity.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+from repro.errors import ObservabilityError
+
+#: Default latency bucket upper bounds in milliseconds.  Geometric-ish 1-2.5-5
+#: decades from 50µs to 5s: fine enough to separate a cache hit from a page
+#: miss at the bottom and a checkpoint stall from a quarantine storm at the
+#: top, coarse enough that a histogram is 17 integers.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+def percentile(values: "Sequence[float]", fraction: float) -> float:
+    """Nearest-rank percentile (``fraction`` in [0, 1]; 0.0 for no samples)."""
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ObservabilityError(
+            f"percentile fraction must be in [0, 1], got {fraction}"
+        )
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class LatencyHistogram:
+    """Fixed-bucket streaming histogram with cumulative-bucket quantiles.
+
+    ``bounds`` are inclusive upper bounds per bucket; one overflow bucket
+    catches everything past the last bound.  Exact ``count``/``sum``/``min``/
+    ``max`` ride along, so the mean and the extremes are precise even though
+    quantiles are bucket-granular (a quantile reports its bucket's upper
+    bound, clamped to the observed maximum).
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: "Sequence[float]" = DEFAULT_LATENCY_BUCKETS_MS) -> None:
+        bounds = tuple(float(bound) for bound in bounds)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                "histogram bounds must be a non-empty ascending sequence"
+            )
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.count += 1
+        self.total += value
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        if other.bounds != self.bounds:
+            raise ObservabilityError("cannot merge histograms with different bounds")
+        if other.count == 0:
+            return
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        if self.count == 0 or other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.count += other.count
+        self.total += other.total
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Bucket-granular nearest-rank quantile (0.0 for no samples)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ObservabilityError(
+                f"quantile fraction must be in [0, 1], got {fraction}"
+            )
+        if self.count == 0:
+            return 0.0
+        rank = round(fraction * (self.count - 1))
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen > rank:
+                if index == len(self.bounds):  # overflow bucket
+                    return self.max
+                return min(self.bounds[index], self.max)
+        return self.max
+
+    def snapshot(self) -> dict:
+        """Plain-data form for exporters (cumulative Prometheus-style buckets)."""
+        cumulative = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            cumulative.append((bound, running))
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": round(self.min, 6),
+            "max": round(self.max, 6),
+            "mean": round(self.mean, 6),
+            "p50": round(self.quantile(0.50), 6),
+            "p95": round(self.quantile(0.95), 6),
+            "p99": round(self.quantile(0.99), 6),
+            "p999": round(self.quantile(0.999), 6),
+            "buckets": cumulative,
+        }

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import StorageError, StoreClosedError
+from repro.obs.events import emit
+from repro.obs.trace import span
 from repro.storage.buffer_pool import BufferPool, BufferPoolStats
 from repro.storage.disk import DiskCostModel, DiskStats, SimulatedDisk
 from repro.storage.heap_file import HeapFile
@@ -119,6 +121,9 @@ class StorageEnvironment:
         self._closed = False
         self._lifecycle_lock = threading.Lock()
         self._app_state: Any = None
+        #: Shard index for observability tags (set by ``ShardedEnvironment``;
+        #: ``None`` for unsharded environments and during bootstrap).
+        self.obs_shard: "int | None" = None
         #: True when this environment was rebuilt by ``open_environment``;
         #: index constructors attach to the restored stores instead of
         #: creating fresh ones.
@@ -147,6 +152,7 @@ class StorageEnvironment:
         env._closed = False
         env._lifecycle_lock = threading.Lock()
         env._app_state = catalog.get("app")
+        env.obs_shard = None
         env.recovered = True
         env._restore_stores(catalog.get("stores", {}))
         return env
@@ -202,10 +208,11 @@ class StorageEnvironment:
         self._check_open()
         if app_state is not None:
             self._app_state = app_state
-        self.pool.flush()
-        if not self.durable:
-            return 0
-        return self.disk.commit_batch(self._commit_payload(self._app_state))
+        with span("storage.commit", shard=self.obs_shard):
+            self.pool.flush()
+            if not self.durable:
+                return 0
+            return self.disk.commit_batch(self._commit_payload(self._app_state))
 
     def checkpoint(self, app_state: Any = None) -> int:
         """Commit, then fold the WAL into the paged file and truncate it.
@@ -229,7 +236,10 @@ class StorageEnvironment:
         environment.
         """
         if self.durable:
-            self.disk.checkpoint(self._commit_payload(self._app_state))
+            with span("storage.fold", shard=self.obs_shard):
+                self.disk.checkpoint(self._commit_payload(self._app_state))
+            emit("checkpoint", shard=self.obs_shard,
+                 batch=self.committed_batches)
 
     def close(self, app_state: Any = None) -> None:
         """Checkpoint (when durable) and release every handle, idempotently.

@@ -62,6 +62,7 @@ from repro.errors import (
     StorageError,
     TransientIOError,
 )
+from repro.obs.events import emit
 
 #: Injection sites and the fault kinds meaningful at each.  ``read``/``write``/
 #: ``allocate`` fire on the public ``SimulatedDisk`` accounting paths (both
@@ -368,6 +369,8 @@ def run_with_retries(injector: "FaultInjector | None", op: str,
             failures += 1
             if failures > injector.plan.retry_budget:
                 injector.stats.escalations += 1
+                emit("fault_escalation", shard=injector.shard, op=op,
+                     retries=failures - 1)
                 raise injector.tag(RetryExhaustedError(
                     f"{op}: still failing after {failures - 1} retries"
                 )) from exc

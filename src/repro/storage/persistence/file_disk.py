@@ -52,6 +52,7 @@ from repro.errors import (
     StoreClosedError,
     TransientIOError,
 )
+from repro.obs.trace import span
 from repro.storage.disk import DiskStats, SimulatedDisk
 from repro.storage.faults import run_with_retries
 from repro.storage.pager import PAGE_SIZE, Page
@@ -389,21 +390,24 @@ class FileBackedDisk(SimulatedDisk):
         :meth:`commit_batch` — replay ignores them without a ``COMMIT``.
         """
         injector = self.fault_injector
-        for page_id, image in self._uncommitted.items():
-            if isinstance(image, bytes):
-                if injector is None:
-                    self._uncommitted[page_id] = self.wal.append_write(page_id, image)
-                else:
-                    # A torn append leaves a partial frame in the file; the
-                    # reset rolls the log back to the pre-append offset so
-                    # every retry starts from a clean tail.
-                    start = self.wal.size_bytes()
-                    self._uncommitted[page_id] = run_with_retries(
-                        injector, "wal_append",
-                        lambda image=image, page_id=page_id:
-                            self.wal.append_write(page_id, image),
-                        reset=lambda start=start: self.wal.truncate(start),
-                    )
+        with span("wal.append"):
+            for page_id, image in self._uncommitted.items():
+                if isinstance(image, bytes):
+                    if injector is None:
+                        self._uncommitted[page_id] = self.wal.append_write(
+                            page_id, image
+                        )
+                    else:
+                        # A torn append leaves a partial frame in the file; the
+                        # reset rolls the log back to the pre-append offset so
+                        # every retry starts from a clean tail.
+                        start = self.wal.size_bytes()
+                        self._uncommitted[page_id] = run_with_retries(
+                            injector, "wal_append",
+                            lambda image=image, page_id=page_id:
+                                self.wal.append_write(page_id, image),
+                            reset=lambda start=start: self.wal.truncate(start),
+                        )
         self._buffered_bytes = 0
 
     # -- durability protocol -----------------------------------------------------

@@ -18,6 +18,7 @@ from __future__ import annotations
 import os
 
 from repro.errors import StorageError
+from repro.obs.events import emit
 from repro.storage.environment import StorageEnvironment
 from repro.storage.persistence.file_disk import (
     DEFAULT_WAL_BUFFER_BYTES,
@@ -49,9 +50,11 @@ def open_environment(path: str, cache_pages: int | None = None,
     """
     disk, catalog = FileBackedDisk.open(path, wal_buffer_bytes=wal_buffer_bytes,
                                         max_batch=max_batch)
-    return StorageEnvironment.from_recovery(
+    env = StorageEnvironment.from_recovery(
         disk, catalog, path=path, cache_pages=cache_pages
     )
+    emit("recovery", path=path, batch=env.committed_batches)
+    return env
 
 
 def open_sharded_environment(path: str, cache_pages: int | None = None,
@@ -109,6 +112,8 @@ def open_sharded_environment(path: str, cache_pages: int | None = None,
         for index, batch in enumerate(batches):
             if batch <= batches[0]:
                 continue
+            emit("shard_rollback", shard=index, from_batch=batch,
+                 to_batch=batches[0])
             shards[index].crash()
             shards[index] = open_environment(
                 _shard_path(path, index),

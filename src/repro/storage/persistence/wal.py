@@ -34,6 +34,7 @@ import zlib
 from dataclasses import dataclass, field
 
 from repro.errors import DiskFullError, StorageError, TransientIOError
+from repro.obs.trace import span
 
 _WRITE = b"W"
 _COMMIT = b"C"
@@ -158,24 +159,27 @@ class WriteAheadLog:
         caller must roll the log back to the pre-commit offset before
         retrying.
         """
-        header = _COMMIT_HEADER.pack(_COMMIT, batch_id, len(catalog))
-        crc = zlib.crc32(header)
-        crc = zlib.crc32(catalog, crc)
-        injector = self.fault_injector
-        if injector is not None:
-            self._fault_frame("wal_commit", header + catalog + _CRC.pack(crc))
-        self._file.write(header)
-        self._file.write(catalog)
-        self._file.write(_CRC.pack(crc))
-        self._file.flush()
-        if injector is not None and injector.roll("wal_fsync") == "fsync":
-            raise TransientIOError(
-                "injected fsync failure on WAL commit (power-loss window)"
+        with span("wal.commit", batch=batch_id):
+            header = _COMMIT_HEADER.pack(_COMMIT, batch_id, len(catalog))
+            crc = zlib.crc32(header)
+            crc = zlib.crc32(catalog, crc)
+            injector = self.fault_injector
+            if injector is not None:
+                self._fault_frame("wal_commit", header + catalog + _CRC.pack(crc))
+            self._file.write(header)
+            self._file.write(catalog)
+            self._file.write(_CRC.pack(crc))
+            self._file.flush()
+            if injector is not None and injector.roll("wal_fsync") == "fsync":
+                raise TransientIOError(
+                    "injected fsync failure on WAL commit (power-loss window)"
+                )
+            os.fsync(self._file.fileno())
+            self.stats.records_appended += 1
+            self.stats.batches_committed += 1
+            self.stats.bytes_appended += (
+                _COMMIT_HEADER.size + len(catalog) + _CRC.size
             )
-        os.fsync(self._file.fileno())
-        self.stats.records_appended += 1
-        self.stats.batches_committed += 1
-        self.stats.bytes_appended += _COMMIT_HEADER.size + len(catalog) + _CRC.size
 
     def read_slot(self, slot: WalSlot) -> bytes:
         """Read a spilled page image back from the log file."""

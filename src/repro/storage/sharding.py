@@ -604,6 +604,8 @@ class ShardedEnvironment:
             )
             for index in range(shard_count)
         ]
+        for index, shard in enumerate(self.shards):
+            shard.obs_shard = index
         self._kvstores: dict[str, ShardedKVStore] = {}
         self._heapfiles: dict[str, ShardedHeapFile] = {}
         #: Logical store registry: name -> (kind, key_shard, order).  Persisted
@@ -757,6 +759,8 @@ class ShardedEnvironment:
         env._exec_pool = None
         env.shard_latches = None
         env.shards = shards
+        for index, shard in enumerate(shards):
+            shard.obs_shard = index
         env._kvstores = {}
         env._heapfiles = {}
         env._store_policies = {}
@@ -836,6 +840,7 @@ class ShardedEnvironment:
         old.crash()
         env = open_environment(_shard_path(self.path, index),
                                cache_pages=cache_pages)
+        env.obs_shard = index
         self.shards[index] = env
         for name, (kind, _key_shard, _order) in self._store_policies.items():
             if kind == "kv":

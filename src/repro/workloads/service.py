@@ -31,7 +31,8 @@ from typing import Sequence
 #: costs cache locality and lengthens tail latency) without hurting fairness.
 _SERVICE_SWITCH_INTERVAL_S = 0.02
 
-from repro.errors import WorkloadError
+from repro.errors import ObservabilityError, WorkloadError
+from repro.obs.histogram import percentile as _obs_percentile
 from repro.storage.sharding import ShardLoad, shard_load
 from repro.workloads.multiclient import MultiClientConfig, schedule_client_ops
 from repro.workloads.queries import KeywordQuery
@@ -39,14 +40,15 @@ from repro.workloads.updates import ScoreUpdate, resolve_batch
 
 
 def percentile(values: "Sequence[float]", fraction: float) -> float:
-    """Nearest-rank percentile (``fraction`` in [0, 1]; 0.0 for no samples)."""
-    if not values:
-        return 0.0
-    if not 0.0 <= fraction <= 1.0:
-        raise WorkloadError(f"percentile fraction must be in [0, 1], got {fraction}")
-    ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
-    return ordered[rank]
+    """Nearest-rank percentile (``fraction`` in [0, 1]; 0.0 for no samples).
+
+    The one implementation lives in :mod:`repro.obs.histogram`; this wrapper
+    keeps the workload-facing error contract (:class:`WorkloadError`).
+    """
+    try:
+        return _obs_percentile(values, fraction)
+    except ObservabilityError as exc:
+        raise WorkloadError(str(exc)) from None
 
 
 @dataclass(frozen=True)
@@ -132,9 +134,15 @@ class ServiceLoadResult:
         metrics.extra["p50_query_ms"] = round(self.query_latency_ms(0.50), 4)
         metrics.extra["p95_query_ms"] = round(self.query_latency_ms(0.95), 4)
         metrics.extra["p99_query_ms"] = round(self.query_latency_ms(0.99), 4)
+        metrics.extra["p999_query_ms"] = round(self.query_latency_ms(0.999), 4)
+        metrics.extra["max_query_ms"] = round(
+            max(self.query_latencies_ms, default=0.0), 4)
         metrics.extra["p50_window_ms"] = round(self.window_latency_ms(0.50), 4)
         metrics.extra["p95_window_ms"] = round(self.window_latency_ms(0.95), 4)
         metrics.extra["p99_window_ms"] = round(self.window_latency_ms(0.99), 4)
+        metrics.extra["p999_window_ms"] = round(self.window_latency_ms(0.999), 4)
+        metrics.extra["max_window_ms"] = round(
+            max(self.window_latencies_ms, default=0.0), 4)
         metrics.extra["checkpoints"] = float(self.checkpoints)
         metrics.extra["combined_windows"] = float(self.combined_windows)
         if self.shard_load is not None:

@@ -1,0 +1,134 @@
+"""Structured event log: ring semantics plus the engine emission sites."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.text_index import SVRTextIndex
+from repro.obs.events import EVENTS, EventLog, emit
+from repro.storage.faults import DEFAULT_RETRY_BUDGET, FaultPlan, FaultSpec
+from tests.conftest import METHOD_OPTIONS, make_corpus
+
+
+@pytest.fixture(autouse=True)
+def clean_events():
+    EVENTS.clear()
+    yield
+    EVENTS.clear()
+
+
+class TestEventLogUnit:
+    def test_emit_and_filter(self):
+        log = EventLog()
+        log.emit("quarantine", shard=1, reason="x")
+        log.emit("reopen", shard=1)
+        log.emit("quarantine", shard=2, reason="y")
+        assert len(log) == 3
+        assert [e.shard for e in log.events(kind="quarantine")] == [1, 2]
+        assert [e.kind for e in log.events(shard=1)] == ["quarantine", "reopen"]
+
+    def test_sequence_numbers_are_monotonic(self):
+        log = EventLog()
+        seqs = [log.emit("x").seq for _ in range(5)]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 5
+
+    def test_ring_capacity(self):
+        log = EventLog(capacity=3)
+        for index in range(10):
+            log.emit("tick", n=index)
+        kept = log.events()
+        assert len(kept) == 3
+        assert [e.fields["n"] for e in kept] == [7, 8, 9]
+
+    def test_to_dict_flattens_fields(self):
+        log = EventLog()
+        event = log.emit("checkpoint", shard=0, batch=4)
+        data = event.to_dict()
+        assert data["kind"] == "checkpoint" and data["batch"] == 4
+
+    def test_module_level_emit_targets_global_log(self):
+        emit("custom", shard=None, note="hello")
+        assert EVENTS.events(kind="custom")[0].fields["note"] == "hello"
+
+
+def _durable_index(tmp_path, shards=4):
+    corpus = make_corpus(random.Random(97), num_docs=40, vocabulary=25)
+    index = SVRTextIndex(method="chunk", shards=shards, cache_pages=256,
+                         path=str(tmp_path / "idx"),
+                         **METHOD_OPTIONS["chunk"])
+    for doc_id, terms, score in corpus:
+        index.add_document_terms(doc_id, terms, score)
+    index.finalize()
+    index.checkpoint()
+    return index
+
+
+class TestEngineEmissionSites:
+    def test_quarantine_and_reopen_events(self, tmp_path):
+        index = _durable_index(tmp_path)
+        try:
+            EVENTS.clear()
+            index.router.quarantine_shard(2, "injected for test")
+            # Re-quarantining an already-quarantined shard must not re-emit.
+            index.router.quarantine_shard(2, "again")
+            quarantines = EVENTS.events(kind="quarantine")
+            assert len(quarantines) == 1
+            assert quarantines[0].shard == 2
+            assert quarantines[0].fields["reason"] == "injected for test"
+            assert index.router.metrics.counter_value(
+                "shard.quarantined", shard=2) == 1.0
+
+            index.reopen_shard(2)
+            reopens = EVENTS.events(kind="reopen")
+            assert len(reopens) == 1 and reopens[0].shard == 2
+            assert reopens[0].fields["lifted_quarantine"] is True
+            assert index.router.metrics.counter_value(
+                "shard.reopened", shard=2) == 1.0
+        finally:
+            index.close()
+
+    def test_checkpoint_events_carry_shard_tags(self, tmp_path):
+        index = _durable_index(tmp_path)
+        try:
+            EVENTS.clear()
+            index.checkpoint()
+            checkpoints = EVENTS.events(kind="checkpoint")
+            assert {e.shard for e in checkpoints} == {0, 1, 2, 3}
+        finally:
+            index.close()
+
+    def test_recovery_event_on_open(self, tmp_path):
+        index = _durable_index(tmp_path)
+        index.commit()
+        index.close()
+        EVENTS.clear()
+        recovered = SVRTextIndex.open(str(tmp_path / "idx"))
+        try:
+            recoveries = EVENTS.events(kind="recovery")
+            assert len(recoveries) == 4  # one per shard directory
+            for event in recoveries:
+                assert event.fields["batch"] >= 1
+        finally:
+            recovered.close()
+
+    def test_fault_escalation_event(self, tmp_path):
+        index = _durable_index(tmp_path, shards=2)
+        try:
+            EVENTS.clear()
+            # One retry-exhausting run of read failures escalates to a hard
+            # fault, which the router turns into a quarantine.
+            index.env.shards[1].inject_faults(FaultPlan(
+                specs=(FaultSpec(op="read", kind="transient", at=0,
+                                 run=DEFAULT_RETRY_BUDGET + 1),),
+            ), shard=1)
+            index.drop_long_list_cache()
+            index.search(["w001", "w004"], k=5, conjunctive=False)
+            escalations = EVENTS.events(kind="fault_escalation")
+            assert escalations, "exhausted retries must emit an escalation"
+            assert escalations[0].fields["op"] == "read"
+            assert escalations[0].fields["retries"] >= 1
+        finally:
+            index.clear_faults()
+            index.close()

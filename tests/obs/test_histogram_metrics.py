@@ -1,0 +1,174 @@
+"""Unit layer of the observability package: percentile, histogram, registry."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError, WorkloadError
+from repro.obs.histogram import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    LatencyHistogram,
+    percentile,
+)
+from repro.obs.metrics import MetricsRegistry, render_series
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([5.0], 0.99) == 5.0
+
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 1.0) == 100
+        assert percentile(values, 0.5) == 51  # round(0.5 * 99) = 50 -> index 50
+
+    def test_out_of_range_fraction(self):
+        with pytest.raises(ObservabilityError):
+            percentile([1.0], 1.5)
+
+    def test_service_wrapper_keeps_workload_error(self):
+        # The workloads module re-exports the same implementation but must
+        # keep raising WorkloadError (its long-standing error contract).
+        from repro.workloads.service import percentile as service_percentile
+
+        assert service_percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+        with pytest.raises(WorkloadError):
+            service_percentile([1.0], 2.0)
+
+
+class TestLatencyHistogram:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ObservabilityError):
+            LatencyHistogram(())
+        with pytest.raises(ObservabilityError):
+            LatencyHistogram((1.0, 1.0))
+
+    def test_observe_tracks_extremes_and_mean(self):
+        hist = LatencyHistogram((1.0, 10.0))
+        for value in (0.5, 2.0, 20.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.min == 0.5 and hist.max == 20.0
+        assert hist.mean == pytest.approx(22.5 / 3)
+        assert hist.counts == [1, 1, 1]  # one per bucket incl. overflow
+
+    def test_quantile_is_bucket_granular_and_clamped(self):
+        hist = LatencyHistogram((1.0, 10.0, 100.0))
+        for _ in range(99):
+            hist.observe(0.7)
+        hist.observe(42.0)
+        # Quantiles report the bucket's upper bound, clamped to the max seen.
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == min(100.0, hist.max)
+        assert hist.quantile(0.0) == 1.0
+
+    def test_quantile_overflow_bucket_reports_max(self):
+        hist = LatencyHistogram((1.0,))
+        hist.observe(50.0)
+        hist.observe(70.0)
+        assert hist.quantile(0.99) == 70.0
+
+    def test_merge(self):
+        a = LatencyHistogram((1.0, 10.0))
+        b = LatencyHistogram((1.0, 10.0))
+        a.observe(0.5)
+        b.observe(5.0)
+        b.observe(0.2)
+        a.merge(b)
+        assert a.count == 3
+        assert a.min == 0.2 and a.max == 5.0
+        with pytest.raises(ObservabilityError):
+            a.merge(LatencyHistogram((2.0,)))
+
+    def test_snapshot_buckets_are_cumulative(self):
+        hist = LatencyHistogram((1.0, 10.0))
+        for value in (0.5, 0.6, 5.0, 100.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["buckets"] == [(1.0, 2), (10.0, 3)]
+        assert snap["p999"] == 100.0
+
+    def test_default_bounds_ascending(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_MS) == sorted(DEFAULT_LATENCY_BUCKETS_MS)
+
+
+class TestMetricsRegistry:
+    def test_counters_and_labels(self):
+        registry = MetricsRegistry()
+        registry.inc("query.count")
+        registry.inc("query.count", value=2.0)
+        registry.inc("shard.pages_read", value=5.0, shard=3)
+        assert registry.counter_value("query.count") == 3.0
+        assert registry.counter_value("shard.pages_read", shard=3) == 5.0
+        assert registry.counter_value("shard.pages_read", shard=0) == 0.0
+
+    def test_add_many_is_one_series_per_name(self):
+        registry = MetricsRegistry()
+        registry.add_many({"a": 1.0, "b": 2.0}, shard=1)
+        registry.add_many({"a": 0.5}, shard=1)
+        assert registry.counter_value("a", shard=1) == 1.5
+        assert registry.counter_value("b", shard=1) == 2.0
+
+    def test_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("bench.ops", 10.0)
+        registry.set_gauge("bench.ops", 20.0)
+        assert registry.gauge_value("bench.ops") == 20.0
+
+    def test_observe_feeds_histogram(self):
+        registry = MetricsRegistry(histogram_bounds=(1.0, 10.0))
+        registry.observe("query.latency_ms", 0.5)
+        registry.observe("query.latency_ms", 5.0)
+        hist = registry.histogram("query.latency_ms")
+        assert hist is not None and hist.count == 2
+
+    def test_snapshot_renders_series_names(self):
+        registry = MetricsRegistry()
+        registry.inc("list_cache.hits", shard=2)
+        registry.set_gauge("bench.ops", 1.0)
+        registry.observe("query.latency_ms", 3.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"list_cache.hits{shard=2}": 1.0}
+        assert snap["gauges"] == {"bench.ops": 1.0}
+        assert "query.latency_ms" in snap["histograms"]
+
+    def test_series_handles_mixed_label_types(self):
+        registry = MetricsRegistry()
+        registry.inc("x", shard=1)
+        registry.inc("x", shard="spill")  # mixed int/str labels must not TypeError
+        kinds = [item[0] for item in registry.series()]
+        assert kinds == ["counter", "counter"]
+
+    def test_render_series(self):
+        assert render_series("a.b", ()) == "a.b"
+        assert render_series("a.b", (("shard", 3),)) == "a.b{shard=3}"
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.clear()
+        assert registry.counter_value("a") == 0.0
+
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        per_thread = 2000
+
+        def work(shard):
+            for _ in range(per_thread):
+                registry.add_many({"hits": 1.0}, shard=shard)
+
+        threads = [threading.Thread(target=work, args=(i % 2,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = (registry.counter_value("hits", shard=0)
+                 + registry.counter_value("hits", shard=1))
+        assert total == 4 * per_thread
