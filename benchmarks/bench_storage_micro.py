@@ -480,6 +480,63 @@ def bench_obs_overhead(macro_docs: int, **_: object) -> dict:
     }
 
 
+def bench_explain_overhead(macro_docs: int, **_: object) -> dict:
+    """Cost of EXPLAIN / EXPLAIN ANALYZE relative to the plain query path.
+
+    Three interleaved passes over the :func:`bench_query_macro` rig: the
+    plain cold-cache query pass (reported as ``seconds``/``operations``,
+    directly comparable to ``query_macro``), a plan-only ``explain()`` pass
+    (peek reads only — no query runs, so it should be *cheaper* than the
+    query it describes), and an ``explain(analyze=True)`` pass (plan + the
+    real query under tracing + actuals grafting — the diagnostic mode, where
+    a small multiple is acceptable).  ``extra`` records both wall-clock
+    ratios against the plain pass measured in this run, so the trajectory
+    catches EXPLAIN quietly growing storage reads or analyze regressing past
+    its diagnostic budget.
+    """
+    from repro.obs.trace import SLOW_QUERIES
+
+    index, corpus = _build_macro_index(shards=1, macro_docs=macro_docs)
+    queries = _macro_queries(corpus)
+    for query in queries:  # warm the Score table / short lists
+        index.search(query.keywords, k=query.k, conjunctive=query.conjunctive)
+    rounds = 3
+    operations = 0
+    plain = explain_s = analyze_s = 0.0
+    try:
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for query in queries:
+                index.drop_long_list_cache()
+                index.search(query.keywords, k=query.k,
+                             conjunctive=query.conjunctive)
+                operations += 1
+            plain += time.perf_counter() - start
+            start = time.perf_counter()
+            for query in queries:
+                index.drop_long_list_cache()
+                index.explain(query.keywords, k=query.k,
+                              conjunctive=query.conjunctive)
+            explain_s += time.perf_counter() - start
+            start = time.perf_counter()
+            for query in queries:
+                index.drop_long_list_cache()
+                index.explain(query.keywords, k=query.k,
+                              conjunctive=query.conjunctive, analyze=True)
+            analyze_s += time.perf_counter() - start
+    finally:
+        SLOW_QUERIES.clear()  # analyze traces can cross the slow threshold
+    index.close()
+    return {
+        "seconds": plain,
+        "operations": operations,
+        "extra": {
+            "explain_vs_query": round(explain_s / plain, 3) if plain else 0.0,
+            "analyze_vs_query": round(analyze_s / plain, 3) if plain else 0.0,
+        },
+    }
+
+
 def bench_sharded_query_throughput(macro_docs: int, **_: object) -> dict:
     """Mixed multi-client traffic against the 4-shard term-partitioned engine.
 
@@ -762,6 +819,7 @@ BENCHES = {
     "file_backed_query_macro": bench_file_backed_query_macro,
     "fault_overhead": bench_fault_overhead,
     "obs_overhead": bench_obs_overhead,
+    "explain_overhead": bench_explain_overhead,
     "sharded_query_throughput": bench_sharded_query_throughput,
     "parallel_query_throughput": bench_parallel_query_throughput,
     "block_skip_query": bench_block_skip_query,

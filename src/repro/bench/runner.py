@@ -355,7 +355,13 @@ class ExperimentRunner:
                 if best_per_update is None or per_update < best_per_update:
                     best_per_update = per_update
                 previous_per_update = per_update
+                # Publish the controller's live choice so dashboards (and the
+                # sampler's windows) see the adaptation, not just the final
+                # value in the bench row.
+                index.router.metrics.set_gauge("update.batch_window",
+                                               float(window))
         metrics.extra["batch_window"] = float(window)
+        index.router.metrics.set_gauge("update.batch_window", float(window))
         return metrics
 
     def run_queries(self, index: SVRTextIndex, queries: Sequence[KeywordQuery],

@@ -48,7 +48,13 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Iterable
 
-from repro.core.indexes.base import InvertedIndex, QueryResponse, QueryStats, UpdateStats
+from repro.core.indexes.base import (
+    InvertedIndex,
+    QueryResponse,
+    QueryStats,
+    UpdateStats,
+    query_analysis_armed,
+)
 from repro.core.indexes.registry import create_index
 from repro.core.list_cache import list_cache_pages_from_environ
 from repro.errors import (
@@ -61,8 +67,14 @@ from repro.errors import (
 )
 from repro.exec import ExecutorPool, ReadWriteLock, pump_plans
 from repro.exec.fanout import DEFAULT_BLOCK_SIZE, INITIAL_BLOCK_SIZE
-from repro.obs.events import emit as obs_emit
+from repro.obs.events import EventLog, event_log_capacity_from_environ
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOTracker
+from repro.obs.timeseries import (
+    MetricsSampler,
+    SamplerDaemon,
+    sample_interval_from_environ,
+)
 from repro.obs.trace import SLOW_QUERIES, current_span, span, tracing_enabled
 from repro.storage.environment import IOSnapshot, StorageEnvironment
 from repro.storage.sharding import (
@@ -175,6 +187,25 @@ class IndexRouter:
         self.metrics = MetricsRegistry()
         if index.list_cache is not None:
             index.list_cache.metrics = self.metrics
+        #: Router-owned event log: shard lifecycle, checkpoint and SLO burn
+        #: events for *this* engine (capacity from ``REPRO_EVENT_LOG_CAP``).
+        #: The module-level ``repro.obs.events.EVENTS`` log remains the
+        #: fallback for emitters that run before any router exists
+        #: (standalone recovery, the fault injector's escalation notes).
+        self.events = EventLog(capacity=event_log_capacity_from_environ())
+        self._attach_event_sinks()
+        #: Rolling time-series windows plus SLO burn-rate tracking, advanced
+        #: from the query/update paths (:meth:`_obs_tick`); setting
+        #: ``REPRO_OBS_SAMPLE_MS`` adds a fixed-cadence daemon so windows
+        #: keep rolling on an idle engine.
+        self.sampler = MetricsSampler(self.metrics)
+        self.slo = SLOTracker(self.sampler, metrics=self.metrics,
+                              events=self.events)
+        self._sampler_daemon: "SamplerDaemon | None" = None
+        interval_s = sample_interval_from_environ()
+        if interval_s is not None:
+            self._sampler_daemon = SamplerDaemon(interval_s, self._obs_roll)
+            self._sampler_daemon.start()
         if self.threads > 1 and not isinstance(self.env, ShardedEnvironment):
             # Without the facade layer there are no per-shard latches to
             # protect concurrent readers; run serialized instead of unsafely.
@@ -264,8 +295,65 @@ class IndexRouter:
 
     def shutdown(self) -> None:
         """Stop the executor pool (idempotent; a no-op on the serial engine)."""
+        if self._sampler_daemon is not None:
+            self._sampler_daemon.stop()
+            self._sampler_daemon = None
         if self._pool is not None:
             self._pool.close()
+
+    # -- observability plumbing ----------------------------------------------------
+
+    def _attach_event_sinks(self) -> None:
+        """Route shard-environment events (checkpoints) into this router's log.
+
+        Must be re-run whenever a shard's environment object is replaced
+        (:meth:`reopen_shard` swaps in a recovered one).
+        """
+        if isinstance(self.env, ShardedEnvironment):
+            for shard_env in self.env.shards:
+                shard_env.event_sink = self.events
+        else:
+            self.env.event_sink = self.events
+
+    def publish_gauges(self) -> None:
+        """Refresh the gauges derived from storage-layer state.
+
+        These are the numbers that only exist as live state (not as events
+        the hot paths could increment): buffer-pool hit rates, WAL buffered
+        bytes, and the lifetime shard-load skew.  Reading them is pure
+        counter arithmetic — no accounted storage access — so exporters call
+        this freely before every render.
+        """
+        self.metrics.set_gauge("shard.load_skew", self.shard_load().skew)
+        if isinstance(self.env, ShardedEnvironment):
+            shard_envs = self.env.shards
+        else:
+            shard_envs = [self.env]
+        for shard_env in shard_envs:
+            labels = ({} if shard_env.obs_shard is None
+                      else {"shard": shard_env.obs_shard})
+            self.metrics.set_gauge(
+                "pool.hit_rate", shard_env.pool.hit_rate(), **labels
+            )
+            # Only the file-backed disk buffers WAL bytes; the simulated
+            # disk reports a constant 0.
+            self.metrics.set_gauge(
+                "wal.buffered_bytes",
+                float(getattr(shard_env.disk, "_buffered_bytes", 0)),
+                **labels,
+            )
+
+    def _obs_tick(self) -> None:
+        """Hot-path sampler advance: one clock read until a window is due."""
+        if self.sampler.tick() is not None:
+            self.publish_gauges()
+            self.slo.evaluate()
+
+    def _obs_roll(self) -> None:
+        """Forced window roll + SLO evaluation (daemon cadence, tests)."""
+        self.publish_gauges()
+        if self.sampler.roll() is not None:
+            self.slo.evaluate()
 
     # -- shard observability -----------------------------------------------------
 
@@ -338,7 +426,7 @@ class IndexRouter:
         self.index.invalidate_list_cache_shard(shard)
         if newly:
             self.metrics.inc("shard.quarantined", shard=shard)
-            obs_emit("quarantine", shard=shard, reason=reason)
+            self.events.emit("quarantine", shard=shard, reason=reason)
 
     def _quarantine_from_error(self, error: BaseException) -> bool:
         """Quarantine the failure domain a hard error is tagged with.
@@ -415,13 +503,17 @@ class IndexRouter:
                 )
             if self._pool is not None:
                 self._pool.revive(shard)
+            # The recovered shard is a fresh environment object; re-route its
+            # events into this router's log.
+            self._attach_event_sinks()
             with self._health_lock:
                 was_quarantined = self._quarantined.pop(shard, None) is not None
             # The recovered shard may have rolled back past the postings any
             # cached entry was decoded from.
             self.index.invalidate_list_cache_shard(shard)
             self.metrics.inc("shard.reopened", shard=shard)
-            obs_emit("reopen", shard=shard, lifted_quarantine=was_quarantined)
+            self.events.emit("reopen", shard=shard,
+                             lifted_quarantine=was_quarantined)
 
     # -- delegated InvertedIndex API ----------------------------------------------
 
@@ -507,6 +599,7 @@ class IndexRouter:
             "update.windows": 1.0,
             "update.count": float(applied),
         })
+        self._obs_tick()
         return applied
 
     def insert_document(self, doc_id: int, terms: Iterable[str], score: float) -> None:
@@ -579,6 +672,7 @@ class IndexRouter:
         if stats.degraded:
             values["query.degraded"] = 1.0
         self.metrics.add_many(values)
+        self._obs_tick()
 
     @staticmethod
     def _term_attribution(root, stats: QueryStats) -> dict:
@@ -671,31 +765,41 @@ class IndexRouter:
         """
         assert self._lock is not None and self._pool is not None
         with self._lock.read_locked():
-            terms = self.index.prepare_query(keywords, k)
-            stats = QueryStats()
-            per_term = [QueryStats() for _ in terms]
-            epoch = self.shard_snapshots()
-            # The threshold is shared by every per-term plan: the merge thread
-            # publishes a monotone heap floor, shard executors consult it while
-            # prefetching.  Stale reads only under-prune, so no lock is needed.
-            threshold = self.index._make_query_threshold()
-            plans = self.index._term_scan_plans(
-                terms, lambda index: per_term[index], threshold
-            )
-            latches = getattr(self.env, "shard_latches", None)
-            pumps = pump_plans(
-                self._pool,
-                [(self.shard_of_term(routing_term), plan)
-                 for routing_term, plan in plans],
-                latches=latches,
-                block_size=self.block_size,
-                initial_block=self.initial_block,
-            )
-            try:
-                results = self.index._merge_term_streams(
-                    [pump.stream() for pump in pumps], terms, k, conjunctive,
-                    stats, threshold
+            with span("query.plan"):
+                terms = self.index.prepare_query(keywords, k)
+                stats = QueryStats()
+                per_term = [QueryStats() for _ in terms]
+                if query_analysis_armed():
+                    # EXPLAIN ANALYZE journals skip decisions; the per-term
+                    # stats live on executor threads, so each gets its own
+                    # list and the coordinator folds them below.
+                    stats.skip_events = []
+                    for scan_stats in per_term:
+                        scan_stats.skip_events = []
+                epoch = self.shard_snapshots()
+                # The threshold is shared by every per-term plan: the merge
+                # thread publishes a monotone heap floor, shard executors
+                # consult it while prefetching.  Stale reads only
+                # under-prune, so no lock is needed.
+                threshold = self.index._make_query_threshold()
+                plans = self.index._term_scan_plans(
+                    terms, lambda index: per_term[index], threshold
                 )
+                latches = getattr(self.env, "shard_latches", None)
+                pumps = pump_plans(
+                    self._pool,
+                    [(self.shard_of_term(routing_term), plan, routing_term)
+                     for routing_term, plan in plans],
+                    latches=latches,
+                    block_size=self.block_size,
+                    initial_block=self.initial_block,
+                )
+            try:
+                with span("query.merge"):
+                    results = self.index._merge_term_streams(
+                        [pump.stream() for pump in pumps], terms, k,
+                        conjunctive, stats, threshold
+                    )
             finally:
                 for pump in pumps:
                     pump.close()
@@ -703,6 +807,8 @@ class IndexRouter:
                 stats.postings_scanned += scan_stats.postings_scanned
                 stats.chunks_scanned += scan_stats.chunks_scanned
                 stats.blocks_skipped += scan_stats.blocks_skipped
+                if stats.skip_events is not None and scan_stats.skip_events:
+                    stats.skip_events.extend(scan_stats.skip_events)
             deltas = self.shard_deltas(epoch)
             stats.pages_read = sum(delta.page_reads for delta in deltas)
             stats.page_writes = sum(delta.page_writes for delta in deltas)

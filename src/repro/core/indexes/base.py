@@ -20,6 +20,8 @@ by the update algorithms (``Content(id)`` in Algorithm 1).
 from __future__ import annotations
 
 import abc
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
@@ -35,6 +37,7 @@ from repro.core.posting import (
     LazyBytesReader,
     block_seeking_enabled,
     blocked_postings_enabled,
+    peek_blocked_directory,
     read_blocked_total,
 )
 from repro.core.result_heap import HeapThreshold
@@ -79,6 +82,39 @@ class QueryStats:
     #: ``terms_skipped`` counts the query terms whose lists were unreachable.
     degraded: bool = False
     terms_skipped: int = 0
+    #: EXPLAIN ANALYZE's skip-decision journal: ``None`` (the default) keeps
+    #: the hot path allocation-free; armed by :func:`capture_query_analysis`,
+    #: each prune/seek skip appends one dict recording the term, the number
+    #: of blocks skipped, the heap floor at the decision and the pruned
+    #: block's bound.
+    skip_events: "list[dict] | None" = None
+
+
+_ANALYSIS = threading.local()
+
+
+def query_analysis_armed() -> bool:
+    """Whether the calling thread is inside :func:`capture_query_analysis`."""
+    return getattr(_ANALYSIS, "armed", False)
+
+
+@contextmanager
+def capture_query_analysis():
+    """Arm per-query skip-decision capture on the calling thread.
+
+    EXPLAIN ANALYZE wraps the real query with this: every
+    :class:`QueryStats` created while armed gets an empty ``skip_events``
+    list, and the scan closures append one record per skip decision.  The
+    journal is observational only — arming changes no storage access, no
+    pruning decision and no answer, which is what keeps ANALYZE answers
+    bit-identical to plain queries.
+    """
+    previous = getattr(_ANALYSIS, "armed", False)
+    _ANALYSIS.armed = True
+    try:
+        yield
+    finally:
+        _ANALYSIS.armed = previous
 
 
 @dataclass(frozen=True)
@@ -186,6 +222,11 @@ class InvertedIndex(abc.ABC):
     method_name = "abstract"
     #: Whether long-list postings carry a per-term score.
     stores_term_scores = False
+    #: Whether this method's scan plans consult the shared
+    #: :class:`HeapThreshold` to skip blocks (EXPLAIN's pruning-eligibility
+    #: bit).  The ID family accepts the threshold but has no sound per-block
+    #: score bound to prune on; it overrides this to ``False``.
+    prunes_blocks = True
 
     def __init__(self, env: "StorageEnvironment | ShardedEnvironment",
                  documents: DocumentStore, name: str = "svr",
@@ -330,6 +371,68 @@ class InvertedIndex(abc.ABC):
             return read_blocked_total(reader)
         except ReproError:
             return None
+
+    def describe_term_plan(self, term: str) -> dict:
+        """Planner-visible description of one term's long-list scan.
+
+        The EXPLAIN building block: everything here is served from existing
+        in-memory state (segment dictionaries, cache membership) or the
+        accounting-free peek path (the blocked header + directory), so
+        describing a plan performs **zero accounted storage accesses**.
+
+        ``layout`` is one of ``"blocked"`` (directory-backed payload),
+        ``"legacy"`` (pre-blocked flat encoding), ``"btree-clustered"``
+        (methods like Score whose postings live in a clustered B+-tree, not
+        per-term segments), ``"absent"`` (no long list for this term) or
+        ``"unreadable"`` (a blocked payload whose directory failed its CRC).
+        """
+        plan: dict = {
+            "term": term,
+            "layout": None,
+            "codec": None,
+            "blocks": None,
+            "estimated_postings": None,
+            "segment_bytes": None,
+            "with_term_scores": None,
+            "cache": None,
+        }
+        segments = getattr(self, "_segments", None)
+        long_lists = getattr(self, "_long_lists", None)
+        if segments is None or long_lists is None:
+            plan["layout"] = "btree-clustered"
+            return plan
+        handle = segments.get(term)
+        if handle is None:
+            plan["layout"] = "absent"
+            plan["estimated_postings"] = 0
+            return plan
+        plan["segment_bytes"] = handle.length
+        cache = self.list_cache
+        if cache is not None:
+            shard = getattr(handle, "shard", None)
+            plan["cache"] = {
+                "cached": cache.peek(shard, term),
+                "cacheable": handle.length <= cache.budget_bytes,
+            }
+        if not self.blocked_postings:
+            plan["layout"] = "legacy"
+            return plan
+        try:
+            directory = peek_blocked_directory(
+                LazyBytesReader(long_lists.peek_pages(handle))
+            )
+        except ReproError:
+            plan["layout"] = "unreadable"
+            return plan
+        if directory is None:
+            plan["layout"] = "legacy"
+            return plan
+        plan["layout"] = "blocked"
+        plan["codec"] = directory.codec
+        plan["blocks"] = len(directory.blocks)
+        plan["estimated_postings"] = directory.total
+        plan["with_term_scores"] = directory.with_term_scores
+        return plan
 
     # ------------------------------------------------------------------
     # Build
@@ -519,6 +622,8 @@ class InvertedIndex(abc.ABC):
         """
         terms = self.prepare_query(keywords, k)
         stats = QueryStats()
+        if query_analysis_armed():
+            stats.skip_events = []
         before = self.env.snapshot()
         results = self._execute_query(terms, k, conjunctive, stats)
         delta = self.env.delta_since(before)

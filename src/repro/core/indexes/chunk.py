@@ -351,8 +351,16 @@ class ChunkIndex(InvertedIndex):
                 def prune(block, threshold=threshold, chunk_map=chunk_map):
                     return chunk_map.lower_bound(int(block.bound) + 2) <= threshold.floor
 
-                def on_skip(skipped, stats=stats):
+                def on_skip(skipped, block, stats=stats, term=term,
+                            threshold=threshold, chunk_map=chunk_map):
                     stats.blocks_skipped += skipped
+                    events = stats.skip_events
+                    if events is not None:
+                        events.append({
+                            "term": term, "kind": "prune", "blocks": skipped,
+                            "floor": threshold.floor,
+                            "bound": chunk_map.lower_bound(int(block.bound) + 2),
+                        })
 
             postings = iter_blocked_chunk_postings_lazy(reader, prune=prune,
                                                         on_skip=on_skip)

@@ -169,6 +169,9 @@ class IDIndex(InvertedIndex):
 
     method_name = "id"
     stores_term_scores = False
+    #: ID-ordered blocks carry no sound per-block score bound, so the heap
+    #: threshold is accepted (constructor uniformity) but never prunes.
+    prunes_blocks = False
 
     def __init__(self, env: StorageEnvironment, documents: DocumentStore,
                  name: str = "svr", blocked_postings: "bool | None" = None,
@@ -364,8 +367,15 @@ class IDIndex(InvertedIndex):
             return _SeekableTermStream(_ListSeeker(cached), adds, removed,
                                        stats, shard)
 
-        def on_skip(blocks: int) -> None:
+        def on_skip(blocks: int, _block=None) -> None:
             stats.blocks_skipped += blocks
+            events = stats.skip_events
+            if events is not None:
+                # A seek jump prunes against a document-id target, not a
+                # score bound — there is no floor/bound pair to record.
+                events.append({"term": term, "kind": "seek",
+                               "blocks": blocks, "floor": None,
+                               "bound": None})
 
         def open_pages(start_byte: int):
             return self._long_lists.iter_pages(handle, start_byte)

@@ -27,6 +27,9 @@ class ScoreIndex(InvertedIndex):
 
     method_name = "score"
     stores_term_scores = False
+    #: Clustered B+-tree lists never go through the blocked layout, so there
+    #: are no blocks to prune.
+    prunes_blocks = False
 
     def __init__(self, env: StorageEnvironment, documents: DocumentStore,
                  name: str = "svr", blocked_postings: "bool | None" = None,

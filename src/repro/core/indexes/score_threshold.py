@@ -295,8 +295,16 @@ class ScoreThresholdIndex(InvertedIndex):
                 def prune(block, threshold=threshold, ratio=ratio):
                     return ratio * block.bound < threshold.floor
 
-                def on_skip(skipped, stats=stats):
+                def on_skip(skipped, block, stats=stats, term=term,
+                            threshold=threshold, ratio=ratio):
                     stats.blocks_skipped += skipped
+                    events = stats.skip_events
+                    if events is not None:
+                        events.append({
+                            "term": term, "kind": "prune", "blocks": skipped,
+                            "floor": threshold.floor,
+                            "bound": ratio * block.bound,
+                        })
 
             postings = iter_blocked_scored_postings_lazy(reader, prune=prune,
                                                          on_skip=on_skip)

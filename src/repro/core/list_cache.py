@@ -125,6 +125,15 @@ class InvertedListCache:
         self._note("list_cache.hits", shard)
         return entry[1]
 
+    def peek(self, shard: "int | None", term: str) -> bool:
+        """Whether ``(shard, term)`` is cached, without observing the lookup.
+
+        EXPLAIN's cache-status probe: unlike :meth:`get` it touches neither
+        the hit/miss counters nor the LRU order, so describing a plan leaves
+        the cache exactly as it found it.
+        """
+        return (shard, term) in self._entries
+
     def put(self, shard: "int | None", term: str, postings: list,
             nbytes: int) -> bool:
         """Admit ``postings`` charged at ``nbytes``; ``False`` if over budget."""

@@ -986,9 +986,11 @@ def encode_blocked_chunk_runs(runs: Sequence[ChunkRun],
                            codec=codec)
 
 
-def _read_blocked_header(reader: LazyBytesReader, expected_kind: int) -> BlockDirectory:
+def _read_blocked_header(reader: LazyBytesReader, expected_kind: int,
+                         head: "bytes | None" = None) -> BlockDirectory:
     """Parse the blocked header + directory through ``reader`` (CRC-verified)."""
-    head = reader.read_bytes(4)
+    if head is None:
+        head = reader.read_bytes(4)
     if head[0] != BLOCKED_MAGIC:
         raise ChecksumError(
             f"blocked posting list: bad magic byte 0x{head[0]:02x}"
@@ -1063,6 +1065,28 @@ def read_blocked_total(reader: LazyBytesReader) -> "int | None":
     if head[0] != BLOCKED_MAGIC or head[1] != BLOCKED_VERSION:
         return None
     return reader.read_varint()
+
+
+def peek_blocked_directory(reader: LazyBytesReader) -> "BlockDirectory | None":
+    """Parse a blocked payload's header + directory, tolerating legacy payloads.
+
+    The EXPLAIN planner's peek: returns ``None`` when the payload is empty or
+    not in the blocked format (legacy flat encodings), and otherwise the
+    CRC-verified :class:`BlockDirectory` with the kind sniffed from the
+    header, so callers need no method-specific expectation.  A payload that
+    *claims* to be blocked but is corrupt still raises, like any read.
+    """
+    if reader.exhausted:
+        return None
+    try:
+        head = reader.read_bytes(4)
+    except InvertedIndexError:
+        return None  # shorter than any blocked header: a legacy payload
+    if head[0] != BLOCKED_MAGIC or head[1] != BLOCKED_VERSION:
+        return None
+    if head[2] not in (BLOCK_KIND_ID, BLOCK_KIND_SCORED, BLOCK_KIND_CHUNK):
+        return None
+    return _read_blocked_header(reader, head[2], head=head)
 
 
 def read_block_directory(data: bytes) -> BlockDirectory:
@@ -1236,7 +1260,9 @@ def _iter_blocked_lazy(reader: LazyBytesReader, kind: int,
     bytes are read; because every blocked list is rank-ordered, a block whose
     bound cannot beat the threshold means no later block can either, so the
     scan ends there and the remaining pages are never fetched.  ``on_skip``
-    receives the number of blocks skipped that way (stats accounting).
+    receives the number of blocks skipped that way plus the pruned
+    :class:`BlockInfo` itself (stats accounting and EXPLAIN ANALYZE's
+    skip-decision reporting — the block carries the bound the floor beat).
     """
     if reader.exhausted:
         return
@@ -1247,7 +1273,7 @@ def _iter_blocked_lazy(reader: LazyBytesReader, kind: int,
     for index, block in enumerate(blocks):
         if prune is not None and prune(block):
             if on_skip is not None:
-                on_skip(len(blocks) - index)
+                on_skip(len(blocks) - index, block)
             return
         yield from decode_block(_read_block_payload(reader, block), block,
                                 with_term_scores)
@@ -1287,7 +1313,8 @@ class BlockedIDSeeker:
     ``open_pages(start_byte)`` must return a fresh page-fragment iterator
     positioned at that byte of the segment (``HeapFile.iter_pages``).
     ``on_skip`` — when given — receives the number of whole blocks jumped
-    over, mirroring the pruning path's accounting.
+    over plus ``None`` (a seek jump prunes against a document-id target, not
+    a score bound), mirroring the pruning path's accounting.
 
     ``head`` is the current ``(doc_id, term_score)`` posting, ``None`` once
     the list is exhausted.  Targets must be non-decreasing across calls —
@@ -1370,7 +1397,7 @@ class BlockedIDSeeker:
     def _load_block(self, index: int) -> None:
         if index != self._reader_block:
             if index > self._reader_block and self._on_skip is not None:
-                self._on_skip(index - self._reader_block)
+                self._on_skip(index - self._reader_block, None)
             self._reader = LazyBytesReader(self._open_pages(self._offsets[index]))
         block = self._blocks[index]
         payload = _read_block_payload(self._reader, block)

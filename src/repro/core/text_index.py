@@ -152,6 +152,7 @@ class SVRTextIndex:
         )
         self.router = IndexRouter(self.index, threads=threads,
                                   deterministic=deterministic)
+        self._obs_server = self._maybe_serve_observability()
 
     # -- durability ---------------------------------------------------------------
 
@@ -199,6 +200,7 @@ class SVRTextIndex:
             setattr(self.index, key, value)
         self.router = IndexRouter(self.index, threads=threads,
                                   deterministic=deterministic)
+        self._obs_server = self._maybe_serve_observability()
         return self
 
     @property
@@ -257,6 +259,7 @@ class SVRTextIndex:
         in-memory state is untrustworthy, and their durable state must stay
         at the last commit they participated in.
         """
+        self._stop_observability_server()
         self.router.shutdown()
         if (self.durable and not self.env.closed
                 and isinstance(self.env, ShardedEnvironment)):
@@ -271,6 +274,7 @@ class SVRTextIndex:
         Everything since the last :meth:`commit` is lost; :meth:`open`
         recovers the committed prefix.
         """
+        self._stop_observability_server()
         self.router.shutdown()
         self.env.crash()
 
@@ -323,6 +327,40 @@ class SVRTextIndex:
         return self.env.scrub()
 
     # -- observability ---------------------------------------------------------------
+
+    def _maybe_serve_observability(self):
+        """Start the live monitoring endpoint when ``REPRO_OBS_HTTP_PORT`` asks.
+
+        Returns the server handle (stopped by :meth:`close`/:meth:`crash`)
+        or ``None`` — the default — when the variable is unset.
+        """
+        from repro.obs.http import http_port_from_environ
+
+        port = http_port_from_environ()
+        if port is None:
+            return None
+        from repro.obs.http import serve_observability
+
+        return serve_observability(self, port=port)
+
+    def _stop_observability_server(self) -> None:
+        if getattr(self, "_obs_server", None) is not None:
+            self._obs_server.close()
+            self._obs_server = None
+
+    def serve_observability(self, port: int = 0,
+                            host: str = "127.0.0.1"):
+        """Start (and return) a live monitoring endpoint for this engine.
+
+        See :mod:`repro.obs.http` for the routes.  The returned handle's
+        ``close()`` stops the listener; an endpoint started here is also
+        stopped by :meth:`close`/:meth:`crash` if still attached.
+        """
+        from repro.obs.http import serve_observability
+
+        self._stop_observability_server()
+        self._obs_server = serve_observability(self, port=port, host=host)
+        return self._obs_server
 
     def observability(self) -> dict:
         """One structured snapshot of the whole engine's observable state.
@@ -446,6 +484,31 @@ class SVRTextIndex:
         if not keywords:
             raise QueryError("the query contains no indexable keywords")
         return self.router.query(keywords, k=k, conjunctive=conjunctive)
+
+    def explain(self, query: str | Iterable[str], k: int = 10,
+                conjunctive: bool = True, analyze: bool = False) -> dict:
+        """EXPLAIN (or EXPLAIN ANALYZE) a query without — or with — running it.
+
+        Mirrors :meth:`search` exactly on the input side (same analyzer
+        normalization, same validation errors).  ``analyze=False`` describes
+        the plan from planner state and the accounting-free peek path only —
+        zero accounted storage accesses.  ``analyze=True`` executes the query
+        through the identical :meth:`IndexRouter.query` path and grafts the
+        actuals (scanned vs estimated postings, skip decisions with their
+        heap-threshold floors, per-shard latency and I/O splits) onto the
+        plan; the embedded results are bit-identical to :meth:`search`.
+        See :mod:`repro.obs.explain`.
+        """
+        if isinstance(query, str):
+            keywords = self.analyzer.normalize_query_terms([query])
+        else:
+            keywords = self.analyzer.normalize_query_terms(query)
+        if not keywords:
+            raise QueryError("the query contains no indexable keywords")
+        from repro.obs.explain import explain_query
+
+        return explain_query(self, keywords, k=k, conjunctive=conjunctive,
+                             analyze=analyze)
 
     def tfidf_score(self, query: str | Iterable[str], doc_id: int) -> float:
         """Traditional TF-IDF score of a document for a query (the paper's baseline)."""

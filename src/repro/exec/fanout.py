@@ -58,17 +58,23 @@ class StreamPump:
         full scans quickly reach the cap and amortize the executor hop.
     initial_block:
         First-pull size.
+    label:
+        Optional stream label (the owning term) recorded on the pump's
+        ``shard.scan``/``scan.block`` spans, so slow-query trees and
+        EXPLAIN ANALYZE traces attribute scan time per term.
     """
 
     def __init__(self, pool: ExecutorPool, shard: int,
                  plan: Callable[[], Iterator[Any]],
                  latch: "threading.RLock | None" = None,
                  block_size: int = DEFAULT_BLOCK_SIZE,
-                 initial_block: int = INITIAL_BLOCK_SIZE) -> None:
+                 initial_block: int = INITIAL_BLOCK_SIZE,
+                 label: "str | None" = None) -> None:
         self._pool = pool
         self._shard = shard
         self._plan = plan
         self._latch = latch
+        self._label = label
         self._max_block = max(1, int(block_size))
         self._next_block = min(max(1, int(initial_block)), self._max_block)
         self._stream: Iterator[Any] | None = None
@@ -114,6 +120,8 @@ class StreamPump:
                 block = self._take_block()
             if node is not None:
                 node.tags["postings"] = len(block)
+                if self._label is not None:
+                    node.tags["term"] = self._label
             return block
 
     def _pull(self) -> list:
@@ -126,6 +134,8 @@ class StreamPump:
                 block = self._take_block()
             if node is not None:
                 node.tags["postings"] = len(block)
+                if self._label is not None:
+                    node.tags["term"] = self._label
             return block
 
     # -- coordinator-side ------------------------------------------------------
@@ -187,17 +197,24 @@ class StreamPump:
 
 
 def pump_plans(pool: ExecutorPool,
-               plans: "Sequence[tuple[int, Callable[[], Iterator[Any]]]]",
+               plans: "Sequence[tuple]",
                latches: "Sequence[threading.RLock] | None" = None,
                block_size: int = DEFAULT_BLOCK_SIZE,
                initial_block: int = INITIAL_BLOCK_SIZE) -> list[StreamPump]:
-    """Wrap ``(shard, plan)`` pairs in pumps, one per term stream."""
-    return [
-        StreamPump(
+    """Wrap ``(shard, plan)`` — or ``(shard, plan, label)`` — tuples in pumps.
+
+    One pump per term stream; the optional third element labels the pump's
+    spans with the owning term.
+    """
+    pumps = []
+    for entry in plans:
+        shard, plan = entry[0], entry[1]
+        label = entry[2] if len(entry) > 2 else None
+        pumps.append(StreamPump(
             pool, shard, plan,
             latch=latches[shard] if latches is not None else None,
             block_size=block_size,
             initial_block=initial_block,
-        )
-        for shard, plan in plans
-    ]
+            label=label,
+        ))
+    return pumps

@@ -7,21 +7,48 @@ individually interesting, low-rate, and worth keeping verbatim.  The
 monotonically increasing sequence number, a kind, an optional shard tag and
 free-form fields.
 
-The log is process-global (:data:`EVENTS`): emission sites live deep in the
-storage and fault layers where no router reference exists, and an operator
-debugging a quarantine wants one stream, not one per engine instance.  The
-ring bound (512) keeps a traced tier-1 run's memory flat.
+Scoping: each :class:`~repro.core.index_router.IndexRouter` owns its own
+:class:`EventLog` (capacity via ``REPRO_EVENT_LOG_CAP``), so concurrent
+engines — and back-to-back tests — stop bleeding events into each other's
+snapshots.  The router attaches itself as the ``event_sink`` of every shard
+environment it manages, which routes checkpoint events to the owning engine.
+A process-global default (:data:`EVENTS`) remains for the CLI and for
+emission sites that run before any engine exists (recovery replay) or
+outside one (fault-injector escalations).  The ring bound (512) keeps a
+traced tier-1 run's memory flat.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.errors import ObservabilityError
+
 _DEFAULT_CAPACITY = 512
+_CAPACITY_ENV = "REPRO_EVENT_LOG_CAP"
+
+
+def event_log_capacity_from_environ() -> int:
+    """Ring capacity for engine-owned event logs (``REPRO_EVENT_LOG_CAP``)."""
+    raw = os.environ.get(_CAPACITY_ENV, "").strip()
+    if not raw:
+        return _DEFAULT_CAPACITY
+    try:
+        capacity = int(raw)
+    except ValueError as exc:
+        raise ObservabilityError(
+            f"{_CAPACITY_ENV} must be a positive integer, got {raw!r}"
+        ) from exc
+    if capacity <= 0:
+        raise ObservabilityError(
+            f"{_CAPACITY_ENV} must be a positive integer, got {raw!r}"
+        )
+    return capacity
 
 
 @dataclass(frozen=True)
@@ -83,7 +110,8 @@ class EventLog:
             return len(self._entries)
 
 
-#: The process-wide event log every emission site writes to.
+#: The process-wide default log: the CLI's one-stream view, and the sink for
+#: emission sites with no engine context (recovery, fault escalations).
 EVENTS = EventLog()
 
 

@@ -1,0 +1,180 @@
+"""Live monitoring endpoint: a stdlib HTTP server over one engine's state.
+
+Opt-in only — nothing listens unless :func:`serve_observability` is called
+(or ``REPRO_OBS_HTTP_PORT`` is set, which makes :class:`SVRTextIndex` start
+one automatically and stop it on ``close()``/``crash()``).  The server is a
+daemon-threaded :class:`~http.server.ThreadingHTTPServer` bound to loopback
+by default; it has no authentication, so bind it to anything wider only
+behind a trusted proxy.
+
+Routes (all ``GET``):
+
+``/metrics``
+    The registry in Prometheus text exposition format (scrape target).
+``/snapshot``
+    The full :func:`~repro.obs.snapshot.observability_snapshot` as JSON.
+``/slo``
+    The SLO tracker's latest per-objective burn-rate status.
+``/healthz``
+    ``200 {"status": "ok"}`` on a healthy engine; ``503`` with the reasons
+    when shards are quarantined or any SLO is burning.
+``/slow``
+    The slow-query log entries (span trees included).
+
+Every handler reads counters and ring buffers only — serving a scrape
+performs zero accounted storage accesses, so a monitored experiment keeps
+its I/O fingerprints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ObservabilityError
+from repro.obs.snapshot import observability_snapshot, to_prometheus_text
+from repro.obs.trace import SLOW_QUERIES
+
+_PORT_ENV = "REPRO_OBS_HTTP_PORT"
+
+
+def http_port_from_environ() -> "int | None":
+    """``REPRO_OBS_HTTP_PORT`` as an int port (``None`` when unset).
+
+    ``0`` asks the OS for an ephemeral port (the handle's ``port`` attribute
+    reports the bound one).
+    """
+    raw = os.environ.get(_PORT_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        port = int(raw)
+    except ValueError as exc:
+        raise ObservabilityError(
+            f"{_PORT_ENV} must be a TCP port number, got {raw!r}"
+        ) from exc
+    if not 0 <= port <= 65535:
+        raise ObservabilityError(
+            f"{_PORT_ENV} must be in [0, 65535], got {port}"
+        )
+    return port
+
+
+class ObservabilityServer:
+    """One engine's monitoring endpoint; ``close()`` joins the thread."""
+
+    def __init__(self, engine, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._engine = engine
+        handler = _make_handler(engine)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-obs-http", daemon=True
+        )
+        self._thread.start()
+        self._closed = False
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving and join the listener thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _health(engine) -> "tuple[int, dict]":
+    router = engine.router
+    reasons = []
+    quarantined = router.quarantined_shards()
+    if quarantined:
+        reasons.append(f"quarantined shards: {list(quarantined)}")
+    slo = getattr(router, "slo", None)
+    if slo is not None and slo.burning:
+        burning = [
+            name for name, entry in slo.status()["objectives"].items()
+            if entry["burning"]
+        ]
+        reasons.append(f"SLOs burning: {burning}")
+    if reasons:
+        return 503, {"status": "degraded", "reasons": reasons}
+    return 200, {"status": "ok"}
+
+
+def _make_handler(engine):
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-obs/1"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass  # scrapes must not spam stderr
+
+        def _send(self, status: int, content_type: str, body: str) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _send_json(self, status: int, obj) -> None:
+            self._send(status, "application/json",
+                       json.dumps(obj, indent=2, default=str) + "\n")
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib signature
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            try:
+                if path == "/metrics":
+                    self._send(200, "text/plain; version=0.0.4",
+                               to_prometheus_text(engine))
+                elif path == "/snapshot":
+                    self._send_json(200, observability_snapshot(engine))
+                elif path == "/slo":
+                    slo = getattr(engine.router, "slo", None)
+                    self._send_json(200, {} if slo is None else slo.status())
+                elif path == "/healthz":
+                    status, body = _health(engine)
+                    self._send_json(status, body)
+                elif path == "/slow":
+                    self._send_json(200, SLOW_QUERIES.entries())
+                else:
+                    self._send_json(404, {
+                        "error": f"unknown path {path!r}",
+                        "paths": ["/metrics", "/snapshot", "/slo",
+                                  "/healthz", "/slow"],
+                    })
+            except BrokenPipeError:
+                pass
+            except Exception as exc:  # surface, don't kill the listener
+                try:
+                    self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+                except OSError:
+                    pass
+
+    return Handler
+
+
+def serve_observability(engine, port: int = 0,
+                        host: str = "127.0.0.1") -> ObservabilityServer:
+    """Start a monitoring endpoint for ``engine``; returns the handle.
+
+    ``port=0`` binds an ephemeral port (read it off ``handle.port``).  The
+    caller owns the handle: ``handle.close()`` stops the listener —
+    :class:`SVRTextIndex` does this from ``close()``/``crash()`` when the
+    server came from ``REPRO_OBS_HTTP_PORT``.
+    """
+    return ObservabilityServer(engine, host=host, port=port)

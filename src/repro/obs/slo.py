@@ -1,0 +1,186 @@
+"""SLO burn-rate tracking over the sampler's rolling windows.
+
+An objective declares an allowed *bad fraction* — "at most 1% of queries
+slower than 100 ms", "at most 0.1% of queries degraded" — and the tracker
+evaluates it over a **fast/slow window pair** (multiwindow burn-rate
+alerting): the burn rate is ``observed bad fraction / allowed bad fraction``
+aggregated over the last N sampler windows, and an objective is *burning*
+only when both the fast window (seconds — catches a cliff) and the slow
+window (minutes — rejects a blip) exceed the burn threshold.  A burn rate of
+1.0 means the error budget is being spent exactly as fast as it accrues.
+
+Evaluation happens on every sampler roll (router tick or daemon): it reads
+the ring only — no storage access — and publishes ``slo.burn_rate`` /
+``slo.burning`` gauges plus an edge-triggered ``slo_burn`` event into the
+router-owned event log.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ObservabilityError
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One declared objective evaluated as an allowed bad fraction.
+
+    ``kind="latency"`` counts observations of ``histogram`` above
+    ``threshold_ms`` as bad; ``kind="ratio"`` divides the ``bad_counter``
+    delta by the ``total_counter`` delta.  ``target`` is the allowed bad
+    fraction; ``fast_windows``/``slow_windows`` are sampler-window counts.
+    """
+
+    name: str
+    kind: str
+    target: float
+    threshold_ms: "float | None" = None
+    histogram: str = "query.latency_ms"
+    bad_counter: str = "query.degraded"
+    total_counter: str = "query.count"
+    fast_windows: int = 12
+    slow_windows: int = 60
+    burn_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "ratio"):
+            raise ObservabilityError(
+                f"SLO kind must be 'latency' or 'ratio', got {self.kind!r}"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ObservabilityError(
+                f"SLO target must be a fraction in (0, 1), got {self.target!r}"
+            )
+        if self.kind == "latency" and self.threshold_ms is None:
+            raise ObservabilityError(
+                f"latency SLO {self.name!r} needs a threshold_ms"
+            )
+
+
+#: Default objectives: tail latency (≤1% of queries slower than 100 ms — the
+#: slow-query log's default bar) and availability (≤0.1% degraded answers).
+DEFAULT_OBJECTIVES: tuple[SLObjective, ...] = (
+    SLObjective(name="query_p99_latency", kind="latency",
+                target=0.01, threshold_ms=100.0),
+    SLObjective(name="query_degraded_ratio", kind="ratio", target=0.001),
+)
+
+
+def _latency_bad_fraction(aggregate: dict, objective: SLObjective
+                          ) -> tuple[float, int]:
+    hist = aggregate["histograms"].get(objective.histogram)
+    if hist is None or hist["count"] <= 0:
+        return 0.0, 0
+    total = hist["count"]
+    # Cumulative bucket pairs: (bound, observations <= bound).  Everything
+    # above the first bound covering the threshold is over budget.
+    at_or_under = 0
+    for bound, cumulative in hist["buckets"]:
+        if bound >= objective.threshold_ms:
+            at_or_under = cumulative
+            break
+    else:
+        at_or_under = hist["buckets"][-1][1] if hist["buckets"] else 0
+    bad = total - at_or_under
+    return bad / total, total
+
+
+def _ratio_bad_fraction(aggregate: dict, objective: SLObjective
+                        ) -> tuple[float, int]:
+    total = aggregate["deltas"].get(objective.total_counter, 0.0)
+    if total <= 0:
+        return 0.0, 0
+    bad = aggregate["deltas"].get(objective.bad_counter, 0.0)
+    return bad / total, int(total)
+
+
+class SLOTracker:
+    """Evaluates declared objectives over a sampler's window ring."""
+
+    def __init__(self, sampler, objectives=DEFAULT_OBJECTIVES,
+                 metrics=None, events=None) -> None:
+        self._sampler = sampler
+        self.objectives = tuple(objectives)
+        self._metrics = metrics
+        self._events = events
+        self._lock = threading.Lock()
+        self._status: dict[str, dict] = {}
+        self._burning: dict[str, bool] = {
+            objective.name: False for objective in self.objectives
+        }
+
+    def _bad_fraction(self, objective: SLObjective, windows: int
+                      ) -> tuple[float, int]:
+        aggregate = self._sampler.aggregate(windows)
+        if objective.kind == "latency":
+            return _latency_bad_fraction(aggregate, objective)
+        return _ratio_bad_fraction(aggregate, objective)
+
+    def evaluate(self) -> dict:
+        """Re-evaluate every objective; publishes gauges and burn events.
+
+        Returns the per-objective status dict (also served by ``/slo``).
+        """
+        status: dict[str, dict] = {}
+        for objective in self.objectives:
+            fast_fraction, fast_n = self._bad_fraction(
+                objective, objective.fast_windows)
+            slow_fraction, slow_n = self._bad_fraction(
+                objective, objective.slow_windows)
+            fast_burn = fast_fraction / objective.target
+            slow_burn = slow_fraction / objective.target
+            burning = (fast_burn >= objective.burn_threshold
+                       and slow_burn >= objective.burn_threshold
+                       and fast_n > 0 and slow_n > 0)
+            status[objective.name] = {
+                "kind": objective.kind,
+                "target": objective.target,
+                "threshold_ms": objective.threshold_ms,
+                "fast": {"windows": objective.fast_windows,
+                         "samples": fast_n,
+                         "bad_fraction": round(fast_fraction, 6),
+                         "burn_rate": round(fast_burn, 4)},
+                "slow": {"windows": objective.slow_windows,
+                         "samples": slow_n,
+                         "bad_fraction": round(slow_fraction, 6),
+                         "burn_rate": round(slow_burn, 4)},
+                "burning": burning,
+            }
+            if self._metrics is not None:
+                self._metrics.set_gauge("slo.burn_rate", round(fast_burn, 4),
+                                        slo=objective.name, window="fast")
+                self._metrics.set_gauge("slo.burn_rate", round(slow_burn, 4),
+                                        slo=objective.name, window="slow")
+                self._metrics.set_gauge("slo.burning",
+                                        1.0 if burning else 0.0,
+                                        slo=objective.name)
+        with self._lock:
+            for objective in self.objectives:
+                now_burning = status[objective.name]["burning"]
+                was_burning = self._burning[objective.name]
+                if now_burning and not was_burning and self._events is not None:
+                    entry = status[objective.name]
+                    self._events.emit(
+                        "slo_burn",
+                        slo=objective.name,
+                        fast_burn=entry["fast"]["burn_rate"],
+                        slow_burn=entry["slow"]["burn_rate"],
+                        target=objective.target,
+                    )
+                self._burning[objective.name] = now_burning
+            self._status = status
+        return status
+
+    @property
+    def burning(self) -> bool:
+        """Whether any objective is currently burning (health gating)."""
+        with self._lock:
+            return any(self._burning.values())
+
+    def status(self) -> dict:
+        """The most recent evaluation (empty before the first roll)."""
+        with self._lock:
+            return {"burning": any(self._burning.values()),
+                    "objectives": dict(self._status)}

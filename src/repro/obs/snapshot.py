@@ -88,9 +88,11 @@ def observability_snapshot(engine) -> dict:
     """One structured snapshot of an engine's observable state.
 
     ``engine`` is an :class:`~repro.core.text_index.SVRTextIndex` (or
-    anything exposing ``router`` and ``env`` the same way).  Events and slow
-    queries come from the process-global logs — they are shared across
-    engine instances by design.
+    anything exposing ``router`` and ``env`` the same way).  Events come from
+    the router-owned log (scoped to this engine; the process-global stream is
+    the fallback for routers predating the scoping); slow queries come from
+    the process-global log — they are shared across engine instances by
+    design.
     """
     router = getattr(engine, "router", None)
     if router is None:
@@ -99,6 +101,14 @@ def observability_snapshot(engine) -> dict:
         )
     env = engine.env
     fault_stats = env.fault_stats()
+    publish = getattr(router, "publish_gauges", None)
+    if publish is not None:
+        publish()
+    events = getattr(router, "events", None)
+    if events is None:
+        events = EVENTS
+    sampler = getattr(router, "sampler", None)
+    slo = getattr(router, "slo", None)
     return {
         "engine": {
             "method": router.method_name,
@@ -127,8 +137,10 @@ def observability_snapshot(engine) -> dict:
             }
             for health in router.shard_health()
         ],
-        "events": [event.to_dict() for event in EVENTS.events()],
+        "events": [event.to_dict() for event in events.events()],
         "slow_queries": SLOW_QUERIES.entries(),
+        "timeseries": None if sampler is None else sampler.snapshot(),
+        "slo": None if slo is None else slo.status(),
     }
 
 
@@ -137,36 +149,91 @@ def to_json(snapshot: dict, indent: int = 2) -> str:
     return json.dumps(snapshot, indent=indent, default=str)
 
 
+#: ``# HELP`` text by metric name; series without an entry get a generic line.
+_METRIC_HELP = {
+    "query.count": "Queries answered by the router.",
+    "query.latency_ms": "End-to-end query latency in milliseconds.",
+    "query.pages_read": "Pages read from disk while answering queries.",
+    "query.pool_hits": "Buffer-pool hits while answering queries.",
+    "query.postings_scanned": "Postings decoded while answering queries.",
+    "query.blocks_skipped": "Posting blocks skipped by block-max pruning or seeking.",
+    "query.degraded": "Queries answered with quarantined shards excluded.",
+    "update.count": "Score/document updates applied.",
+    "update.window_ms": "Batched update window latency in milliseconds.",
+    "update.windows": "Batched update windows applied.",
+    "update.windows_combined": "Update windows combined by the group leader.",
+    "update.batch_window": "Adaptive batch-window size chosen by the runner.",
+    "shard.postings_scanned": "Postings decoded, attributed to the owning shard.",
+    "shard.blocks_skipped": "Blocks skipped, attributed to the owning shard.",
+    "shard.pages_read": "Query page reads attributed to the owning shard.",
+    "shard.pool_hits": "Query pool hits attributed to the owning shard.",
+    "shard.quarantined": "Shard quarantine transitions.",
+    "shard.reopened": "Shard reopen (re-admission) transitions.",
+    "shard.load_skew": "Max/mean of per-shard buffer-pool accesses (1.0 = balanced).",
+    "pool.hit_rate": "Lifetime buffer-pool hit rate per shard.",
+    "wal.buffered_bytes": "Uncommitted WAL buffer bytes per shard.",
+    "list_cache.hits": "Inverted-list cache hits per shard.",
+    "list_cache.misses": "Inverted-list cache misses per shard.",
+}
+
+
+def _escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def to_prometheus_text(engine) -> str:
     """Render the engine's registry in Prometheus text exposition format.
 
     Counters and gauges print as-is; histograms print the conventional
     ``_bucket``/``_sum``/``_count`` triplet with cumulative ``le`` buckets.
-    Dots in series names become underscores (Prometheus naming rules).
+    Dots in series names become underscores (Prometheus naming rules), label
+    values are escaped per the exposition format (backslash, double quote,
+    newline), and each metric name carries ``# HELP``/``# TYPE`` headers
+    exactly once.
     """
     router = getattr(engine, "router", None)
     if router is None:
         raise ObservabilityError(
             f"cannot export {type(engine).__name__}: no router attached"
         )
+    publish = getattr(router, "publish_gauges", None)
+    if publish is not None:
+        publish()
     lines: list[str] = []
+    headed: set[str] = set()
 
     def flat(name: str) -> str:
         return name.replace(".", "_")
+
+    def head(name: str, kind: str) -> None:
+        if name in headed:
+            return
+        headed.add(name)
+        help_text = _METRIC_HELP.get(name, f"Engine series {name}.")
+        lines.append(f"# HELP {flat(name)} {help_text}")
+        lines.append(f"# TYPE {flat(name)} {kind}")
 
     def labelled(name: str, labels: tuple, extra: "tuple | None" = None) -> str:
         pairs = list(labels) + (list(extra) if extra else [])
         if not pairs:
             return flat(name)
-        body = ",".join(f'{key}="{value}"' for key, value in pairs)
+        body = ",".join(
+            f'{key}="{_escape_label_value(value)}"' for key, value in pairs
+        )
         return f"{flat(name)}{{{body}}}"
 
     for kind, _rendered, name, labels, value in router.metrics.series():
         if kind in ("counter", "gauge"):
-            lines.append(f"# TYPE {flat(name)} {kind}")
+            head(name, kind)
             lines.append(f"{labelled(name, labels)} {value}")
         else:  # histogram snapshot dict with cumulative buckets
-            lines.append(f"# TYPE {flat(name)} histogram")
+            head(name, "histogram")
             for bound, cumulative in value["buckets"]:
                 lines.append(
                     f"{labelled(name + '_bucket', labels, (('le', bound),))} "

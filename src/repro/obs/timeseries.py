@@ -1,0 +1,309 @@
+"""Rolling time-series over the metrics registry: ring-buffered windows.
+
+The registry's counters and histograms are *cumulative* — perfect for
+lifetime totals, useless for "p99 over the last minute".  A
+:class:`MetricsSampler` turns them into fixed-width windows: every
+``window_s`` seconds it snapshots the registry, diffs against the previous
+snapshot, and appends one window to a bounded ring.  Counter deltas become
+rates; histogram bucket-array deltas become *windowed* p50/p95/p99 via the
+same nearest-rank walk the live histograms use; gauges are recorded as-is.
+
+The sampler is **pull-driven by default**: the router calls :meth:`tick`
+on its query/update paths, which is one clock read and one comparison until
+a window boundary passes — no background thread, no work on an idle engine.
+Setting ``REPRO_OBS_SAMPLE_MS`` opts into a daemon thread
+(:class:`SamplerDaemon`) that rolls windows on a fixed cadence even when no
+traffic arrives, which is what a live ``/metrics``-scraping deployment
+wants.  Either way a roll only reads existing counters: sampling performs
+zero accounted storage accesses.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from collections import deque
+
+from repro.errors import ObservabilityError
+
+_SAMPLE_ENV = "REPRO_OBS_SAMPLE_MS"
+
+#: Default window width (seconds) and ring capacity: two minutes of
+#: one-second windows, enough to cover the SLO tracker's slow burn window.
+DEFAULT_WINDOW_S = 1.0
+DEFAULT_CAPACITY = 120
+
+
+def sample_interval_from_environ() -> "float | None":
+    """Daemon sampling interval in seconds (``REPRO_OBS_SAMPLE_MS``).
+
+    ``None`` when unset: the sampler stays pull-driven (router ticks only).
+    """
+    raw = os.environ.get(_SAMPLE_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        millis = float(raw)
+    except ValueError as exc:
+        raise ObservabilityError(
+            f"{_SAMPLE_ENV} must be a positive number of milliseconds, "
+            f"got {raw!r}"
+        ) from exc
+    if millis <= 0:
+        raise ObservabilityError(
+            f"{_SAMPLE_ENV} must be a positive number of milliseconds, "
+            f"got {raw!r}"
+        )
+    return millis / 1000.0
+
+
+def _windowed_quantile(buckets, count: int, fraction: float,
+                       clamp: "float | None") -> float:
+    """Nearest-rank quantile over a window's cumulative bucket deltas.
+
+    Mirrors :meth:`LatencyHistogram.quantile`; ``clamp`` is the lifetime max
+    (the window's own max is not recoverable from bucket deltas, so the
+    lifetime max bounds the overflow bucket's answer).
+    """
+    if count <= 0:
+        return 0.0
+    rank = max(1, math.ceil(fraction * count))
+    for bound, cumulative in buckets:
+        if cumulative >= rank:
+            return min(bound, clamp) if clamp is not None else bound
+    return clamp if clamp is not None else buckets[-1][0] if buckets else 0.0
+
+
+def _diff_histogram(previous: "dict | None", current: dict,
+                    duration_s: float) -> "dict | None":
+    """One histogram series' windowed view from two cumulative snapshots."""
+    if previous is None:
+        prev_count, prev_sum = 0, 0.0
+        prev_buckets = [(bound, 0) for bound, _cum in current["buckets"]]
+    else:
+        prev_count, prev_sum = previous["count"], previous["sum"]
+        prev_buckets = previous["buckets"]
+    count = current["count"] - prev_count
+    if count <= 0:
+        return None
+    total = current["sum"] - prev_sum
+    buckets = [
+        (bound, cumulative - prev_cumulative)
+        for (bound, cumulative), (_b, prev_cumulative)
+        in zip(current["buckets"], prev_buckets)
+    ]
+    clamp = current["max"]
+    return {
+        "count": count,
+        "sum": round(total, 6),
+        "mean": round(total / count, 6),
+        "rate": round(count / duration_s, 6) if duration_s > 0 else 0.0,
+        "p50": _windowed_quantile(buckets, count, 0.50, clamp),
+        "p95": _windowed_quantile(buckets, count, 0.95, clamp),
+        "p99": _windowed_quantile(buckets, count, 0.99, clamp),
+        "buckets": buckets,
+    }
+
+
+class MetricsSampler:
+    """Ring-buffered fixed-width windows sampled from a registry.
+
+    ``tick()`` is the hot-path entry: O(1) until ``window_s`` has elapsed
+    since the last roll, then one registry sweep produces the next window.
+    """
+
+    def __init__(self, registry, window_s: float = DEFAULT_WINDOW_S,
+                 capacity: int = DEFAULT_CAPACITY,
+                 clock=time.monotonic) -> None:
+        if window_s <= 0:
+            raise ObservabilityError(
+                f"window_s must be positive, got {window_s!r}"
+            )
+        if capacity <= 0:
+            raise ObservabilityError(
+                f"capacity must be positive, got {capacity!r}"
+            )
+        self._registry = registry
+        self.window_s = window_s
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._windows: "deque[dict]" = deque(maxlen=capacity)
+        baseline_time = clock()
+        self._last_sample = self._take()
+        self._last_time = baseline_time
+        #: Next roll boundary; read unlocked on the hot path (a benign race:
+        #: two racing ticks both enter ``_roll``, which re-checks under lock).
+        self._next_roll = baseline_time + window_s
+
+    # -- sampling ---------------------------------------------------------------
+
+    def _take(self) -> dict:
+        """One cumulative sample of every registry series (counter reads only)."""
+        counters: dict = {}
+        gauges: dict = {}
+        histograms: dict = {}
+        for kind, rendered, _name, _labels, value in self._registry.series():
+            if kind == "counter":
+                counters[rendered] = value
+            elif kind == "gauge":
+                gauges[rendered] = value
+            else:
+                histograms[rendered] = value
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def tick(self) -> "dict | None":
+        """Advance time; roll and return a new window when one is due."""
+        if self._clock() < self._next_roll:
+            return None
+        return self.roll()
+
+    def roll(self) -> "dict | None":
+        """Force a window roll (daemon cadence, tests, endpoint refresh)."""
+        with self._lock:
+            now = self._clock()
+            duration = now - self._last_time
+            if duration <= 0:
+                return None
+            sample = self._take()
+            window = self._diff(self._last_sample, sample, duration)
+            self._last_sample = sample
+            self._last_time = now
+            self._next_roll = now + self.window_s
+            self._windows.append(window)
+            return window
+
+    def _diff(self, previous: dict, current: dict, duration_s: float) -> dict:
+        deltas = {}
+        rates = {}
+        for rendered, value in current["counters"].items():
+            delta = value - previous["counters"].get(rendered, 0.0)
+            if delta:
+                deltas[rendered] = delta
+                rates[rendered] = round(delta / duration_s, 6)
+        histograms = {}
+        for rendered, snap in current["histograms"].items():
+            windowed = _diff_histogram(
+                previous["histograms"].get(rendered), snap, duration_s
+            )
+            if windowed is not None:
+                histograms[rendered] = windowed
+        return {
+            "t": time.time(),
+            "duration_s": round(duration_s, 6),
+            "deltas": deltas,
+            "rates": rates,
+            "gauges": dict(current["gauges"]),
+            "histograms": histograms,
+        }
+
+    # -- reading ----------------------------------------------------------------
+
+    def windows(self, last: "int | None" = None) -> list[dict]:
+        """The most recent windows, oldest first."""
+        with self._lock:
+            entries = list(self._windows)
+        if last is not None:
+            entries = entries[-last:]
+        return entries
+
+    def latest(self) -> "dict | None":
+        with self._lock:
+            return self._windows[-1] if self._windows else None
+
+    def aggregate(self, last: int) -> dict:
+        """Sum the most recent ``last`` windows into one wider window.
+
+        Counter deltas and histogram bucket counts are additive, so the
+        aggregate is exact — this is what burn-rate evaluation reads.
+        """
+        entries = self.windows(last=last)
+        duration = sum(window["duration_s"] for window in entries)
+        deltas: dict = {}
+        hist_counts: dict = {}
+        hist_sums: dict = {}
+        hist_buckets: dict = {}
+        for window in entries:
+            for rendered, delta in window["deltas"].items():
+                deltas[rendered] = deltas.get(rendered, 0.0) + delta
+            for rendered, hist in window["histograms"].items():
+                hist_counts[rendered] = hist_counts.get(rendered, 0) + hist["count"]
+                hist_sums[rendered] = hist_sums.get(rendered, 0.0) + hist["sum"]
+                merged = hist_buckets.get(rendered)
+                if merged is None:
+                    hist_buckets[rendered] = [list(pair) for pair in hist["buckets"]]
+                else:
+                    for slot, (_bound, cumulative) in zip(merged, hist["buckets"]):
+                        slot[1] += cumulative
+        histograms = {
+            rendered: {
+                "count": hist_counts[rendered],
+                "sum": hist_sums[rendered],
+                "buckets": [tuple(pair) for pair in hist_buckets[rendered]],
+            }
+            for rendered in hist_counts
+        }
+        return {
+            "windows": len(entries),
+            "duration_s": round(duration, 6),
+            "deltas": deltas,
+            "histograms": histograms,
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: configuration plus the ring, oldest first.
+
+        Per-window histogram bucket arrays are dropped (they are an internal
+        detail for burn-rate math; quantiles are already materialized).
+        """
+        windows = [
+            {
+                **{key: value for key, value in window.items()
+                   if key != "histograms"},
+                "histograms": {
+                    rendered: {key: value for key, value in hist.items()
+                               if key != "buckets"}
+                    for rendered, hist in window["histograms"].items()
+                },
+            }
+            for window in self.windows()
+        ]
+        return {
+            "window_s": self.window_s,
+            "capacity": self.capacity,
+            "windows": windows,
+        }
+
+
+class SamplerDaemon(threading.Thread):
+    """Optional fixed-cadence roller (``REPRO_OBS_SAMPLE_MS`` opt-in).
+
+    Calls ``on_sample`` every ``interval_s`` seconds until :meth:`stop`.
+    The callback is the router's observability tick (roll + SLO evaluation +
+    gauge publication) — all counter reads, so the daemon can never perturb
+    an I/O fingerprint.
+    """
+
+    def __init__(self, interval_s: float, on_sample) -> None:
+        super().__init__(name="repro-obs-sampler", daemon=True)
+        self._interval_s = interval_s
+        self._on_sample = on_sample
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self._interval_s):
+            try:
+                self._on_sample()
+            except Exception:
+                # A dying engine (mid-close) must not take the daemon down
+                # with a spurious traceback; the next wait re-checks halt.
+                if self._halt.is_set():
+                    return
+
+    def stop(self) -> None:
+        self._halt.set()
+        if self.is_alive():
+            self.join(timeout=2.0)

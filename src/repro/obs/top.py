@@ -1,0 +1,131 @@
+"""Terminal dashboard over a live monitoring endpoint (``repro`` top).
+
+Polls an :mod:`repro.obs.http` endpoint's ``/snapshot`` route and renders a
+compact screen: query/update rates and windowed tail latencies from the
+rolling time-series, SLO burn-rate status, per-shard I/O and health, and the
+most recent events.  Stdlib only (``urllib``), so it runs anywhere the
+engine does::
+
+    python -m repro.obs.top --url http://127.0.0.1:9188
+    python -m repro.obs.top --url http://127.0.0.1:9188 --once   # one frame
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fetch(url: str, timeout: float) -> dict:
+    with urllib.request.urlopen(url + "/snapshot", timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _rate(window: "dict | None", name: str) -> float:
+    if window is None:
+        return 0.0
+    return float(window.get("rates", {}).get(name, 0.0))
+
+
+def render_frame(snapshot: dict) -> str:
+    """One dashboard frame from a ``/snapshot`` payload."""
+    lines = []
+    engine = snapshot["engine"]
+    state = "DEGRADED" if engine["degraded"] else "healthy"
+    lines.append(
+        f"repro top — method={engine['method']} shards={engine['shards']} "
+        f"threads={engine['threads']} [{state}]"
+    )
+    timeseries = snapshot.get("timeseries") or {}
+    windows = timeseries.get("windows") or []
+    latest = windows[-1] if windows else None
+    latency = (latest or {}).get("histograms", {}).get("query.latency_ms")
+    lines.append(
+        "  last window: qps={qps:.1f} ups={ups:.1f}".format(
+            qps=_rate(latest, "query.count"),
+            ups=_rate(latest, "update.count"),
+        )
+        + (
+            f" p50={latency['p50']:.2f}ms p95={latency['p95']:.2f}ms "
+            f"p99={latency['p99']:.2f}ms" if latency else " (no queries)"
+        )
+    )
+    slo = snapshot.get("slo") or {}
+    for name, entry in (slo.get("objectives") or {}).items():
+        flag = "BURNING" if entry["burning"] else "ok"
+        lines.append(
+            f"  slo {name}: fast={entry['fast']['burn_rate']:.2f}x "
+            f"slow={entry['slow']['burn_rate']:.2f}x [{flag}]"
+        )
+    health = {row["shard"]: row for row in snapshot.get("shard_health", [])}
+    lines.append("  shard     reads    writes  pool_hits  status")
+    for row in snapshot.get("shard_io", []):
+        shard = row["shard"]
+        tag = "-" if shard is None else shard
+        status = "ok"
+        entry = health.get(shard if shard is not None else 0)
+        if entry and entry["quarantined"]:
+            status = f"QUARANTINED ({entry['reason']})"
+        lines.append(
+            f"  {tag!s:>5} {row['disk']['reads']:>9} {row['disk']['writes']:>9} "
+            f"{row['pool']['hits']:>10}  {status}"
+        )
+    counters = snapshot.get("metrics", {}).get("counters", {})
+    lines.append(
+        f"  lifetime: queries={counters.get('query.count', 0):g} "
+        f"updates={counters.get('update.count', 0):g} "
+        f"degraded={counters.get('query.degraded', 0):g} "
+        f"slow_queries={len(snapshot.get('slow_queries', []))}"
+    )
+    events = snapshot.get("events", [])
+    if events:
+        lines.append("  recent events:")
+        for event in events[-5:]:
+            shard = "" if event["shard"] is None else f" shard={event['shard']}"
+            lines.append(f"    #{event['seq']} {event['kind']}{shard}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.top",
+        description="Terminal dashboard over a live monitoring endpoint.",
+    )
+    parser.add_argument("--url", required=True,
+                        help="endpoint base URL, e.g. http://127.0.0.1:9188")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="refresh interval in seconds (default 2)")
+    parser.add_argument("--once", action="store_true",
+                        help="render one frame and exit (no screen clearing)")
+    parser.add_argument("--timeout", type=float, default=5.0,
+                        help="per-request timeout in seconds")
+    args = parser.parse_args(argv)
+
+    url = args.url.rstrip("/")
+    while True:
+        try:
+            frame = render_frame(_fetch(url, args.timeout))
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            frame = f"repro top — cannot reach {url}: {exc}\n"
+            if args.once:
+                sys.stderr.write(frame)
+                return 1
+        if args.once:
+            sys.stdout.write(frame)
+            return 0
+        sys.stdout.write(_CLEAR + frame)
+        sys.stdout.flush()
+        try:
+            time.sleep(max(0.2, args.interval))
+        except KeyboardInterrupt:
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

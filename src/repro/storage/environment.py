@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import StorageError, StoreClosedError
-from repro.obs.events import emit
+from repro.obs.events import EVENTS
 from repro.obs.trace import span
 from repro.storage.buffer_pool import BufferPool, BufferPoolStats
 from repro.storage.disk import DiskCostModel, DiskStats, SimulatedDisk
@@ -124,6 +124,9 @@ class StorageEnvironment:
         #: Shard index for observability tags (set by ``ShardedEnvironment``;
         #: ``None`` for unsharded environments and during bootstrap).
         self.obs_shard: "int | None" = None
+        #: Engine-owned event log this environment emits into (attached by
+        #: the router); ``None`` falls back to the process-wide stream.
+        self.event_sink = None
         #: True when this environment was rebuilt by ``open_environment``;
         #: index constructors attach to the restored stores instead of
         #: creating fresh ones.
@@ -153,6 +156,7 @@ class StorageEnvironment:
         env._lifecycle_lock = threading.Lock()
         env._app_state = catalog.get("app")
         env.obs_shard = None
+        env.event_sink = None
         env.recovered = True
         env._restore_stores(catalog.get("stores", {}))
         return env
@@ -238,8 +242,9 @@ class StorageEnvironment:
         if self.durable:
             with span("storage.fold", shard=self.obs_shard):
                 self.disk.checkpoint(self._commit_payload(self._app_state))
-            emit("checkpoint", shard=self.obs_shard,
-                 batch=self.committed_batches)
+            sink = self.event_sink if self.event_sink is not None else EVENTS
+            sink.emit("checkpoint", shard=self.obs_shard,
+                      batch=self.committed_batches)
 
     def close(self, app_state: Any = None) -> None:
         """Checkpoint (when durable) and release every handle, idempotently.

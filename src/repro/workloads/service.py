@@ -306,6 +306,13 @@ class ServiceLoadDriver:
                     errors.append(("checkpointer", checkpointer.error))
         finally:
             sys.setswitchinterval(previous_switch_interval)
+        # Close out the storm's final (partial) time-series window and refresh
+        # SLO burn status + storage gauges, so a scraper (or the endpoint
+        # smoke test) reads a profile covering the whole replay rather than
+        # whatever the last hot-path tick happened to see.
+        obs_roll = getattr(index.router, "_obs_roll", None)
+        if obs_roll is not None:
+            obs_roll()
         delta = index.env.delta_since(env_before)
         result.pages_read = delta.page_reads
         result.pages_written = delta.page_writes

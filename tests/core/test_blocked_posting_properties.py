@@ -265,11 +265,15 @@ def test_prune_is_terminal_and_counts_skipped_blocks():
         return len(seen_bounds) == 3  # prune at the third block
 
     decoded = list(iter_blocked_scored_postings_lazy(
-        reader_for(data, 16), prune=prune, on_skip=skipped.append
+        reader_for(data, 16), prune=prune,
+        on_skip=lambda count, block: skipped.append((count, block)),
     ))
     # Blocks 0 and 1 decode; blocks 2, 3, 4 are skipped without being read.
     assert [d[0] for d in decoded] == list(range(16))
-    assert skipped == [3]
+    # on_skip receives the skipped-block count plus the pruned block itself
+    # (whose bound is what the heap floor beat) for EXPLAIN's skip journal.
+    assert [count for count, _block in skipped] == [3]
+    assert skipped[0][1].bound == seen_bounds[2]
     # The prune callback is consulted once per block until it fires — never
     # for the blocks after the terminal stop.
     assert len(seen_bounds) == 3
@@ -280,7 +284,8 @@ def test_prune_never_fires_decodes_everything():
     data = encode_blocked_scored_postings(postings, block_span=4)
     skipped = []
     decoded = list(iter_blocked_scored_postings_lazy(
-        reader_for(data, 16), prune=lambda block: False, on_skip=skipped.append
+        reader_for(data, 16), prune=lambda block: False,
+        on_skip=lambda count, block: skipped.append(count),
     ))
     assert len(decoded) == 30
     assert skipped == []

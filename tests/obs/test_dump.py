@@ -95,6 +95,44 @@ class TestPrometheusExport:
         finally:
             index.close()
 
+    def test_help_lines_accompany_every_type_line(self):
+        index = _build(threads=4)
+        try:
+            index.search(["w001"], k=5)
+            text = to_prometheus_text(index)
+        finally:
+            index.close()
+        typed = {line.split()[2] for line in text.splitlines()
+                 if line.startswith("# TYPE ")}
+        helped = {line.split()[2] for line in text.splitlines()
+                  if line.startswith("# HELP ")}
+        assert typed and typed == helped
+
+    def test_adversarial_label_values_escape_and_round_trip(self):
+        index = _build()
+        try:
+            hostile = 'a\\b"c\nd'
+            index.router.metrics.set_gauge("custom.gauge", 1.0, tag=hostile)
+            text = to_prometheus_text(index)
+        finally:
+            index.close()
+        line = next(l for l in text.splitlines()
+                    if l.startswith("custom_gauge{"))
+        # One physical line: the newline travelled as the \n escape.
+        assert line == 'custom_gauge{tag="a\\\\b\\"c\\nd"} 1.0'
+        # Round-trip: un-escaping per the exposition format recovers the
+        # original value (escapes are unambiguous, decoded left-to-right).
+        raw = line[len('custom_gauge{tag="'):line.rindex('"')]
+        decoded, i = [], 0
+        while i < len(raw):
+            if raw[i] == "\\":
+                decoded.append({"\\": "\\", '"': '"', "n": "\n"}[raw[i + 1]])
+                i += 2
+            else:
+                decoded.append(raw[i])
+                i += 1
+        assert "".join(decoded) == hostile
+
 
 class TestBenchExport:
     def test_operation_metrics_export_into_registry(self):

@@ -66,14 +66,17 @@ def _durable_index(tmp_path, shards=4):
 
 
 class TestEngineEmissionSites:
+    # Lifecycle events emitted while a router is alive land in the
+    # *router-owned* log (``index.router.events``), not the process-global
+    # stream: two engines in one process must not interleave their histories.
     def test_quarantine_and_reopen_events(self, tmp_path):
         index = _durable_index(tmp_path)
         try:
-            EVENTS.clear()
+            index.router.events.clear()
             index.router.quarantine_shard(2, "injected for test")
             # Re-quarantining an already-quarantined shard must not re-emit.
             index.router.quarantine_shard(2, "again")
-            quarantines = EVENTS.events(kind="quarantine")
+            quarantines = index.router.events.events(kind="quarantine")
             assert len(quarantines) == 1
             assert quarantines[0].shard == 2
             assert quarantines[0].fields["reason"] == "injected for test"
@@ -81,21 +84,56 @@ class TestEngineEmissionSites:
                 "shard.quarantined", shard=2) == 1.0
 
             index.reopen_shard(2)
-            reopens = EVENTS.events(kind="reopen")
+            reopens = index.router.events.events(kind="reopen")
             assert len(reopens) == 1 and reopens[0].shard == 2
             assert reopens[0].fields["lifted_quarantine"] is True
             assert index.router.metrics.counter_value(
                 "shard.reopened", shard=2) == 1.0
+            # Nothing leaked into the process-global stream.
+            assert not EVENTS.events(kind="quarantine")
+            assert not EVENTS.events(kind="reopen")
         finally:
             index.close()
 
     def test_checkpoint_events_carry_shard_tags(self, tmp_path):
         index = _durable_index(tmp_path)
         try:
+            # Bootstrap folds predate the router (no sink yet) and land in
+            # the global stream; clear both so only the checkpoint under
+            # test is visible.
+            index.router.events.clear()
             EVENTS.clear()
             index.checkpoint()
-            checkpoints = EVENTS.events(kind="checkpoint")
+            checkpoints = index.router.events.events(kind="checkpoint")
             assert {e.shard for e in checkpoints} == {0, 1, 2, 3}
+            assert not EVENTS.events(kind="checkpoint")
+        finally:
+            index.close()
+
+    def test_event_logs_are_scoped_per_engine(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        a = _durable_index(tmp_path / "a", shards=2)
+        b = _durable_index(tmp_path / "b", shards=2)
+        try:
+            a.router.events.clear()
+            b.router.events.clear()
+            a.router.quarantine_shard(1, "only engine a")
+            assert [e.kind for e in a.router.events.events()] == ["quarantine"]
+            assert not b.router.events.events()
+        finally:
+            a.close()
+            b.close()
+
+    def test_event_log_capacity_from_environ(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_LOG_CAP", "3")
+        index = _durable_index(tmp_path)
+        try:
+            log = index.router.events
+            log.clear()
+            for n in range(10):
+                log.emit("tick", n=n)
+            assert [e.fields["n"] for e in log.events()] == [7, 8, 9]
         finally:
             index.close()
 

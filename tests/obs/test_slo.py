@@ -1,0 +1,178 @@
+"""SLO burn-rate tracking: multiwindow evaluation, gauges, burn events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import DEFAULT_OBJECTIVES, SLObjective, SLOTracker
+from repro.obs.timeseries import MetricsSampler
+
+from tests.obs.test_timeseries import FakeClock
+
+
+def _rig(objectives):
+    registry = MetricsRegistry()
+    clock = FakeClock()
+    sampler = MetricsSampler(registry, window_s=1.0, capacity=30, clock=clock)
+    events = EventLog()
+    tracker = SLOTracker(sampler, objectives=objectives, metrics=registry,
+                         events=events)
+    return registry, clock, sampler, events, tracker
+
+
+def _roll(registry, clock, sampler, latencies=(), degraded=0, queries=0):
+    """One sampler window carrying the given traffic."""
+    for latency in latencies:
+        registry.observe("query.latency_ms", latency)
+    queries = max(queries, len(latencies))
+    if queries:
+        registry.inc("query.count", float(queries))
+    if degraded:
+        registry.inc("query.degraded", float(degraded))
+    clock.advance(1.0)
+    sampler.roll()
+
+
+_LATENCY = SLObjective(name="p99", kind="latency", target=0.1,
+                       threshold_ms=100.0, fast_windows=2, slow_windows=8)
+_RATIO = SLObjective(name="degraded", kind="ratio", target=0.1,
+                     fast_windows=2, slow_windows=8)
+
+
+class TestObjectiveValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ObservabilityError):
+            SLObjective(name="x", kind="availability", target=0.1)
+
+    def test_rejects_out_of_range_target(self):
+        with pytest.raises(ObservabilityError):
+            SLObjective(name="x", kind="ratio", target=1.5)
+
+    def test_latency_kind_needs_threshold(self):
+        with pytest.raises(ObservabilityError):
+            SLObjective(name="x", kind="latency", target=0.1)
+
+    def test_defaults_cover_latency_and_availability(self):
+        kinds = {objective.kind for objective in DEFAULT_OBJECTIVES}
+        assert kinds == {"latency", "ratio"}
+
+
+class TestLatencyObjective:
+    def test_quiet_engine_is_not_burning(self):
+        registry, clock, sampler, events, tracker = _rig([_LATENCY])
+        _roll(registry, clock, sampler)
+        status = tracker.evaluate()
+        assert status["p99"]["burning"] is False
+        assert tracker.burning is False
+        assert not events.events(kind="slo_burn")
+
+    def test_healthy_traffic_is_not_burning(self):
+        registry, clock, sampler, _events, tracker = _rig([_LATENCY])
+        for _ in range(4):
+            _roll(registry, clock, sampler, latencies=[5.0] * 10)
+        status = tracker.evaluate()
+        assert status["p99"]["fast"]["burn_rate"] == 0.0
+        assert status["p99"]["burning"] is False
+
+    def test_sustained_slowness_burns_and_emits_once(self):
+        registry, clock, sampler, events, tracker = _rig([_LATENCY])
+        for _ in range(4):
+            _roll(registry, clock, sampler, latencies=[500.0] * 10)
+            tracker.evaluate()
+        status = tracker.status()
+        assert status["burning"] is True
+        entry = status["objectives"]["p99"]
+        # Every query broke the 100 ms bar: bad fraction 1.0, target 0.1.
+        assert entry["fast"]["burn_rate"] == pytest.approx(10.0)
+        assert entry["slow"]["burn_rate"] == pytest.approx(10.0)
+        # Edge-triggered: one event for the whole burning episode.
+        assert len(events.events(kind="slo_burn")) == 1
+        burn = events.events(kind="slo_burn")[0]
+        assert burn.fields["slo"] == "p99"
+        # Gauges mirror the evaluation for scrapers.
+        assert registry.gauge_value("slo.burning", slo="p99") == 1.0
+        assert registry.gauge_value(
+            "slo.burn_rate", slo="p99", window="fast") == pytest.approx(10.0)
+
+    def test_fast_spike_alone_does_not_burn(self):
+        """A one-window blip trips the fast burn but not the slow window."""
+        registry, clock, sampler, events, tracker = _rig([_LATENCY])
+        for _ in range(7):
+            _roll(registry, clock, sampler, latencies=[5.0] * 20)
+        _roll(registry, clock, sampler, latencies=[500.0] * 5)
+        status = tracker.evaluate()
+        entry = status["p99"]
+        assert entry["fast"]["burn_rate"] >= 1.0
+        assert entry["slow"]["burn_rate"] < 1.0
+        assert entry["burning"] is False
+        assert not events.events(kind="slo_burn")
+
+    def test_recovery_clears_burning_and_rearms_the_event(self):
+        registry, clock, sampler, events, tracker = _rig([_LATENCY])
+        for _ in range(3):
+            _roll(registry, clock, sampler, latencies=[500.0] * 10)
+            tracker.evaluate()
+        assert tracker.burning is True
+        # Enough healthy windows push both burn windows back under 1.0.
+        for _ in range(10):
+            _roll(registry, clock, sampler, latencies=[5.0] * 50)
+            tracker.evaluate()
+        assert tracker.burning is False
+        # A fresh episode re-emits: the edge trigger re-arms on recovery.
+        for _ in range(10):
+            _roll(registry, clock, sampler, latencies=[500.0] * 50)
+            tracker.evaluate()
+        assert tracker.burning is True
+        assert len(events.events(kind="slo_burn")) == 2
+
+
+class TestRatioObjective:
+    def test_degraded_fraction_over_target_burns(self):
+        registry, clock, sampler, events, tracker = _rig([_RATIO])
+        for _ in range(4):
+            _roll(registry, clock, sampler, queries=10, degraded=5)
+            tracker.evaluate()
+        entry = tracker.status()["objectives"]["degraded"]
+        assert entry["fast"]["bad_fraction"] == pytest.approx(0.5)
+        assert entry["burning"] is True
+        assert len(events.events(kind="slo_burn")) == 1
+
+    def test_degraded_fraction_under_target_does_not_burn(self):
+        registry, clock, sampler, _events, tracker = _rig([_RATIO])
+        for _ in range(4):
+            _roll(registry, clock, sampler, queries=200, degraded=1)
+            tracker.evaluate()
+        entry = tracker.status()["objectives"]["degraded"]
+        assert entry["fast"]["bad_fraction"] == pytest.approx(0.005)
+        assert entry["burning"] is False
+
+
+def test_engine_wires_tracker_and_serves_status():
+    """The router owns a tracker over its sampler; rolls feed /slo."""
+    import random
+
+    from repro.core.text_index import SVRTextIndex
+    from tests.conftest import METHOD_OPTIONS, make_corpus
+
+    corpus = make_corpus(random.Random(97), num_docs=40, vocabulary=25)
+    index = SVRTextIndex(method="chunk", shards=4, threads=1,
+                         cache_pages=256, **METHOD_OPTIONS["chunk"])
+    try:
+        for doc_id, terms, score in corpus:
+            index.add_document_terms(doc_id, terms, score)
+        index.finalize()
+        for _ in range(5):
+            index.search(["w001", "w004"], k=5)
+        index.router._obs_roll()
+        status = index.router.slo.status()
+        assert set(status["objectives"]) == {
+            objective.name for objective in DEFAULT_OBJECTIVES
+        }
+        assert status["burning"] is False
+        assert index.router.metrics.gauge_value(
+            "slo.burning", slo="query_p99_latency") == 0.0
+    finally:
+        index.close()

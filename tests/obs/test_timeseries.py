@@ -1,0 +1,220 @@
+"""MetricsSampler: ring-buffered windows over the registry (fake clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    MetricsSampler,
+    SamplerDaemon,
+    sample_interval_from_environ,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _sampler(window_s: float = 1.0, capacity: int = 4):
+    registry = MetricsRegistry()
+    clock = FakeClock()
+    sampler = MetricsSampler(registry, window_s=window_s, capacity=capacity,
+                             clock=clock)
+    return registry, clock, sampler
+
+
+class TestRolling:
+    def test_tick_is_noop_before_the_window_boundary(self):
+        registry, clock, sampler = _sampler(window_s=1.0)
+        registry.inc("query.count")
+        clock.advance(0.5)
+        assert sampler.tick() is None
+        assert sampler.windows() == []
+        clock.advance(0.6)
+        window = sampler.tick()
+        assert window is not None
+        assert sampler.windows() == [window]
+
+    def test_counter_deltas_become_rates(self):
+        registry, clock, sampler = _sampler()
+        registry.inc("query.count", 10.0)
+        registry.inc("update.count", 4.0)
+        clock.advance(2.0)
+        window = sampler.roll()
+        assert window["duration_s"] == pytest.approx(2.0)
+        assert window["deltas"]["query.count"] == 10.0
+        assert window["rates"]["query.count"] == pytest.approx(5.0)
+        assert window["rates"]["update.count"] == pytest.approx(2.0)
+        # The next window diffs against the new baseline, not lifetime zero.
+        registry.inc("query.count", 3.0)
+        clock.advance(1.0)
+        assert sampler.roll()["deltas"] == {"query.count": 3.0}
+
+    def test_unchanged_counters_are_omitted(self):
+        registry, clock, sampler = _sampler()
+        registry.inc("query.count", 5.0)
+        clock.advance(1.0)
+        sampler.roll()
+        clock.advance(1.0)
+        window = sampler.roll()
+        assert window["deltas"] == {} and window["rates"] == {}
+
+    def test_gauges_record_last_value_not_delta(self):
+        registry, clock, sampler = _sampler()
+        registry.set_gauge("pool.hit_rate", 0.25, shard=0)
+        clock.advance(1.0)
+        sampler.roll()
+        registry.set_gauge("pool.hit_rate", 0.75, shard=0)
+        clock.advance(1.0)
+        window = sampler.roll()
+        assert window["gauges"]['pool.hit_rate{shard=0}'] == 0.75
+
+    def test_windowed_histogram_quantiles(self):
+        registry, clock, sampler = _sampler()
+        for _ in range(97):
+            registry.observe("query.latency_ms", 1.0)
+        for _ in range(3):
+            registry.observe("query.latency_ms", 400.0)
+        clock.advance(1.0)
+        hist = sampler.roll()["histograms"]["query.latency_ms"]
+        assert hist["count"] == 100
+        assert hist["p50"] <= 1.0
+        # Rank 99 lands among the 400 ms outliers; the windowed quantile is
+        # clamped by the lifetime max (400), not the bucket bound (500).
+        assert hist["p99"] == 400.0
+        # A second window with no new observations reports no histogram row.
+        clock.advance(1.0)
+        assert sampler.roll()["histograms"] == {}
+        # Windowed, not lifetime: a fast window after the slow one is fast.
+        for _ in range(10):
+            registry.observe("query.latency_ms", 1.0)
+        clock.advance(1.0)
+        hist = sampler.roll()["histograms"]["query.latency_ms"]
+        assert hist["count"] == 10
+        assert hist["p99"] <= 1.0
+
+    def test_ring_capacity_drops_oldest(self):
+        registry, clock, sampler = _sampler(capacity=3)
+        for n in range(5):
+            registry.inc("query.count", float(n + 1))
+            clock.advance(1.0)
+            sampler.roll()
+        kept = sampler.windows()
+        assert len(kept) == 3
+        assert [w["deltas"]["query.count"] for w in kept] == [3.0, 4.0, 5.0]
+        assert sampler.latest() is kept[-1] or sampler.latest() == kept[-1]
+
+    def test_aggregate_sums_deltas_and_buckets(self):
+        registry, clock, sampler = _sampler(capacity=10)
+        for _ in range(3):
+            registry.inc("query.count", 2.0)
+            registry.observe("query.latency_ms", 10.0)
+            clock.advance(1.0)
+            sampler.roll()
+        aggregate = sampler.aggregate(last=2)
+        assert aggregate["windows"] == 2
+        assert aggregate["duration_s"] == pytest.approx(2.0)
+        assert aggregate["deltas"]["query.count"] == 4.0
+        hist = aggregate["histograms"]["query.latency_ms"]
+        assert hist["count"] == 2
+        assert sum(c for _b, c in hist["buckets"]) >= 2
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        registry, clock, sampler = _sampler()
+        registry.inc("query.count")
+        registry.observe("query.latency_ms", 5.0)
+        clock.advance(1.0)
+        sampler.roll()
+        snapshot = sampler.snapshot()
+        assert snapshot["window_s"] == 1.0
+        (window,) = snapshot["windows"]
+        assert "buckets" not in window["histograms"]["query.latency_ms"]
+        json.dumps(snapshot)
+
+
+class TestConfig:
+    def test_invalid_window_and_capacity_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            MetricsSampler(registry, window_s=0.0)
+        with pytest.raises(ObservabilityError):
+            MetricsSampler(registry, capacity=0)
+
+    def test_sample_interval_from_environ(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS_SAMPLE_MS", raising=False)
+        assert sample_interval_from_environ() is None
+        monkeypatch.setenv("REPRO_OBS_SAMPLE_MS", "250")
+        assert sample_interval_from_environ() == pytest.approx(0.25)
+        monkeypatch.setenv("REPRO_OBS_SAMPLE_MS", "nope")
+        with pytest.raises(ObservabilityError):
+            sample_interval_from_environ()
+        monkeypatch.setenv("REPRO_OBS_SAMPLE_MS", "-5")
+        with pytest.raises(ObservabilityError):
+            sample_interval_from_environ()
+
+
+class TestDaemon:
+    def test_daemon_invokes_callback_until_stopped(self):
+        import threading
+
+        fired = threading.Event()
+        daemon = SamplerDaemon(0.01, fired.set)
+        daemon.start()
+        try:
+            assert fired.wait(timeout=2.0)
+        finally:
+            daemon.stop()
+        assert not daemon.is_alive()
+
+    def test_daemon_survives_callback_exceptions(self):
+        import threading
+
+        calls = []
+        resumed = threading.Event()
+
+        def flaky():
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("engine mid-close")
+            resumed.set()
+
+        daemon = SamplerDaemon(0.01, flaky)
+        daemon.start()
+        try:
+            assert resumed.wait(timeout=2.0)
+        finally:
+            daemon.stop()
+
+
+def test_engine_sampler_records_query_traffic():
+    """The router's pull-driven sampler sees traffic after a forced roll."""
+    import random
+
+    from repro.core.text_index import SVRTextIndex
+    from tests.conftest import METHOD_OPTIONS, make_corpus
+
+    corpus = make_corpus(random.Random(97), num_docs=40, vocabulary=25)
+    index = SVRTextIndex(method="chunk", shards=4, threads=1,
+                         cache_pages=256, **METHOD_OPTIONS["chunk"])
+    try:
+        for doc_id, terms, score in corpus:
+            index.add_document_terms(doc_id, terms, score)
+        index.finalize()
+        for _ in range(5):
+            index.search(["w001", "w004"], k=5)
+        window = index.router.sampler.roll()
+        assert window["deltas"]["query.count"] == 5.0
+        assert window["histograms"]["query.latency_ms"]["count"] == 5
+    finally:
+        index.close()
